@@ -1,0 +1,68 @@
+"""Ablation A1: RBR vs the textbook closure-based method.
+
+Section 4.1: the closure method computes ``F+`` (always exponential) and
+projects; RBR avoids the closure.  On FD workloads with growing attribute
+counts the gap widens — this is the paper's motivation for adopting
+Gottlob's method and the reason ``PropCFD_SPC`` "behaves polynomially in
+many practical cases".
+"""
+
+import random
+
+import pytest
+
+from repro import CFD, FD
+from repro.propagation.closure_baseline import closure_projection_cover
+from repro.propagation.rbr import rbr
+
+from conftest import record_point
+
+SIZES = [6, 9, 12]
+
+
+def _fd_workload(num_attrs: int, seed: int = 7):
+    rng = random.Random(seed)
+    attrs = [f"A{i}" for i in range(num_attrs)]
+    fds = []
+    for i in range(num_attrs):
+        lhs = rng.sample(attrs, 2)
+        rhs = rng.choice([a for a in attrs if a not in lhs])
+        fds.append(FD("R", lhs, (rhs,)))
+    projection = attrs[: num_attrs // 2]
+    return attrs, fds, projection
+
+
+@pytest.mark.parametrize("num_attrs", SIZES)
+def test_ablation_closure_baseline(benchmark, num_attrs):
+    attrs, fds, projection = _fd_workload(num_attrs)
+    cover = benchmark.pedantic(
+        closure_projection_cover,
+        args=(fds, "R", attrs, projection),
+        kwargs={"minimize": False},
+        rounds=1,
+        iterations=1,
+    )
+    record_point(
+        "Ablation A1 (cover method)",
+        num_attrs,
+        "closure (textbook)",
+        benchmark.stats.stats.mean,
+        {"cover": len(cover)},
+    )
+
+
+@pytest.mark.parametrize("num_attrs", SIZES)
+def test_ablation_rbr(benchmark, num_attrs):
+    attrs, fds, projection = _fd_workload(num_attrs)
+    dropped = [a for a in attrs if a not in projection]
+    cfds = [CFD.from_fd(fd) for fd in fds]
+    cover = benchmark.pedantic(
+        rbr, args=(cfds, dropped), rounds=1, iterations=1
+    )
+    record_point(
+        "Ablation A1 (cover method)",
+        num_attrs,
+        "RBR",
+        benchmark.stats.stats.mean,
+        {"cover": len(cover)},
+    )

@@ -1,0 +1,147 @@
+"""Extension benchmarks (Section 7 future work + cleaning application).
+
+Not paper figures — these cover the three implemented extensions:
+
+- ``prop_cfd_spcu``: candidate-and-verify covers for SPCU views, scaled
+  in the number of union branches (the cost is branch covers plus one
+  exact propagation check per candidate).
+- ``prop_cfd_spc_general``: bounded case analysis over finite domains,
+  scaled in the number of Boolean attributes split.
+- The cleaning pipeline (detect + repair) scaled in instance size.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import CFD, ConstantRelation, DatabaseSchema, FD, Product, RelationRef, RelationSchema, SPCUView, SPCView, Union
+from repro.algebra.spc import RelationAtom
+from repro.cleaning import detect, repair
+from repro.core.domains import BOOL
+from repro.core.schema import Attribute
+from repro.generators import random_satisfying_instance, random_schema
+from repro.propagation import prop_cfd_spc_general, prop_cfd_spcu
+
+from conftest import record_point
+
+FAST = bool(os.environ.get("REPRO_FAST"))
+
+
+# ----------------------------------------------------------------------
+# SPCU covers vs number of branches.
+# ----------------------------------------------------------------------
+
+BRANCH_COUNTS = [2, 3] if FAST else [2, 4, 6]
+
+
+def _tagged_union(num_branches: int):
+    attrs = ["AC", "city", "zip", "street"]
+    schema = DatabaseSchema(
+        [RelationSchema(f"R{i}", attrs) for i in range(num_branches)]
+    )
+    expr = None
+    for i in range(num_branches):
+        branch = Product(
+            ConstantRelation({"CC": str(i)}), RelationRef(f"R{i}")
+        )
+        expr = branch if expr is None else Union(expr, branch)
+    view = SPCUView.from_expr(expr, schema, name="V")
+    sigma = []
+    for i in range(num_branches):
+        sigma.append(FD(f"R{i}", ("zip",), ("street",)))
+        sigma.append(CFD(f"R{i}", {"AC": "20"}, {"city": f"city{i}"}))
+    return sigma, view
+
+
+@pytest.mark.parametrize("branches", BRANCH_COUNTS)
+def test_spcu_cover_scaling(benchmark, branches):
+    sigma, view = _tagged_union(branches)
+    cover = benchmark.pedantic(
+        prop_cfd_spcu, args=(sigma, view), rounds=1, iterations=1
+    )
+    assert cover
+    record_point(
+        "Extension: SPCU cover",
+        branches,
+        "tagged union",
+        benchmark.stats.stats.mean,
+        {"cover": len(cover)},
+    )
+
+
+# ----------------------------------------------------------------------
+# General-setting covers vs number of Boolean splits.
+# ----------------------------------------------------------------------
+
+SPLIT_COUNTS = [1, 2] if FAST else [1, 2, 3]
+
+
+def _bool_split_workload(num_bools: int):
+    attrs = [Attribute(f"F{i}", BOOL) for i in range(num_bools)]
+    attrs += [Attribute("B"), Attribute("C")]
+    schema = DatabaseSchema([RelationSchema("R", attrs)])
+    relation = schema.relation("R")
+    atoms = [RelationAtom("R", {a: a for a in relation.attribute_names})]
+    view = SPCView("V", schema, atoms)
+    sigma = []
+    for i in range(num_bools):
+        sigma.append(CFD("R", {f"F{i}": False, "C": "c"}, {"B": "b"}))
+        sigma.append(CFD("R", {f"F{i}": True, "C": "c"}, {"B": "b"}))
+    return sigma, view
+
+
+@pytest.mark.parametrize("num_bools", SPLIT_COUNTS)
+def test_general_cover_scaling(benchmark, num_bools):
+    sigma, view = _bool_split_workload(num_bools)
+    cover = benchmark.pedantic(
+        prop_cfd_spc_general, args=(sigma, view), rounds=1, iterations=1
+    )
+    target = CFD("V", {"C": "c"}, {"B": "b"})
+    from repro import implies
+
+    assert implies(cover, target)
+    record_point(
+        "Extension: general-setting cover",
+        num_bools,
+        "bool splits",
+        benchmark.stats.stats.mean,
+        {"cover": len(cover)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Cleaning throughput.
+# ----------------------------------------------------------------------
+
+ROW_COUNTS = [50, 100] if FAST else [100, 400, 1000]
+
+
+@pytest.mark.parametrize("rows", ROW_COUNTS)
+def test_cleaning_detect_and_repair(benchmark, rows):
+    rng = random.Random(rows)
+    schema = random_schema(rng, num_relations=2, min_attributes=4, max_attributes=4)
+    relation = next(iter(schema))
+    rules = [
+        FD(relation.name, (relation.attribute_names[0],), (relation.attribute_names[1],)),
+        CFD(
+            relation.name,
+            {relation.attribute_names[2]: "v1"},
+            {relation.attribute_names[3]: "v2"},
+        ),
+    ]
+    db = random_satisfying_instance(rng, schema, [], rows_per_relation=rows)
+
+    def pipeline():
+        violations = detect(rules, db)
+        fixed, edits = repair(rules, db)
+        return violations, edits
+
+    violations, edits = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    record_point(
+        "Extension: cleaning pipeline",
+        rows,
+        "detect+repair",
+        benchmark.stats.stats.mean,
+        {"violations": len(violations), "edits": len(edits)},
+    )

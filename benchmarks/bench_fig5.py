@@ -1,0 +1,46 @@
+"""Figure 5: varying the source CFDs.
+
+- 5(a): running time of PropCFD_SPC as |Sigma| grows from 200 to 2000,
+  for var% = 40 and 50 (|Y| = 25, |F| = 10, |Ec| = 4 fixed).
+- 5(b): cardinality of the minimal propagation cover for the same sweep —
+  the paper's observation is that covers stay *below* |Sigma|.
+"""
+
+import pytest
+
+from repro.propagation import prop_cfd_spc_report
+
+from conftest import (
+    PAPER_EC,
+    PAPER_F,
+    PAPER_Y,
+    SIGMA_GRID,
+    VAR_PCTS,
+    record_point,
+)
+
+
+@pytest.mark.parametrize("var_pct", VAR_PCTS, ids=lambda v: f"var{int(v*100)}")
+@pytest.mark.parametrize("size", SIGMA_GRID)
+def test_fig5_cover_vs_sigma(benchmark, sigma_cache, view_cache, size, var_pct):
+    sigma = sigma_cache(size, var_pct)
+    view = view_cache(PAPER_Y, PAPER_F, PAPER_EC)
+    report = benchmark.pedantic(
+        prop_cfd_spc_report, args=(sigma, view), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cover_size"] = len(report.cover)
+    benchmark.extra_info["sigma_size"] = size
+    assert len(report.cover) <= max(
+        len(sigma), 2
+    ), "cover exceeded the source set (Fig 5(b) shape violated)"
+    record_point(
+        "Figure 5 (vary |Sigma|)",
+        size,
+        f"var%={int(var_pct * 100)}",
+        benchmark.stats.stats.mean,
+        {
+            "cover": len(report.cover),
+            "sigma_v": report.sigma_v_size,
+            "view_dep_s": round(report.seconds_view_dependent, 3),
+        },
+    )

@@ -1,0 +1,47 @@
+"""Figure 6: varying the projection list Y.
+
+- 6(a): running time vs |Y| (5..50) at |Sigma| = 2000 — flat-ish for
+  small |Y|, growing rapidly beyond |Y| ~ 30.
+- 6(b): number of propagated view CFDs vs |Y| — increasing in |Y| and in
+  var% (constants block transitivity in RBR).
+"""
+
+import pytest
+
+from repro.propagation import prop_cfd_spc_report
+
+from conftest import (
+    PAPER_EC,
+    PAPER_F,
+    SIGMA_FIXED,
+    VAR_PCTS,
+    Y_GRID,
+    record_point,
+)
+
+
+@pytest.mark.parametrize("var_pct", VAR_PCTS, ids=lambda v: f"var{int(v*100)}")
+@pytest.mark.parametrize("num_projected", Y_GRID)
+def test_fig6_cover_vs_y(
+    benchmark, sigma_cache, view_cache, num_projected, var_pct
+):
+    sigma = sigma_cache(SIGMA_FIXED, var_pct)
+    view = view_cache(num_projected, PAPER_F, PAPER_EC)
+    report = benchmark.pedantic(
+        prop_cfd_spc_report, args=(sigma, view), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cover_size"] = len(report.cover)
+    benchmark.extra_info["y_size"] = num_projected
+    record_point(
+        "Figure 6 (vary |Y|)",
+        num_projected,
+        f"var%={int(var_pct * 100)}",
+        benchmark.stats.stats.mean,
+        {
+            "cover": len(report.cover),
+            "dropped": report.dropped_attributes,
+            # The |Y|-sensitive portion (EQ + RBR + final MinCover): the
+            # input MinCover depends only on |Sigma| and floors the total.
+            "view_dep_s": round(report.seconds_view_dependent, 3),
+        },
+    )

@@ -1,0 +1,46 @@
+"""Figure 7: varying the selection condition F.
+
+- 7(a): running time vs |F| (1..10) at |Sigma| = 2000 — mildly decreasing
+  (domain constraints shrink the CFD set passed to RBR).
+- 7(b): number of propagated view CFDs vs |F| — rises (more domain
+  constraints become view CFDs) then falls (interaction kills more source
+  CFDs than the constraints add).
+"""
+
+import pytest
+
+from repro.propagation import prop_cfd_spc_report
+
+from conftest import (
+    F_GRID,
+    PAPER_EC,
+    PAPER_Y,
+    SIGMA_FIXED,
+    VAR_PCTS,
+    record_point,
+)
+
+
+@pytest.mark.parametrize("var_pct", VAR_PCTS, ids=lambda v: f"var{int(v*100)}")
+@pytest.mark.parametrize("num_selections", F_GRID)
+def test_fig7_cover_vs_f(
+    benchmark, sigma_cache, view_cache, num_selections, var_pct
+):
+    sigma = sigma_cache(SIGMA_FIXED, var_pct)
+    view = view_cache(PAPER_Y, num_selections, PAPER_EC)
+    report = benchmark.pedantic(
+        prop_cfd_spc_report, args=(sigma, view), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cover_size"] = len(report.cover)
+    benchmark.extra_info["f_size"] = num_selections
+    record_point(
+        "Figure 7 (vary |F|)",
+        num_selections,
+        f"var%={int(var_pct * 100)}",
+        benchmark.stats.stats.mean,
+        {
+            "cover": len(report.cover),
+            "after_eq": report.after_eq_size,
+            "view_dep_s": round(report.seconds_view_dependent, 3),
+        },
+    )

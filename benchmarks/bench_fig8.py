@@ -1,0 +1,47 @@
+"""Figure 8: varying the Cartesian product Ec.
+
+- 8(a): running time vs |Ec| (2..11) at |Sigma| = 2000 — decreasing and
+  flattening for |Ec| >= 6 (with Y fixed, more relations mean more
+  dropped attributes, so fewer CFDs survive into RBR).
+- 8(b): number of propagated view CFDs vs |Ec| — decreasing, and largely
+  insensitive to var%.
+"""
+
+import pytest
+
+from repro.propagation import prop_cfd_spc_report
+
+from conftest import (
+    EC_GRID,
+    PAPER_F,
+    PAPER_Y,
+    SIGMA_FIXED,
+    VAR_PCTS,
+    record_point,
+)
+
+
+@pytest.mark.parametrize("var_pct", VAR_PCTS, ids=lambda v: f"var{int(v*100)}")
+@pytest.mark.parametrize("num_atoms", EC_GRID)
+def test_fig8_cover_vs_ec(benchmark, sigma_cache, view_cache, num_atoms, var_pct):
+    sigma = sigma_cache(SIGMA_FIXED, var_pct)
+    # Uniform projection: with Y fixed and the product growing, the
+    # fraction of source CFDs whose attributes survive the projection
+    # collapses — the effect behind both panels of Figure 8.
+    view = view_cache(PAPER_Y, PAPER_F, num_atoms, block_projection=False)
+    report = benchmark.pedantic(
+        prop_cfd_spc_report, args=(sigma, view), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cover_size"] = len(report.cover)
+    benchmark.extra_info["ec_size"] = num_atoms
+    record_point(
+        "Figure 8 (vary |Ec|)",
+        num_atoms,
+        f"var%={int(var_pct * 100)}",
+        benchmark.stats.stats.mean,
+        {
+            "cover": len(report.cover),
+            "sigma_v": report.sigma_v_size,
+            "view_dep_s": round(report.seconds_view_dependent, 3),
+        },
+    )

@@ -1,0 +1,170 @@
+"""Table 1: complexity of CFD propagation, demonstrated empirically.
+
+Table 1 is a complexity chart, not a measurement, so its reproduction has
+two parts:
+
+- **PTIME rows** (infinite-domain setting; and the PC/SP rows of the
+  general setting): the decision procedure is run on scaled workloads for
+  every view-language fragment — S, P, C, SP, SC, PC, SPC, SPCU — for
+  both FD and CFD sources.  The recorded runtimes grow polynomially
+  (the qualitative content of those cells).
+- **coNP rows** (general setting): the Theorem 3.2 reduction family gives
+  a worst-case series where runtime grows exponentially with the number
+  of finite-domain premise cells; see also ``bench_table2.py``, which
+  runs the reduction itself.  Here the S/P/C rows are exercised through
+  the CFD-implication special case with finite domains.
+
+The RA rows are undecidable — there is, provably, nothing to run; the
+expression layer still *represents* RA views (``Difference``), and
+``classify`` labels them, which is asserted below.
+"""
+
+import pytest
+
+from repro import (
+    CFD,
+    DatabaseSchema,
+    Difference,
+    FD,
+    RelationRef,
+    RelationSchema,
+    SPCUView,
+    SPCView,
+    classify,
+    implies,
+    propagates,
+)
+from repro.algebra.ops import AttrEq, ConstEq, Projection, Selection, Union
+from repro.algebra.spc import RelationAtom
+from repro.core.domains import BOOL
+from repro.core.schema import Attribute
+
+from conftest import record_point
+
+SIZES = [4, 8, 16]
+
+
+def _chain_schema(n: int) -> DatabaseSchema:
+    return DatabaseSchema([RelationSchema("R", [f"A{i}" for i in range(n)])])
+
+
+def _chain_sources(n: int, kind: str):
+    """A dependency chain A0 -> A1 -> ... -> A_{n-1}, as FDs or CFDs."""
+    if kind == "FD":
+        return [FD("R", (f"A{i}",), (f"A{i+1}",)) for i in range(n - 1)]
+    return [
+        CFD("R", {f"A{i}": "_"}, {f"A{i+1}": "_"}) for i in range(n - 1)
+    ]
+
+
+def _view_for(fragment: str, db: DatabaseSchema, n: int):
+    attrs = [f"A{i}" for i in range(n)]
+    base = RelationRef("R")
+    if fragment == "S":
+        expr = Selection(base, [ConstEq("A0", "k")])
+    elif fragment == "P":
+        expr = Projection(base, attrs[: n - 1] + [attrs[-1]])
+    elif fragment == "C":
+        atoms = [RelationAtom("R", {a: a for a in attrs})]
+        return SPCView("V", db, atoms, constants={"CC": "44"},
+                       projection=attrs + ["CC"])
+    elif fragment == "SP":
+        expr = Projection(Selection(base, [ConstEq("A0", "k")]), attrs)
+    elif fragment == "SC":
+        atoms = [
+            RelationAtom("R", {a: f"x.{a}" for a in attrs}),
+            RelationAtom("R", {a: f"y.{a}" for a in attrs}),
+        ]
+        return SPCView(
+            "V", db, atoms, [AttrEq(f"x.A{n-1}", "y.A0")]
+        )
+    elif fragment == "PC":
+        atoms = [
+            RelationAtom("R", {a: f"x.{a}" for a in attrs}),
+            RelationAtom("R", {a: f"y.{a}" for a in attrs}),
+        ]
+        return SPCView(
+            "V", db, atoms, projection=[f"x.{a}" for a in attrs]
+        )
+    elif fragment == "SPC":
+        atoms = [
+            RelationAtom("R", {a: f"x.{a}" for a in attrs}),
+            RelationAtom("R", {a: f"y.{a}" for a in attrs}),
+        ]
+        return SPCView(
+            "V",
+            db,
+            atoms,
+            [AttrEq(f"x.A{n-1}", "y.A0")],
+            [f"x.{a}" for a in attrs] + [f"y.A{n-1}"],
+        )
+    elif fragment == "SPCU":
+        expr = Union(
+            Selection(base, [ConstEq("A0", "k")]),
+            Selection(base, [ConstEq("A0", "m")]),
+        )
+        return SPCUView.from_expr(expr, db)
+    else:  # pragma: no cover - guarded by parametrize
+        raise ValueError(fragment)
+    return SPCView.from_expr(expr, db)
+
+
+def _target(fragment: str, n: int) -> CFD:
+    if fragment in ("SC", "PC", "SPC"):
+        return CFD("V", {"x.A0": "_"}, {f"x.A{n-1}": "_"})
+    return CFD("V", {"A0": "_"}, {f"A{n-1}": "_"})
+
+
+@pytest.mark.parametrize("source_kind", ["FD", "CFD"])
+@pytest.mark.parametrize(
+    "fragment", ["S", "P", "C", "SP", "SC", "PC", "SPC", "SPCU"]
+)
+@pytest.mark.parametrize("n", SIZES)
+def test_table1_ptime_rows(benchmark, fragment, source_kind, n):
+    """Infinite-domain setting: every fragment's check runs and scales."""
+    db = _chain_schema(n)
+    sigma = _chain_sources(n, source_kind)
+    view = _view_for(fragment, db, n)
+    phi = _target(fragment, n)
+    result = benchmark.pedantic(
+        propagates, args=(sigma, view, phi), rounds=1, iterations=1
+    )
+    assert result is True
+    record_point(
+        f"Table 1 PTIME rows ({source_kind} sources)",
+        n,
+        fragment,
+        benchmark.stats.stats.mean,
+        {},
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_table1_conp_row_via_implication(benchmark, k):
+    """General setting, identity view (S/P/C rows): CFD implication with
+    finite domains — runtime grows with the number of case splits."""
+    attrs = [Attribute(f"B{i}", BOOL) for i in range(k)] + [Attribute("C")]
+    schema = RelationSchema("R", attrs)
+    sigma = []
+    for i in range(k):
+        sigma.append(CFD("R", {f"B{i}": False}, {"C": "c"}))
+        sigma.append(CFD("R", {f"B{i}": True}, {"C": "c"}))
+    phi = CFD.constant("R", "C", "c")
+    result = benchmark.pedantic(
+        implies, args=(sigma, phi), kwargs={"schema": schema},
+        rounds=1, iterations=1,
+    )
+    assert result is True
+    record_point(
+        "Table 1 coNP row (implication, finite domains)",
+        k,
+        "bool-splits",
+        benchmark.stats.stats.mean,
+        {},
+    )
+
+
+def test_table1_ra_row_is_represented_not_decided():
+    db = _chain_schema(3)
+    expr = Difference(RelationRef("R"), RelationRef("R"))
+    assert classify(expr) == "RA"

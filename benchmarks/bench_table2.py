@@ -1,0 +1,88 @@
+"""Table 2: complexity of FD-to-FD propagation.
+
+- Infinite-domain PTIME rows: FD sources, FD targets, fragments SP, SC,
+  PC, SPCU — polynomial scaling of the chase-based check.
+- The general-setting coNP-complete SC cell is exercised through the
+  Theorem 3.2 3SAT reduction itself: runtime against the number of
+  finite-domain branching cells (the exponent of the enumeration).
+"""
+
+import pytest
+
+from repro import FD, CFD, propagates
+from repro.propagation import ThreeSat, encode, finite_branching_cells
+
+from conftest import record_point
+
+from bench_table1 import _chain_schema, _chain_sources, _view_for
+
+SIZES = [4, 8, 16]
+
+
+@pytest.mark.parametrize("fragment", ["SP", "SC", "PC", "SPCU"])
+@pytest.mark.parametrize("n", SIZES)
+def test_table2_ptime_rows(benchmark, fragment, n):
+    db = _chain_schema(n)
+    sigma = _chain_sources(n, "FD")
+    view = _view_for(fragment, db, n)
+    if fragment in ("SC", "PC"):
+        phi = FD("V", ("x.A0",), (f"x.A{n-1}",))
+    else:
+        phi = FD("V", ("A0",), (f"A{n-1}",))
+    result = benchmark.pedantic(
+        propagates, args=(sigma, view, phi), rounds=1, iterations=1
+    )
+    assert result is True
+    record_point(
+        "Table 2 PTIME rows (FD -> FD)",
+        n,
+        fragment,
+        benchmark.stats.stats.mean,
+        {},
+    )
+
+
+#: Growing UNSAT formulas: the propagation holds, so the procedure must
+#: exhaust the instantiation space — the coNP worst case.
+UNSAT_FORMULAS = [
+    ThreeSat(1, ((1, 1, 1), (-1, -1, -1))),
+    ThreeSat(2, ((1, 2, 2), (-1, -2, -2), (1, -2, -2), (-1, 2, 2))),
+]
+SAT_FORMULAS = [
+    ThreeSat(2, ((1, 2, 2),)),
+    ThreeSat(3, ((1, 2, 3), (-1, -2, -3))),
+]
+
+
+@pytest.mark.parametrize("index", range(len(UNSAT_FORMULAS)))
+def test_table2_conp_sc_cell_unsat(benchmark, index):
+    formula = UNSAT_FORMULAS[index]
+    enc = encode(formula)
+    result = benchmark.pedantic(
+        propagates, args=(enc.sigma, enc.view, enc.psi), rounds=1, iterations=1
+    )
+    assert result is True  # UNSAT <=> propagated
+    record_point(
+        "Table 2 coNP SC cell (3SAT reduction)",
+        finite_branching_cells(enc.sigma, enc.view),
+        "UNSAT (exhaustive)",
+        benchmark.stats.stats.mean,
+        {"clauses": len(formula.clauses)},
+    )
+
+
+@pytest.mark.parametrize("index", range(len(SAT_FORMULAS)))
+def test_table2_conp_sc_cell_sat(benchmark, index):
+    formula = SAT_FORMULAS[index]
+    enc = encode(formula)
+    result = benchmark.pedantic(
+        propagates, args=(enc.sigma, enc.view, enc.psi), rounds=1, iterations=1
+    )
+    assert result is False  # SAT <=> counterexample found
+    record_point(
+        "Table 2 coNP SC cell (3SAT reduction)",
+        finite_branching_cells(enc.sigma, enc.view),
+        "SAT (early exit)",
+        benchmark.stats.stats.mean,
+        {"clauses": len(formula.clauses)},
+    )

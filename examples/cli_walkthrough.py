@@ -1,0 +1,121 @@
+"""Driving the library from the command line (JSON in, verdicts out).
+
+Everything the other examples do programmatically is also available
+through the `repro` CLI so propagation analysis can sit in a shell
+pipeline or CI job.  This script writes the Example 1.1 workload to JSON
+files in a temp directory, then exercises every subcommand exactly as a
+shell user would (via `repro.cli.main`, which is what the `repro`
+entry point calls).
+
+Run:  python examples/cli_walkthrough.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+
+workspace = Path(tempfile.mkdtemp(prefix="repro-cli-"))
+ATTRS = ["AC", "phn", "name", "street", "city", "zip"]
+
+
+def write(name: str, doc) -> str:
+    path = workspace / name
+    path.write_text(json.dumps(doc, indent=2))
+    return str(path)
+
+
+schema = write(
+    "schema.json",
+    {"relations": [{"name": f"R{i}", "attributes": ATTRS} for i in (1, 2, 3)]},
+)
+
+sigma = write(
+    "sigma.json",
+    [
+        {"kind": "fd", "relation": "R1", "lhs": ["zip"], "rhs": ["street"]},
+        {"kind": "fd", "relation": "R1", "lhs": ["AC"], "rhs": ["city"]},
+        {"kind": "fd", "relation": "R3", "lhs": ["AC"], "rhs": ["city"]},
+        {"kind": "cfd", "relation": "R1", "lhs": {"AC": "20"},
+         "rhs": {"city": "LDN"}},
+        {"kind": "cfd", "relation": "R3", "lhs": {"AC": "20"},
+         "rhs": {"city": "Amsterdam"}},
+    ],
+)
+
+view = write(
+    "view.json",
+    {
+        "name": "R",
+        "branches": [
+            {
+                "atoms": [{"source": f"R{i}", "prefix": ""}],
+                "projection": ATTRS + ["CC"],
+                "constants": {"CC": cc},
+            }
+            for i, cc in ((1, "44"), (2, "01"), (3, "31"))
+        ],
+    },
+)
+
+targets = write(
+    "targets.json",
+    [
+        {"kind": "cfd", "relation": "R", "lhs": {"CC": "44", "zip": "_"},
+         "rhs": {"street": "_"}},
+        {"kind": "cfd", "relation": "R", "lhs": {"zip": "_"},
+         "rhs": {"street": "_"}},
+    ],
+)
+
+print(f"workspace: {workspace}\n")
+
+print("$ repro check --phi targets.json")
+code = main(["check", "--schema", schema, "--sigma", sigma, "--view", view,
+             "--phi", targets])
+print(f"(exit code {code}: one target failed)\n")
+
+print("$ repro cover --out cover.json")
+cover_out = str(workspace / "cover.json")
+main(["cover", "--schema", schema, "--sigma", sigma, "--view", view,
+      "--out", cover_out])
+print()
+
+print("$ repro empty")
+main(["empty", "--schema", schema, "--sigma", sigma, "--view", view])
+print()
+
+# A dirty dataset for validate/repair.
+dirty = write(
+    "data.json",
+    {
+        "R1": [
+            {"AC": "20", "phn": "1", "name": "Mike", "street": "Portland",
+             "city": "LDN", "zip": "W1B"},
+            {"AC": "20", "phn": "2", "name": "Rick", "street": "Oxford",
+             "city": "LDN", "zip": "W1B"},  # same zip, different street!
+        ],
+        "R2": [],
+        "R3": [],
+    },
+)
+rules = write(
+    "rules.json",
+    [{"kind": "fd", "relation": "R1", "lhs": ["zip"], "rhs": ["street"]}],
+)
+
+print("$ repro validate")
+code = main(["validate", "--schema", schema, "--rules", rules, "--data", dirty])
+print(f"(exit code {code})\n")
+
+print("$ repro repair --out fixed.json")
+fixed_out = str(workspace / "fixed.json")
+main(["repair", "--schema", schema, "--rules", rules, "--data", dirty,
+      "--out", fixed_out])
+print()
+
+print("$ repro validate   # on the repaired data")
+code = main(["validate", "--schema", schema, "--rules", rules,
+             "--data", fixed_out])
+print(f"(exit code {code}: clean)")

@@ -1,0 +1,86 @@
+"""The complexity frontier: why finite domains cost a coNP price.
+
+Tables 1 and 2 of the paper say dependency propagation is PTIME for SPCU
+views in the infinite-domain setting but coNP-complete once finite-domain
+attributes appear.  This example makes the frontier tangible:
+
+1. A case where the cheap single-chase procedure (complete for infinite
+   domains) gives the WRONG answer on a Boolean attribute, while the
+   general-setting enumeration gets it right.
+2. The Theorem 3.2 reduction: 3SAT formulas compiled into propagation
+   questions over an SC view — satisfiable formula <=> NOT propagated —
+   with the runtime growing in the number of finite-domain cells.
+
+Run:  python examples/complexity_frontier.py
+"""
+
+import time
+
+from repro import CFD, DatabaseSchema, RelationSchema, SPCView
+from repro.algebra.spc import RelationAtom
+from repro.core.domains import BOOL
+from repro.core.schema import Attribute
+from repro.propagation import (
+    ThreeSat,
+    encode,
+    finite_branching_cells,
+    propagates,
+    propagates_ptime_chase,
+)
+
+# ----------------------------------------------------------------------
+# 1. The PTIME chase is incomplete with finite domains.
+# ----------------------------------------------------------------------
+schema = DatabaseSchema(
+    [RelationSchema("R", [Attribute("flag", BOOL), Attribute("status")])]
+)
+view = SPCView(
+    "V", schema, [RelationAtom("R", {"flag": "flag", "status": "status"})]
+)
+sigma = [
+    CFD("R", {"flag": False}, {"status": "ok"}),
+    CFD("R", {"flag": True}, {"status": "ok"}),
+]
+phi = CFD.constant("V", "status", "ok")
+
+print("Does {flag=F => ok, flag=T => ok} force status = ok on the view?")
+print(f"  infinite-domain chase says : {propagates_ptime_chase(sigma, view, phi)}")
+print(f"  general-setting procedure  : {propagates(sigma, view, phi)}")
+print(
+    "  The chase invents a third flag value; the enumeration knows the\n"
+    "  Boolean domain is exhausted by the two cases.  (Theorem 3.3: the\n"
+    "  general setting is where the coNP cost comes from.)\n"
+)
+
+# ----------------------------------------------------------------------
+# 2. 3SAT inside dependency propagation (Theorem 3.2).
+# ----------------------------------------------------------------------
+formulas = {
+    "x1 or x2 or x3 (SAT)": ThreeSat(3, ((1, 2, 3),)),
+    "x1 and not x1 (UNSAT)": ThreeSat(1, ((1, 1, 1), (-1, -1, -1))),
+    "xor chain (UNSAT)": ThreeSat(
+        2, ((1, 2, 2), (-1, -2, -2), (1, -2, -2), (-1, 2, 2))
+    ),
+    "two clauses (SAT)": ThreeSat(3, ((1, 2, 3), (-1, -2, -3))),
+}
+
+print("3SAT via propagation over an SC view (SAT <=> NOT propagated):")
+for label, formula in formulas.items():
+    enc = encode(formula)
+    cells = finite_branching_cells(enc.sigma, enc.view)
+    start = time.perf_counter()
+    propagated = propagates(enc.sigma, enc.view, enc.psi)
+    elapsed = time.perf_counter() - start
+    sat = formula.is_satisfiable()
+    agreement = "agrees" if sat == (not propagated) else "DISAGREES"
+    print(
+        f"  {label:<24} cells={cells:<3} propagated={propagated!s:<5} "
+        f"brute-force SAT={sat!s:<5} [{agreement}] {elapsed*1000:7.1f} ms"
+    )
+
+print(
+    "\nThe 'cells' column counts the finite-domain premise positions the\n"
+    "procedure may need to branch on: 2^cells bounds the enumeration, and\n"
+    "UNSAT instances (where propagation HOLDS) must exhaust it — that is\n"
+    "coNP-completeness experienced first-hand."
+)

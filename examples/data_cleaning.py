@@ -1,0 +1,103 @@
+"""Data cleaning with propagated CFDs (the paper's application 3).
+
+Scenario: a downstream quality pipeline validates an integrated customer
+view.  Propagation analysis tells us which constraints are *guaranteed*
+by the sources (no need to check them — they cannot fail) and which must
+be validated against the data.  We then run the validation on a dirty
+instance and report violations tuple by tuple.
+
+Run:  python examples/data_cleaning.py
+"""
+
+from repro import (
+    CFD,
+    ConstantRelation,
+    DatabaseInstance,
+    DatabaseSchema,
+    FD,
+    Product,
+    RelationRef,
+    RelationSchema,
+    SPCUView,
+    Union,
+    propagates,
+)
+
+ATTRS = ["AC", "phn", "name", "street", "city", "zip"]
+schema = DatabaseSchema([RelationSchema(f"R{i}", ATTRS) for i in (1, 2, 3)])
+
+
+def tagged(relation, cc):
+    return Product(ConstantRelation({"CC": cc}), RelationRef(relation))
+
+
+view = SPCUView.from_expr(
+    Union(Union(tagged("R1", "44"), tagged("R2", "01")), tagged("R3", "31")),
+    schema,
+    name="R",
+)
+
+sigma = [
+    FD("R1", ("zip",), ("street",)),
+    FD("R1", ("AC",), ("city",)),
+    FD("R3", ("AC",), ("city",)),
+    CFD("R1", {"AC": "20"}, {"city": "LDN"}),
+    CFD("R3", {"AC": "20"}, {"city": "Amsterdam"}),
+]
+
+# The cleaning rules the business defines on the target schema.
+rules = {
+    "uk-zip-street": CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"}),
+    "uk-ac-city": CFD("R", {"CC": "44", "AC": "_"}, {"city": "_"}),
+    "nl-ac-city": CFD("R", {"CC": "31", "AC": "_"}, {"city": "_"}),
+    "uk-020-london": CFD("R", {"CC": "44", "AC": "20"}, {"city": "LDN"}),
+    "phone-address": CFD.from_fd(
+        FD("R", ("CC", "AC", "phn"), ("street", "city", "zip"))
+    ),
+}
+
+print("Classifying cleaning rules by propagation analysis:")
+must_validate = {}
+for name, rule in rules.items():
+    if propagates(sigma, view, rule):
+        print(f"  guaranteed : {name} (propagated from the sources; skip)")
+    else:
+        print(f"  validate   : {name} (not guaranteed by the sources)")
+        must_validate[name] = rule
+
+# A dirty snapshot: the US feed reuses a phone number across two people.
+dirty = DatabaseInstance(
+    schema,
+    {
+        "R1": [
+            dict(zip(ATTRS, ("20", "1234567", "Mike", "Portland", "LDN", "W1B 1JL"))),
+        ],
+        "R2": [
+            dict(zip(ATTRS, ("610", "1234567", "Mary", "Walnut", "Darby", "19082"))),
+            dict(zip(ATTRS, ("610", "1234567", "Maria", "Walnut St", "Darby", "19082"))),
+        ],
+        "R3": [
+            dict(zip(ATTRS, ("20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"))),
+        ],
+    },
+)
+
+print("\nValidating the remaining rules on the integrated view:")
+view_data = view.evaluate(dirty)
+clean = True
+for name, rule in must_validate.items():
+    for witness in rule.violations(view_data.rows):
+        clean = False
+        print(f"  VIOLATION of {name}:")
+        for tup in witness:
+            shown = {k: tup[k] for k in ("CC", "AC", "phn", "name", "street")}
+            print(f"    {shown}")
+if clean:
+    print("  no violations found")
+
+# The guaranteed rules really cannot fail on *any* source data — sample
+# check on this snapshot:
+for name, rule in rules.items():
+    if name not in must_validate:
+        assert view_data.satisfies(rule), f"guarantee broken for {name}!"
+print("\nAll propagated (skipped) rules indeed hold on the snapshot.")

@@ -1,0 +1,112 @@
+"""Data exchange: verifying a schema mapping with PropCFD_SPC.
+
+The paper's application 1: a target schema comes with predefined CFDs;
+a view definition qualifies as a *schema mapping* only if every target
+CFD is guaranteed on the view.  Instead of testing the target CFDs one by
+one, we compute a minimal propagation cover once and answer each
+"is this guaranteed?" question by CFD implication against the cover —
+exactly the workflow Section 4 motivates.
+
+The source here is a two-feed product catalog joined through a supplier
+table; the view publishes a denormalized offer list.
+
+Run:  python examples/data_exchange.py
+"""
+
+from repro import (
+    CFD,
+    DatabaseSchema,
+    FD,
+    RelationSchema,
+    SPCView,
+    implies,
+    prop_cfd_spc,
+)
+from repro.algebra.ops import AttrEq, ConstEq
+from repro.algebra.spc import RelationAtom
+
+# ----------------------------------------------------------------------
+# Sources: products and suppliers.
+# ----------------------------------------------------------------------
+schema = DatabaseSchema(
+    [
+        RelationSchema("Product", ["sku", "title", "brand", "supplier_id", "price"]),
+        RelationSchema("Supplier", ["sid", "sname", "country", "currency"]),
+    ]
+)
+
+sigma = [
+    FD("Product", ("sku",), ("title", "brand", "supplier_id", "price")),
+    FD("Supplier", ("sid",), ("sname", "country", "currency")),
+    # Business rule with a condition: UK suppliers price in GBP.
+    CFD("Supplier", {"country": "UK"}, {"currency": "GBP"}),
+]
+
+# ----------------------------------------------------------------------
+# The view: UK offers, denormalized (an SPC view).
+#   pi_Y( sigma_{supplier_id = sid and country = 'UK'}(Product x Supplier) )
+# ----------------------------------------------------------------------
+atoms = [
+    RelationAtom(
+        "Product",
+        {a: f"p.{a}" for a in ("sku", "title", "brand", "supplier_id", "price")},
+    ),
+    RelationAtom(
+        "Supplier", {a: f"s.{a}" for a in ("sid", "sname", "country", "currency")}
+    ),
+]
+view = SPCView(
+    "UKOffers",
+    schema,
+    atoms,
+    selection=[AttrEq("p.supplier_id", "s.sid"), ConstEq("s.country", "UK")],
+    projection=["p.sku", "p.title", "p.price", "s.sname", "s.currency"],
+)
+
+# ----------------------------------------------------------------------
+# Compute the propagation cover once.
+# ----------------------------------------------------------------------
+cover = prop_cfd_spc(sigma, view)
+print(f"Minimal propagation cover of the UKOffers view ({len(cover)} CFDs):")
+for phi in cover:
+    print(f"  {phi}")
+
+# ----------------------------------------------------------------------
+# Target constraints the exchange partner insists on.
+# ----------------------------------------------------------------------
+target_constraints = {
+    "sku determines title": CFD(
+        "UKOffers", {"p.sku": "_"}, {"p.title": "_"}
+    ),
+    "sku determines price": CFD(
+        "UKOffers", {"p.sku": "_"}, {"p.price": "_"}
+    ),
+    "all offers in GBP": CFD.constant("UKOffers", "s.currency", "GBP"),
+    "sku determines supplier name": CFD(
+        "UKOffers", {"p.sku": "_"}, {"s.sname": "_"}
+    ),
+    "supplier name determines price": CFD(
+        "UKOffers", {"s.sname": "_"}, {"p.price": "_"}
+    ),
+}
+
+print("\nIs the view a valid schema mapping for each target constraint?")
+all_ok = True
+for label, phi in target_constraints.items():
+    ok = implies(cover, phi)
+    all_ok &= ok
+    print(f"  {'guaranteed' if ok else 'NOT guaranteed'} : {label}")
+
+print(
+    "\nVerdict:",
+    "the mapping satisfies the contract"
+    if all_ok
+    else "the mapping must be revised (or the contract relaxed)",
+)
+
+# Note the interesting positive: "sku determines supplier name" holds
+# even though it crosses the two source relations — sku -> supplier_id
+# composes with the join condition and sid -> sname.  And the negative:
+# several suppliers may share a name, so names do not determine prices.
+assert implies(cover, target_constraints["sku determines supplier name"])
+assert not implies(cover, target_constraints["supplier name determines price"])

@@ -1,0 +1,130 @@
+"""Quickstart: the paper's running example end to end.
+
+Three customer sources (UK, US, Netherlands) are integrated into one view
+that tags each tuple with a country code.  Classical FDs on the sources do
+NOT survive integration as FDs — but they survive as *conditional*
+functional dependencies (CFDs), and `repro` can prove it, refute the
+non-survivors with concrete counterexamples, and compute a cover of
+everything that propagates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CFD,
+    ConstantRelation,
+    DatabaseInstance,
+    DatabaseSchema,
+    FD,
+    Product,
+    RelationRef,
+    RelationSchema,
+    SPCUView,
+    Union,
+    find_counterexample,
+    propagates,
+)
+
+# ----------------------------------------------------------------------
+# 1. Schema: three sources with a uniform layout (Example 1.1).
+# ----------------------------------------------------------------------
+ATTRS = ["AC", "phn", "name", "street", "city", "zip"]
+schema = DatabaseSchema([RelationSchema(f"R{i}", ATTRS) for i in (1, 2, 3)])
+
+# ----------------------------------------------------------------------
+# 2. The integration view: V = Q1 U Q2 U Q3, tagging country codes.
+# ----------------------------------------------------------------------
+
+
+def tagged(relation: str, country_code: str):
+    return Product(ConstantRelation({"CC": country_code}), RelationRef(relation))
+
+
+view = SPCUView.from_expr(
+    Union(Union(tagged("R1", "44"), tagged("R2", "01")), tagged("R3", "31")),
+    schema,
+    name="R",
+)
+
+# ----------------------------------------------------------------------
+# 3. Source dependencies: f1-f3 (FDs) and cfd1-cfd2 (CFDs).
+# ----------------------------------------------------------------------
+sigma = [
+    FD("R1", ("zip",), ("street",)),          # f1: UK zip -> street
+    FD("R1", ("AC",), ("city",)),             # f2: UK area code -> city
+    FD("R3", ("AC",), ("city",)),             # f3: NL area code -> city
+    CFD("R1", {"AC": "20"}, {"city": "ldn"}),        # cfd1
+    CFD("R3", {"AC": "20"}, {"city": "Amsterdam"}),  # cfd2
+]
+
+# ----------------------------------------------------------------------
+# 4. Which dependencies hold on the view?
+# ----------------------------------------------------------------------
+candidates = {
+    "f1 as a plain FD  (zip -> street)": CFD("R", {"zip": "_"}, {"street": "_"}),
+    "phi1 (CC=44: zip -> street)": CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"}),
+    "phi2 (CC=44: AC -> city)": CFD("R", {"CC": "44", "AC": "_"}, {"city": "_"}),
+    "phi3 (CC=31: AC -> city)": CFD("R", {"CC": "31", "AC": "_"}, {"city": "_"}),
+    "phi4 (CC=44, AC=20 -> city=ldn)": CFD(
+        "R", {"CC": "44", "AC": "20"}, {"city": "ldn"}
+    ),
+    "phi5 (CC=31, AC=20 -> city=Amsterdam)": CFD(
+        "R", {"CC": "31", "AC": "20"}, {"city": "Amsterdam"}
+    ),
+    "phi6 (CC,AC,phn -> street,city,zip)": FD(
+        "R", ("CC", "AC", "phn"), ("street", "city", "zip")
+    ),
+}
+
+print("Propagation analysis (Sigma |=_V phi):")
+for label, phi in candidates.items():
+    verdict = propagates(sigma, view, phi)
+    print(f"  {'YES' if verdict else 'no ':<4} {label}")
+
+# ----------------------------------------------------------------------
+# 5. Why does the plain FD fail?  Ask for a concrete counterexample.
+# ----------------------------------------------------------------------
+plain_f1 = CFD("R", {"zip": "_"}, {"street": "_"})
+witness = find_counterexample(sigma, view, plain_f1)
+assert witness is not None
+print("\nCounterexample for the plain FD zip -> street:")
+for name, relation in witness.database.relations.items():
+    for row in relation:
+        print(f"  {name}: {row}")
+view_data = view.evaluate(witness.database)
+print("View tuples (note two rows sharing zip but not street):")
+for row in view_data:
+    print(f"  {row}")
+assert not view_data.satisfies(plain_f1)
+
+# ----------------------------------------------------------------------
+# 6. Validate against the Figure 1 instances.
+# ----------------------------------------------------------------------
+figure1 = DatabaseInstance(
+    schema,
+    {
+        "R1": [
+            dict(zip(ATTRS, ("20", "1234567", "Mike", "Portland", "LDN", "W1B 1JL"))),
+            dict(zip(ATTRS, ("20", "3456789", "Rick", "Portland", "LDN", "W1B 1JL"))),
+        ],
+        "R2": [
+            dict(zip(ATTRS, ("610", "3456789", "Joe", "Copley", "Darby", "19082"))),
+            dict(zip(ATTRS, ("610", "1234567", "Mary", "Walnut", "Darby", "19082"))),
+        ],
+        "R3": [
+            dict(zip(ATTRS, ("20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"))),
+            dict(zip(ATTRS, ("36", "1234567", "Bart", "Grote", "Almere", "1316"))),
+        ],
+    },
+)
+evaluated = view.evaluate(figure1)
+print(f"\nFigure 1 view has {len(evaluated)} tuples;", end=" ")
+print(
+    "phi1 holds:",
+    evaluated.satisfies(CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"})),
+)
+print(
+    "plain zip -> street holds:",
+    evaluated.satisfies(plain_f1),
+    "(t3/t4 from the US violate it, as in the paper)",
+)

@@ -1,0 +1,123 @@
+"""repro — reproduction of "Propagating Functional Dependencies with
+Conditions" (Fan, Ma, Hu, Liu, Wu; VLDB 2008).
+
+Public API highlights:
+
+- :class:`repro.CFD`, :class:`repro.FD` — dependencies.
+- :func:`repro.implies`, :func:`repro.min_cover`, :func:`repro.is_consistent`
+  — dependency reasoning.
+- :class:`repro.SPCView`, :class:`repro.SPCUView` and the expression nodes
+  — views.
+- :func:`repro.propagates`, :func:`repro.find_counterexample`,
+  :func:`repro.view_is_empty` — propagation decision procedures.
+- :func:`repro.prop_cfd_spc` — the PropCFD_SPC minimal-cover algorithm.
+- :mod:`repro.generators` — the Section 5 workload generators.
+"""
+
+from .algebra import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    DatabaseInstance,
+    Difference,
+    Product,
+    Projection,
+    Relation,
+    RelationAtom,
+    RelationRef,
+    Renaming,
+    SPCUView,
+    SPCView,
+    Selection,
+    Union,
+    classify,
+    evaluate,
+    operators,
+)
+from .core import (
+    BOOL,
+    CFD,
+    Attribute,
+    Const,
+    DatabaseSchema,
+    Domain,
+    FD,
+    INT,
+    REAL,
+    RelationSchema,
+    SPECIAL,
+    STRING,
+    WILDCARD,
+    attribute_closure,
+    equivalent,
+    fd_implies,
+    finite,
+    implies,
+    is_consistent,
+    min_cover,
+    minimal_cover,
+    witness_tuple,
+)
+from .propagation import (
+    ThreeSat,
+    find_counterexample,
+    nonempty_witness,
+    prop_cfd_spc,
+    prop_cfd_spc_report,
+    propagates,
+    propagates_ptime_chase,
+    view_is_empty,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttrEq",
+    "Attribute",
+    "BOOL",
+    "CFD",
+    "Const",
+    "ConstEq",
+    "ConstantRelation",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "Difference",
+    "Domain",
+    "FD",
+    "INT",
+    "Product",
+    "Projection",
+    "REAL",
+    "Relation",
+    "RelationAtom",
+    "RelationRef",
+    "RelationSchema",
+    "Renaming",
+    "SPCUView",
+    "SPCView",
+    "SPECIAL",
+    "STRING",
+    "Selection",
+    "ThreeSat",
+    "Union",
+    "WILDCARD",
+    "attribute_closure",
+    "classify",
+    "equivalent",
+    "evaluate",
+    "fd_implies",
+    "find_counterexample",
+    "finite",
+    "implies",
+    "is_consistent",
+    "min_cover",
+    "minimal_cover",
+    "nonempty_witness",
+    "operators",
+    "prop_cfd_spc",
+    "prop_cfd_spc_report",
+    "propagates",
+    "propagates_ptime_chase",
+    "view_is_empty",
+    "witness_tuple",
+]

@@ -1,0 +1,45 @@
+"""Relational algebra substrate: instances, expressions, normal forms."""
+
+from .eval import evaluate
+from .instance import DatabaseInstance, Relation
+from .ops import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    Difference,
+    Expr,
+    Product,
+    Projection,
+    RelationRef,
+    Renaming,
+    Selection,
+    SelectionAtom,
+    Union,
+    classify,
+    operators,
+)
+from .spc import RelationAtom, SPCView
+from .spcu import SPCUView
+
+__all__ = [
+    "AttrEq",
+    "ConstEq",
+    "ConstantRelation",
+    "DatabaseInstance",
+    "Difference",
+    "Expr",
+    "Product",
+    "Projection",
+    "Relation",
+    "RelationAtom",
+    "RelationRef",
+    "Renaming",
+    "SPCUView",
+    "SPCView",
+    "Selection",
+    "SelectionAtom",
+    "Union",
+    "classify",
+    "evaluate",
+    "operators",
+]

@@ -1,0 +1,92 @@
+"""Direct evaluation of RA expression trees on database instances.
+
+The normal-form classes have their own ``evaluate``; this module evaluates
+*arbitrary* expression trees (difference included), which the tests use to
+cross-check that normalization preserves semantics:
+``evaluate(expr, D) == SPCView.from_expr(expr).evaluate(D)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .instance import DatabaseInstance, Relation
+from .ops import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    Difference,
+    Expr,
+    Product,
+    Projection,
+    RelationRef,
+    Renaming,
+    Selection,
+    Union as UnionOp,
+)
+
+
+def evaluate(expr: Expr, db: DatabaseInstance, name: str = "V") -> Relation:
+    """Evaluate *expr* against *db*, returning a named relation."""
+    schema = expr.schema(db.schema)
+    rows = _rows(expr, db)
+    out_schema = schema.project(schema.attribute_names, new_name=name)
+    return Relation(out_schema, rows)
+
+
+def _rows(expr: Expr, db: DatabaseInstance) -> list[dict[str, Any]]:
+    if isinstance(expr, RelationRef):
+        return [dict(r) for r in db.relation(expr.name).rows]
+
+    if isinstance(expr, ConstantRelation):
+        return [expr.as_dict()]
+
+    if isinstance(expr, Selection):
+        child = _rows(expr.child, db)
+        return [row for row in child if _selected(row, expr)]
+
+    if isinstance(expr, Projection):
+        child = _rows(expr.child, db)
+        seen: dict[tuple, dict[str, Any]] = {}
+        for row in child:
+            projected = {a: row[a] for a in expr.attributes}
+            seen[tuple(sorted(projected.items()))] = projected
+        return list(seen.values())
+
+    if isinstance(expr, Renaming):
+        child = _rows(expr.child, db)
+        mapping = dict(expr.mapping)
+        return [
+            {mapping.get(name, name): value for name, value in row.items()}
+            for row in child
+        ]
+
+    if isinstance(expr, Product):
+        left = _rows(expr.left, db)
+        right = _rows(expr.right, db)
+        return [{**l, **r} for l in left for r in right]
+
+    if isinstance(expr, UnionOp):
+        left = _rows(expr.left, db)
+        right = _rows(expr.right, db)
+        seen = {tuple(sorted(r.items())): r for r in left + right}
+        return list(seen.values())
+
+    if isinstance(expr, Difference):
+        left = _rows(expr.left, db)
+        right = {tuple(sorted(r.items())) for r in _rows(expr.right, db)}
+        return [r for r in left if tuple(sorted(r.items())) not in right]
+
+    raise ValueError(f"cannot evaluate {expr!r}")
+
+
+def _selected(row: dict[str, Any], expr: Selection) -> bool:
+    for atom in expr.condition:
+        if isinstance(atom, AttrEq):
+            if row[atom.left] != row[atom.right]:
+                return False
+        else:
+            assert isinstance(atom, ConstEq)
+            if row[atom.attr] != atom.value:
+                return False
+    return True

@@ -1,0 +1,316 @@
+"""Relational algebra expression trees.
+
+Views are built from the operators the paper studies: selection (with
+conjunctions of equality atoms ``A = B`` and ``A = 'a'``), projection,
+Cartesian product, renaming, union, and — for full RA — set difference.
+Constant relations (the ``Rc`` of the SPC normal form) are a leaf node.
+
+Each node can compute its output schema against a database schema, and
+``operators``/``classify`` report which fragment of RA an expression lives
+in (S, P, C, SP, SC, PC, SPC, SPCU, RA) — the axis of Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Union
+
+from ..core.schema import Attribute, DatabaseSchema, RelationSchema
+from ..core.domains import Domain, STRING
+
+
+# ----------------------------------------------------------------------
+# Selection atoms.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttrEq:
+    """The selection atom ``A = B``."""
+
+    left: str
+    right: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class ConstEq:
+    """The selection atom ``A = 'a'``."""
+
+    attr: str
+    value: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attr}={self.value!r}"
+
+
+SelectionAtom = Union[AttrEq, ConstEq]
+
+
+# ----------------------------------------------------------------------
+# Expression nodes.
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for RA expressions."""
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class RelationRef(Expr):
+    """A relation atom naming a source relation."""
+
+    name: str
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        return db.relation(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstantRelation(Expr):
+    """The single-tuple constant relation ``{(A1: a1, ..., Am: am)}``."""
+
+    values: tuple[tuple[str, Any], ...]
+    domains: tuple[tuple[str, Domain], ...] = ()
+
+    def __init__(
+        self,
+        values: Mapping[str, Any],
+        domains: Mapping[str, Domain] | None = None,
+    ) -> None:
+        object.__setattr__(self, "values", tuple(sorted(values.items())))
+        domains = domains or {}
+        object.__setattr__(
+            self,
+            "domains",
+            tuple(sorted((a, domains.get(a, STRING)) for a in values)),
+        )
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        return RelationSchema(
+            "Rc", [Attribute(a, d) for a, d in self.domains]
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{a}:{v!r}" for a, v in self.values)
+        return "{(" + inner + ")}"
+
+
+@dataclass(frozen=True)
+class Selection(Expr):
+    """``sigma_F(child)`` for a conjunction ``F`` of equality atoms."""
+
+    child: Expr
+    condition: tuple[SelectionAtom, ...]
+
+    def __init__(self, child: Expr, condition: Iterable[SelectionAtom]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "condition", tuple(condition))
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        schema = self.child.schema(db)
+        for atom in self.condition:
+            names = (
+                (atom.left, atom.right) if isinstance(atom, AttrEq) else (atom.attr,)
+            )
+            for name in names:
+                if name not in schema:
+                    raise KeyError(
+                        f"selection atom {atom!r} references unknown "
+                        f"attribute {name!r}"
+                    )
+        return schema
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cond = " and ".join(map(repr, self.condition))
+        return f"sigma[{cond}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Projection(Expr):
+    """``pi_Y(child)``."""
+
+    child: Expr
+    attributes: tuple[str, ...]
+
+    def __init__(self, child: Expr, attributes: Iterable[str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        child = self.child.schema(db)
+        return child.project(self.attributes)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"pi[{','.join(self.attributes)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Cartesian product; attribute names must be disjoint."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.schema(db)
+        right = self.right.schema(db)
+        overlap = set(left.attribute_names) & set(right.attribute_names)
+        if overlap:
+            raise ValueError(
+                f"product operands share attributes {sorted(overlap)}; "
+                "rename first"
+            )
+        return RelationSchema(
+            f"({left.name}x{right.name})",
+            list(left.attributes) + list(right.attributes),
+        )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} x {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Renaming(Expr):
+    """``rho(child)`` with an injective attribute mapping."""
+
+    child: Expr
+    mapping: tuple[tuple[str, str], ...]
+
+    def __init__(self, child: Expr, mapping: Mapping[str, str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        child = self.child.schema(db)
+        mapping = dict(self.mapping)
+        new_names = [mapping.get(a.name, a.name) for a in child.attributes]
+        if len(set(new_names)) != len(new_names):
+            raise ValueError(f"renaming {mapping} is not injective on {child!r}")
+        return RelationSchema(
+            child.name,
+            [a.renamed(n) for a, n in zip(child.attributes, new_names)],
+        )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ",".join(f"{o}->{n}" for o, n in self.mapping)
+        return f"rho[{inner}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    """Set union of union-compatible operands."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.schema(db)
+        right = self.right.schema(db)
+        if left.attribute_names != right.attribute_names:
+            raise ValueError(
+                f"union operands are not compatible: "
+                f"{left.attribute_names} vs {right.attribute_names}"
+            )
+        return left
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} U {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    """Set difference — lifts the language to full RA (undecidable rows)."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.schema(db)
+        right = self.right.schema(db)
+        if left.attribute_names != right.attribute_names:
+            raise ValueError("difference operands are not compatible")
+        return left
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left!r} - {self.right!r})"
+
+
+# ----------------------------------------------------------------------
+# Fragment classification.
+# ----------------------------------------------------------------------
+
+
+def operators(expr: Expr) -> frozenset[str]:
+    """The set of operator letters used by *expr*.
+
+    ``S`` selection, ``P`` projection, ``C`` Cartesian product (a constant
+    relation also counts as ``C``, matching the paper's treatment of ``Q1``
+    in Example 1.1 as a C query), ``U`` union, ``D`` difference.  Renaming
+    is included in every fragment by default and not reported.
+    """
+    found: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Selection):
+            found.add("S")
+        elif isinstance(node, Projection):
+            found.add("P")
+        elif isinstance(node, (Product, ConstantRelation)):
+            found.add("C")
+        elif isinstance(node, Union):
+            found.add("U")
+        elif isinstance(node, Difference):
+            found.add("D")
+        for child in node.children():
+            walk(child)
+
+    walk(expr)
+    return frozenset(found)
+
+
+def classify(expr: Expr) -> str:
+    """Name the smallest paper fragment containing *expr*.
+
+    One of ``"identity"``, ``"S"``, ``"P"``, ``"C"``, ``"SP"``, ``"SC"``,
+    ``"PC"``, ``"SPC"``, ``"SPCU"``, or ``"RA"``.
+    """
+    ops = operators(expr)
+    if "D" in ops:
+        return "RA"
+    if "U" in ops:
+        return "SPCU"
+    letters = "".join(letter for letter in "SPC" if letter in ops)
+    return letters or "identity"

@@ -1,0 +1,450 @@
+"""The SPC normal form and normalization into it.
+
+Section 2.2: every SPC query can be written as
+
+    pi_Y(Rc x Es),   Es = sigma_F(Ec),   Ec = R1 x ... x Rn
+
+where ``Rc`` is a single-tuple constant relation, each ``Rj`` is a renamed
+relation atom with pairwise disjoint attributes, and ``F`` conjoins
+equality atoms ``A = B`` / ``A = 'a'``.  :class:`SPCView` is this normal
+form made concrete; :func:`SPCView.from_expr` normalizes any
+S/P/C/renaming expression tree into it (Corollary 2's polynomial-time
+translation, phrased directly on the normal form rather than tableaux).
+
+Attribute spaces: each relation atom maps its source attributes to unique
+*view-space* names.  Projected attributes keep their user-facing output
+names; non-projected attributes get internal qualified names.  The
+propagation-cover algorithm works in view space throughout (it must reason
+about the dropped attributes ``attr(Es) - Y``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence, Union
+
+from ..core.cfd import CFD
+from ..core.domains import Domain, STRING
+from ..core.schema import Attribute, DatabaseSchema, RelationSchema
+from .instance import DatabaseInstance, Relation
+from .ops import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    Expr,
+    Product,
+    Projection,
+    RelationRef,
+    Renaming,
+    Selection,
+    SelectionAtom,
+    Union as UnionOp,
+)
+
+
+@dataclass(frozen=True)
+class RelationAtom:
+    """One renamed relation atom ``Rj = rho_j(S)`` of the product ``Ec``."""
+
+    source: str
+    mapping: tuple[tuple[str, str], ...]
+
+    def __init__(self, source: str, mapping: Mapping[str, str]) -> None:
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+        view_names = [v for _, v in self.mapping]
+        if len(set(view_names)) != len(view_names):
+            raise ValueError(f"atom renaming is not injective: {mapping}")
+
+    @property
+    def mapping_dict(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    @property
+    def view_attributes(self) -> tuple[str, ...]:
+        return tuple(v for _, v in self.mapping)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"rho({self.source})"
+
+
+class SPCView:
+    """An SPC view in the paper's normal form.
+
+    Parameters
+    ----------
+    name:
+        Name of the view schema ``RV``.
+    source_schema:
+        The database schema the view is defined over.
+    atoms:
+        The relation atoms of ``Ec``, each mapping source attributes to
+        pairwise disjoint view-space names.
+    selection:
+        Conjunction ``F`` of :class:`AttrEq` / :class:`ConstEq` atoms over
+        view-space names.
+    projection:
+        The output attributes ``Y``, a list of view-space names and/or
+        constant-relation attributes, in output order.
+    constants:
+        The constant relation ``Rc`` as an attribute -> value mapping;
+        every key must appear in *projection*.
+    constant_domains:
+        Optional domains for the constant attributes (default: string).
+    unsatisfiable:
+        Set by normalization when the selection condition is contradictory
+        at the syntactic level (two distinct literals equated); the view is
+        then empty on every instance.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source_schema: DatabaseSchema,
+        atoms: Sequence[RelationAtom],
+        selection: Iterable[SelectionAtom] = (),
+        projection: Sequence[str] | None = None,
+        constants: Mapping[str, Any] | None = None,
+        constant_domains: Mapping[str, Domain] | None = None,
+        unsatisfiable: bool = False,
+    ) -> None:
+        self.name = name
+        self.source_schema = source_schema
+        self.atoms = list(atoms)
+        self.selection = list(selection)
+        self.constants = dict(constants or {})
+        self.constant_domains = dict(constant_domains or {})
+        self.unsatisfiable = unsatisfiable
+
+        seen: set[str] = set()
+        for atom in self.atoms:
+            if atom.source not in source_schema:
+                raise KeyError(f"unknown source relation {atom.source!r}")
+            source_rel = source_schema.relation(atom.source)
+            if set(atom.mapping_dict) != set(source_rel.attribute_names):
+                raise ValueError(
+                    f"atom over {atom.source!r} must rename all attributes"
+                )
+            for view_name in atom.view_attributes:
+                if view_name in seen:
+                    raise ValueError(
+                        f"view attribute {view_name!r} used by two atoms"
+                    )
+                seen.add(view_name)
+        for const_attr in self.constants:
+            if const_attr in seen:
+                raise ValueError(
+                    f"constant attribute {const_attr!r} collides with Es"
+                )
+
+        if projection is None:
+            projection = sorted(seen) + sorted(self.constants)
+        self.projection = list(projection)
+        universe = seen | set(self.constants)
+        for attr in self.projection:
+            if attr not in universe:
+                raise KeyError(f"projection attribute {attr!r} not produced")
+        missing = set(self.constants) - set(self.projection)
+        if missing:
+            raise ValueError(f"constant attributes {sorted(missing)} not projected")
+        for atom_sel in self.selection:
+            names = (
+                (atom_sel.left, atom_sel.right)
+                if isinstance(atom_sel, AttrEq)
+                else (atom_sel.attr,)
+            )
+            for n in names:
+                if n not in seen:
+                    raise KeyError(
+                        f"selection references {n!r}, which is not an "
+                        "attribute of Es"
+                    )
+
+    # ------------------------------------------------------------------
+    # Attribute spaces and schemas.
+    # ------------------------------------------------------------------
+
+    def es_attributes(self) -> dict[str, Domain]:
+        """All view-space attributes of ``Es`` with their domains."""
+        out: dict[str, Domain] = {}
+        for atom in self.atoms:
+            source_rel = self.source_schema.relation(atom.source)
+            for src, view_name in atom.mapping:
+                out[view_name] = source_rel.domain_of(src)
+        return out
+
+    def extended_attributes(self) -> dict[str, Domain]:
+        """``Es`` attributes plus the constant-relation attributes."""
+        out = self.es_attributes()
+        for attr in self.constants:
+            out[attr] = self.constant_domains.get(attr, STRING)
+        return out
+
+    def view_schema(self) -> RelationSchema:
+        domains = self.extended_attributes()
+        return RelationSchema(
+            self.name, [Attribute(a, domains[a]) for a in self.projection]
+        )
+
+    def dropped_attributes(self) -> list[str]:
+        """``attr(Es) - Y``: the attributes procedure RBR must eliminate."""
+        projected = set(self.projection)
+        return [a for a in self.es_attributes() if a not in projected]
+
+    def has_finite_domain_attribute(self) -> bool:
+        return any(d.is_finite for d in self.extended_attributes().values())
+
+    # ------------------------------------------------------------------
+    # Source-CFD renaming (the Cartesian-product step of PropCFD_SPC).
+    # ------------------------------------------------------------------
+
+    def rename_source_cfds(self, sigma: Iterable[CFD]) -> list[CFD]:
+        """``rho_j(Sigma)`` for every atom: source CFDs in view space."""
+        renamed: list[CFD] = []
+        for atom in self.atoms:
+            mapping = atom.mapping_dict
+            for dep in sigma:
+                if dep.relation == atom.source:
+                    renamed.append(dep.rename(mapping, relation=self.name))
+        return renamed
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+
+    def evaluate(self, db: DatabaseInstance) -> Relation:
+        """Materialize the view over a database instance."""
+        result = Relation(self.view_schema())
+        if self.unsatisfiable:
+            return result
+        partials: list[dict[str, Any]] = [{}]
+        for atom in self.atoms:
+            source_rows = db.relation(atom.source).rows
+            mapping = atom.mapping
+            renamed_rows = [
+                {view_name: row[src] for src, view_name in mapping}
+                for row in source_rows
+            ]
+            partials = [
+                {**acc, **renamed} for acc in partials for renamed in renamed_rows
+            ]
+        for row in partials:
+            if not self._selected(row):
+                continue
+            full = dict(row)
+            full.update(self.constants)
+            result.add({a: full[a] for a in self.projection})
+        return result
+
+    def _selected(self, row: Mapping[str, Any]) -> bool:
+        for atom_sel in self.selection:
+            if isinstance(atom_sel, AttrEq):
+                if row[atom_sel.left] != row[atom_sel.right]:
+                    return False
+            else:
+                if row[atom_sel.attr] != atom_sel.value:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Expression-tree round trip.
+    # ------------------------------------------------------------------
+
+    def as_expr(self) -> Expr:
+        """The normal form as an expression tree ``pi_Y(Rc x sigma_F(Ec))``."""
+        product: Expr | None = None
+        for atom in self.atoms:
+            node: Expr = Renaming(RelationRef(atom.source), atom.mapping_dict)
+            product = node if product is None else Product(product, node)
+        if product is None:
+            es: Expr | None = None
+        else:
+            es = Selection(product, self.selection) if self.selection else product
+        if self.constants:
+            rc: Expr = ConstantRelation(self.constants, self.constant_domains)
+            es = rc if es is None else Product(rc, es)
+        if es is None:
+            raise ValueError("view has neither atoms nor constants")
+        return Projection(es, self.projection)
+
+    @classmethod
+    def from_expr(cls, expr: Expr, db: DatabaseSchema, name: str = "V") -> "SPCView":
+        """Normalize an S/P/C/renaming expression tree (Corollary 2)."""
+        derivation = _derive(expr, db, _Counter())
+        return derivation.finalize(cls, db, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sel = " and ".join(map(repr, self.selection)) or "true"
+        atoms = " x ".join(map(repr, self.atoms)) or "(empty)"
+        return (
+            f"SPCView({self.name}: pi[{','.join(self.projection)}]"
+            f"(Rc={self.constants} x sigma[{sel}]({atoms})))"
+        )
+
+
+# ----------------------------------------------------------------------
+# Normalization machinery.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Col:
+    qualified: str
+
+
+@dataclass(frozen=True)
+class _Lit:
+    value: Any
+    domain: Domain = STRING
+
+
+_Term = Union[_Col, _Lit]
+
+
+class _Counter:
+    def __init__(self) -> None:
+        self.next_atom = 0
+
+    def take(self) -> int:
+        value = self.next_atom
+        self.next_atom += 1
+        return value
+
+
+@dataclass
+class _Derivation:
+    """Intermediate normalization state: atoms + selections + column map."""
+
+    atoms: list[RelationAtom] = field(default_factory=list)
+    selection: list[SelectionAtom] = field(default_factory=list)
+    columns: dict[str, _Term] = field(default_factory=dict)
+    unsatisfiable: bool = False
+
+    def finalize(self, cls: type, db: DatabaseSchema, name: str) -> "SPCView":
+        # Projected columns take their user-facing names; rename the
+        # qualified view-space names accordingly.
+        rename: dict[str, str] = {}
+        constants: dict[str, Any] = {}
+        constant_domains: dict[str, Domain] = {}
+        for out_name, term in self.columns.items():
+            if isinstance(term, _Lit):
+                constants[out_name] = term.value
+                constant_domains[out_name] = term.domain
+            else:
+                if term.qualified in rename:
+                    raise ValueError(
+                        "two output attributes reference the same column; "
+                        "not expressible in the SPC normal form"
+                    )
+                rename[term.qualified] = out_name
+
+        def rn(attr: str) -> str:
+            return rename.get(attr, attr)
+
+        atoms = [
+            RelationAtom(
+                atom.source, {src: rn(v) for src, v in atom.mapping}
+            )
+            for atom in self.atoms
+        ]
+        selection = [
+            AttrEq(rn(a.left), rn(a.right))
+            if isinstance(a, AttrEq)
+            else ConstEq(rn(a.attr), a.value)
+            for a in self.selection
+        ]
+        projection = list(self.columns)
+        return cls(
+            name,
+            db,
+            atoms,
+            selection,
+            projection,
+            constants,
+            constant_domains,
+            unsatisfiable=self.unsatisfiable,
+        )
+
+
+def _derive(expr: Expr, db: DatabaseSchema, counter: _Counter) -> _Derivation:
+    if isinstance(expr, RelationRef):
+        j = counter.take()
+        schema = db.relation(expr.name)
+        mapping = {a: f"_{j}.{a}" for a in schema.attribute_names}
+        return _Derivation(
+            atoms=[RelationAtom(expr.name, mapping)],
+            columns={a: _Col(mapping[a]) for a in schema.attribute_names},
+        )
+
+    if isinstance(expr, ConstantRelation):
+        domains = dict(expr.domains)
+        return _Derivation(
+            columns={
+                a: _Lit(v, domains.get(a, STRING)) for a, v in expr.values
+            }
+        )
+
+    if isinstance(expr, Renaming):
+        child = _derive(expr.child, db, counter)
+        mapping = dict(expr.mapping)
+        child.columns = {
+            mapping.get(name, name): term for name, term in child.columns.items()
+        }
+        return child
+
+    if isinstance(expr, Projection):
+        child = _derive(expr.child, db, counter)
+        child.columns = {name: child.columns[name] for name in expr.attributes}
+        return child
+
+    if isinstance(expr, Selection):
+        child = _derive(expr.child, db, counter)
+        for atom in expr.condition:
+            _apply_selection_atom(child, atom)
+        return child
+
+    if isinstance(expr, Product):
+        left = _derive(expr.left, db, counter)
+        right = _derive(expr.right, db, counter)
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise ValueError(f"product operands share attributes {sorted(overlap)}")
+        return _Derivation(
+            atoms=left.atoms + right.atoms,
+            selection=left.selection + right.selection,
+            columns={**left.columns, **right.columns},
+            unsatisfiable=left.unsatisfiable or right.unsatisfiable,
+        )
+
+    if isinstance(expr, UnionOp):
+        raise ValueError(
+            "expression contains union; normalize with SPCUView.from_expr"
+        )
+
+    raise ValueError(f"not an SPC expression: {expr!r}")
+
+
+def _apply_selection_atom(derivation: _Derivation, atom: SelectionAtom) -> None:
+    if isinstance(atom, AttrEq):
+        left = derivation.columns[atom.left]
+        right = derivation.columns[atom.right]
+        if isinstance(left, _Col) and isinstance(right, _Col):
+            if left.qualified != right.qualified:
+                derivation.selection.append(AttrEq(left.qualified, right.qualified))
+        elif isinstance(left, _Col):
+            assert isinstance(right, _Lit)
+            derivation.selection.append(ConstEq(left.qualified, right.value))
+        elif isinstance(right, _Col):
+            assert isinstance(left, _Lit)
+            derivation.selection.append(ConstEq(right.qualified, left.value))
+        else:
+            assert isinstance(left, _Lit) and isinstance(right, _Lit)
+            if left.value != right.value:
+                derivation.unsatisfiable = True
+    else:
+        term = derivation.columns[atom.attr]
+        if isinstance(term, _Col):
+            derivation.selection.append(ConstEq(term.qualified, atom.value))
+        else:
+            if term.value != atom.value:
+                derivation.unsatisfiable = True

@@ -1,0 +1,98 @@
+"""The SPCU normal form: unions of union-compatible SPC views.
+
+Section 2.2: an SPCU query can be written as ``V1 U ... U Vk`` where the
+``Vi`` are union-compatible SPC queries in normal form.  ``from_expr``
+performs the standard union-lifting rewrite (sigma, pi, rho and x all
+distribute over union) and normalizes each branch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.schema import DatabaseSchema, RelationSchema
+from .instance import DatabaseInstance, Relation
+from .ops import (
+    Expr,
+    Product,
+    Projection,
+    Renaming,
+    Selection,
+    Union as UnionOp,
+)
+from .spc import SPCView
+
+
+class SPCUView:
+    """A view ``V1 U ... U Vk`` of union-compatible SPC views."""
+
+    def __init__(self, name: str, branches: Sequence[SPCView]) -> None:
+        if not branches:
+            raise ValueError("an SPCU view needs at least one branch")
+        self.name = name
+        self.branches = list(branches)
+        first = branches[0].projection
+        for branch in branches[1:]:
+            if list(branch.projection) != list(first):
+                raise ValueError(
+                    "union branches are not union-compatible: "
+                    f"{first} vs {branch.projection}"
+                )
+
+    @property
+    def projection(self) -> list[str]:
+        return list(self.branches[0].projection)
+
+    def view_schema(self) -> RelationSchema:
+        return self.branches[0].view_schema().project(
+            self.projection, new_name=self.name
+        )
+
+    def has_finite_domain_attribute(self) -> bool:
+        return any(b.has_finite_domain_attribute() for b in self.branches)
+
+    def evaluate(self, db: DatabaseInstance) -> Relation:
+        """Evaluate every branch and union the results (set semantics)."""
+        result = Relation(self.view_schema())
+        for branch in self.branches:
+            for row in branch.evaluate(db):
+                result.add(row)
+        return result
+
+    @classmethod
+    def from_expr(cls, expr: Expr, db: DatabaseSchema, name: str = "V") -> "SPCUView":
+        """Normalize a positive RA expression with unions (Corollary 2)."""
+        branches = [
+            SPCView.from_expr(branch, db, name=name)
+            for branch in _lift_unions(expr)
+        ]
+        return cls(name, branches)
+
+    @classmethod
+    def from_spc(cls, view: SPCView) -> "SPCUView":
+        """Wrap a single SPC view as a one-branch union."""
+        return cls(view.name, [view])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SPCUView({self.name}, {len(self.branches)} branches)"
+
+
+def _lift_unions(expr: Expr) -> list[Expr]:
+    """Rewrite to a top-level union of union-free expressions."""
+    if isinstance(expr, UnionOp):
+        return _lift_unions(expr.left) + _lift_unions(expr.right)
+    if isinstance(expr, Selection):
+        return [Selection(b, expr.condition) for b in _lift_unions(expr.child)]
+    if isinstance(expr, Projection):
+        return [Projection(b, expr.attributes) for b in _lift_unions(expr.child)]
+    if isinstance(expr, Renaming):
+        return [
+            Renaming(b, dict(expr.mapping)) for b in _lift_unions(expr.child)
+        ]
+    if isinstance(expr, Product):
+        return [
+            Product(left, right)
+            for left in _lift_unions(expr.left)
+            for right in _lift_unions(expr.right)
+        ]
+    return [expr]

@@ -1,0 +1,121 @@
+"""High-level propagation workflows (the paper's three applications).
+
+These helpers package the decision procedures into the question shapes of
+Section 1:
+
+- :func:`partition_rules` — data cleaning: split target rules into
+  *guaranteed* (propagated from the sources; validation can be skipped)
+  and *must-validate*.
+- :func:`verify_mapping` — data exchange: is the view a valid schema
+  mapping for a set of predefined target CFDs?  Returns per-constraint
+  verdicts plus counterexamples for the failures.
+- :func:`update_is_rejectable` — data integration: can a proposed view
+  insert be rejected *without touching the data*, because it already
+  violates a propagated CFD?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from .algebra.spc import SPCView
+from .algebra.spcu import SPCUView
+from .core.cfd import CFD
+from .core.mincover import min_cover
+from .propagation.check import (
+    Counterexample,
+    DependencyLike,
+    ViewLike,
+    find_counterexample,
+    propagates,
+)
+from .propagation.cover import prop_cfd_spc
+from .propagation.spcu_cover import prop_cfd_spcu
+
+
+@dataclass
+class RulePartition:
+    """Outcome of :func:`partition_rules`."""
+
+    guaranteed: list[DependencyLike] = field(default_factory=list)
+    must_validate: list[DependencyLike] = field(default_factory=list)
+
+
+def partition_rules(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    rules: Iterable[DependencyLike],
+) -> RulePartition:
+    """Split *rules* by whether the sources guarantee them on the view."""
+    sigma = list(sigma)
+    partition = RulePartition()
+    for rule in rules:
+        if propagates(sigma, view, rule):
+            partition.guaranteed.append(rule)
+        else:
+            partition.must_validate.append(rule)
+    return partition
+
+
+@dataclass
+class MappingVerdict:
+    """Outcome of :func:`verify_mapping`."""
+
+    valid: bool
+    failures: dict[str, Counterexample] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.valid
+
+
+def verify_mapping(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    target_constraints: Mapping[str, DependencyLike],
+) -> MappingVerdict:
+    """Check every named target constraint; collect counterexamples.
+
+    The view qualifies as a schema mapping (in the sense of the paper's
+    data-exchange application) iff the verdict is ``valid``.
+    """
+    sigma = list(sigma)
+    failures: dict[str, Counterexample] = {}
+    for name, constraint in target_constraints.items():
+        witness = find_counterexample(sigma, view, constraint)
+        if witness is not None:
+            failures[name] = witness
+    return MappingVerdict(valid=not failures, failures=failures)
+
+
+def propagation_cover(
+    sigma: Iterable[DependencyLike], view: ViewLike
+) -> list[CFD]:
+    """A propagation cover for either view shape (SPC exact, SPCU via the
+    candidate-and-verify union extension)."""
+    if isinstance(view, SPCUView):
+        return prop_cfd_spcu(sigma, view)
+    assert isinstance(view, SPCView)
+    return prop_cfd_spc(sigma, view)
+
+
+def update_is_rejectable(
+    cover: Iterable[CFD],
+    proposed_tuple: Mapping[str, Any],
+    view_name: str = "V",
+) -> CFD | None:
+    """The propagated CFD a proposed single-tuple insert already violates.
+
+    Only constant-RHS CFDs can reject a tuple in isolation (pair rules
+    need a second tuple).  Returns the violated CFD, or ``None`` when the
+    insert cannot be rejected without consulting the data — the exact
+    criterion of the paper's data-integration example (inserting
+    ``CC = '44', AC = '20', city = 'edi'`` violates ``phi4`` locally).
+    """
+    cover = min_cover(list(cover))
+    for phi in cover:
+        if phi.is_equality or not phi.attributes <= set(proposed_tuple):
+            continue
+        if not phi.holds_on([proposed_tuple]):
+            return phi
+    return None

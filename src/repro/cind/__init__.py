@@ -1,0 +1,6 @@
+"""Conditional inclusion dependencies and their derivable view facts."""
+
+from .model import CIND
+from .propagation import derive_source_view_cinds, derive_view_source_cinds
+
+__all__ = ["CIND", "derive_source_view_cinds", "derive_view_source_cinds"]

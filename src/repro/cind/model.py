@@ -1,0 +1,138 @@
+"""Conditional inclusion dependencies (CINDs), per Bravo/Fan/Ma VLDB'07.
+
+The paper's concluding future work points at CINDs — inclusion
+dependencies with pattern conditions — and at studying their propagation
+together with CFDs.  This package implements the formalism and the part
+of the propagation story that is derivable today (see
+:mod:`repro.cind.propagation`).
+
+A CIND is written ``(R1[X; Xp] ⊆ R2[Y; Yp], tp)``:
+
+- ``R1[X] ⊆ R2[Y]`` is a standard inclusion dependency (``X`` and ``Y``
+  same length),
+- ``Xp`` are condition attributes of ``R1`` with constants ``tp[Xp]``
+  selecting which ``R1`` tuples the inclusion applies to,
+- ``Yp`` are attributes of ``R2`` whose constants ``tp[Yp]`` must hold on
+  the witnessing tuple.
+
+``D |= psi`` iff for every ``t1`` in ``R1`` with ``t1[Xp] = tp[Xp]``
+there exists ``t2`` in ``R2`` with ``t2[Y] = t1[X]`` and
+``t2[Yp] = tp[Yp]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..algebra.instance import DatabaseInstance
+
+
+@dataclass(frozen=True)
+class CIND:
+    """A conditional inclusion dependency.
+
+    ``lhs_condition`` and ``rhs_condition`` map attribute names to the
+    constants of the pattern tuple (``Xp``/``Yp``); both may be empty, in
+    which case the CIND degenerates to a traditional IND.
+    """
+
+    lhs_relation: str
+    lhs_attrs: tuple[str, ...]
+    rhs_relation: str
+    rhs_attrs: tuple[str, ...]
+    lhs_condition: tuple[tuple[str, Any], ...] = ()
+    rhs_condition: tuple[tuple[str, Any], ...] = ()
+
+    def __init__(
+        self,
+        lhs_relation: str,
+        lhs_attrs: Sequence[str],
+        rhs_relation: str,
+        rhs_attrs: Sequence[str],
+        lhs_condition: Mapping[str, Any] | None = None,
+        rhs_condition: Mapping[str, Any] | None = None,
+    ) -> None:
+        if len(lhs_attrs) != len(rhs_attrs):
+            raise ValueError(
+                f"IND lists differ in length: {lhs_attrs} vs {rhs_attrs}"
+            )
+        if len(set(lhs_attrs)) != len(lhs_attrs):
+            raise ValueError(f"duplicate attributes in {lhs_attrs}")
+        if len(set(rhs_attrs)) != len(rhs_attrs):
+            raise ValueError(f"duplicate attributes in {rhs_attrs}")
+        lhs_condition = dict(lhs_condition or {})
+        rhs_condition = dict(rhs_condition or {})
+        overlap = set(lhs_condition) & set(lhs_attrs)
+        if overlap:
+            raise ValueError(
+                f"condition attributes {sorted(overlap)} overlap the "
+                "inclusion list (put the constant in the pattern only)"
+            )
+        object.__setattr__(self, "lhs_relation", lhs_relation)
+        object.__setattr__(self, "lhs_attrs", tuple(lhs_attrs))
+        object.__setattr__(self, "rhs_relation", rhs_relation)
+        object.__setattr__(self, "rhs_attrs", tuple(rhs_attrs))
+        object.__setattr__(
+            self, "lhs_condition", tuple(sorted(lhs_condition.items()))
+        )
+        object.__setattr__(
+            self, "rhs_condition", tuple(sorted(rhs_condition.items()))
+        )
+
+    @property
+    def is_plain_ind(self) -> bool:
+        return not self.lhs_condition and not self.rhs_condition
+
+    # ------------------------------------------------------------------
+    # Satisfaction.
+    # ------------------------------------------------------------------
+
+    def holds_on(self, database: DatabaseInstance) -> bool:
+        """Whether *database* satisfies this CIND."""
+        return not any(True for _ in self.violations(database))
+
+    def violations(self, database: DatabaseInstance):
+        """Yield LHS tuples with no witnessing RHS tuple."""
+        lhs_rows = database.relation(self.lhs_relation).rows
+        rhs_rows = database.relation(self.rhs_relation).rows
+
+        witnesses = set()
+        rhs_cond = dict(self.rhs_condition)
+        for row in rhs_rows:
+            if all(row[a] == v for a, v in rhs_cond.items()):
+                witnesses.add(tuple(row[a] for a in self.rhs_attrs))
+
+        lhs_cond = dict(self.lhs_condition)
+        for row in lhs_rows:
+            if not all(row[a] == v for a, v in lhs_cond.items()):
+                continue
+            key = tuple(row[a] for a in self.lhs_attrs)
+            if key not in witnesses:
+                yield row
+
+    # ------------------------------------------------------------------
+
+    def rename_lhs(self, mapping: Mapping[str, str], relation: str | None = None) -> "CIND":
+        """Rename the LHS side's attributes (for view-space transport)."""
+        return CIND(
+            relation or self.lhs_relation,
+            [mapping.get(a, a) for a in self.lhs_attrs],
+            self.rhs_relation,
+            self.rhs_attrs,
+            {mapping.get(a, a): v for a, v in self.lhs_condition},
+            dict(self.rhs_condition),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def side(rel, attrs, cond):
+            cond_str = (
+                "; " + ",".join(f"{a}={v!r}" for a, v in cond) if cond else ""
+            )
+            return f"{rel}[{','.join(attrs)}{cond_str}]"
+
+        return (
+            side(self.lhs_relation, self.lhs_attrs, self.lhs_condition)
+            + " ⊆ "
+            + side(self.rhs_relation, self.rhs_attrs, self.rhs_condition)
+        )

@@ -1,0 +1,109 @@
+"""Deriving CINDs across a view (the tractable slice of the future work).
+
+Full CFD+CIND propagation is open (and interacting CFDs and CINDs makes
+even implication undecidable), but one family of CINDs is *derivable by
+construction* for any SPC view ``V = pi_Y(Rc x sigma_F(R1 x ... x Rn))``:
+
+  every view tuple's sub-tuple on the projected attributes of atom ``j``
+  comes verbatim from a tuple of atom ``j``'s source relation —
+
+so for each atom the **view-to-source CIND**
+
+    V[Y_j ; guards] ⊆ S[orig(Y_j) ; selection constants on atom j]
+
+holds on ``V(D) ∪ D`` for every source instance ``D``, where ``Y_j`` are
+the projected attributes originating from atom ``j``, the RHS condition
+carries the ``A = 'a'`` selection constants the view forces on that
+atom's *non-projected* attributes, and the LHS has no condition (every
+view tuple qualifies).
+
+These are exactly the provenance facts data-integration systems need
+("every offer row is backed by a Product row with country = 'UK'"), and
+they are verified empirically in the tests by evaluating views on random
+instances.
+
+``derive_source_view_cinds`` also emits the reverse *source-to-view*
+CINDs for single-atom views whose selection constants fully describe
+membership — the case where view membership is decidable tuple-locally:
+a source tuple matching all the selection constants must appear in the
+view, giving ``S[orig(Y_1) ; selection constants] ⊆ V[Y_1]``.
+"""
+
+from __future__ import annotations
+
+from ..algebra.ops import AttrEq, ConstEq
+from ..algebra.spc import SPCView
+from .model import CIND
+
+
+def derive_view_source_cinds(view: SPCView) -> list[CIND]:
+    """The provenance CINDs ``V[Y_j] ⊆ S_j[...]`` for every atom."""
+    out: list[CIND] = []
+    projected = set(view.projection)
+    const_selection: dict[str, object] = {}
+    for atom_sel in view.selection:
+        if isinstance(atom_sel, ConstEq):
+            const_selection[atom_sel.attr] = atom_sel.value
+
+    for atom in view.atoms:
+        view_names = []
+        source_names = []
+        rhs_condition: dict[str, object] = {}
+        for src, view_name in atom.mapping:
+            if view_name in projected:
+                view_names.append(view_name)
+                source_names.append(src)
+            elif view_name in const_selection:
+                rhs_condition[src] = const_selection[view_name]
+        if not view_names:
+            continue
+        out.append(
+            CIND(
+                view.name,
+                view_names,
+                atom.source,
+                source_names,
+                rhs_condition=rhs_condition,
+            )
+        )
+    return out
+
+
+def derive_source_view_cinds(view: SPCView) -> list[CIND]:
+    """Reverse CINDs ``S[...] ⊆ V[...]`` where membership is tuple-local.
+
+    Sound only for single-atom views whose selection involves no
+    attribute-equality atoms (an ``A = B`` condition or a join makes view
+    membership depend on other tuples); such views yield the CIND whose
+    LHS condition carries the selection constants.
+    """
+    if len(view.atoms) != 1 or view.constants:
+        return []
+    if any(isinstance(s, AttrEq) for s in view.selection):
+        return []
+    atom = view.atoms[0]
+    projected = set(view.projection)
+    reverse = {view_name: src for src, view_name in atom.mapping}
+
+    lhs_condition: dict[str, object] = {}
+    for atom_sel in view.selection:
+        assert isinstance(atom_sel, ConstEq)
+        lhs_condition[reverse[atom_sel.attr]] = atom_sel.value
+
+    source_names = []
+    view_names = []
+    for src, view_name in atom.mapping:
+        if view_name in projected and src not in lhs_condition:
+            source_names.append(src)
+            view_names.append(view_name)
+    if not source_names:
+        return []
+    return [
+        CIND(
+            atom.source,
+            source_names,
+            view.name,
+            view_names,
+            lhs_condition=lhs_condition,
+        )
+    ]

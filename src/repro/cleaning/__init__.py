@@ -1,0 +1,15 @@
+"""Data cleaning with CFDs: violation detection and greedy repair."""
+
+from .repair import RepairEdit, RepairFailed, repair
+from .violations import RuleSummary, Violation, detect, detect_in_rows, summarize
+
+__all__ = [
+    "RepairEdit",
+    "RepairFailed",
+    "RuleSummary",
+    "Violation",
+    "detect",
+    "detect_in_rows",
+    "repair",
+    "summarize",
+]

@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Drives the library from JSON files (formats in :mod:`repro.io`):
+
+    repro check   --schema s.json --sigma deps.json --view v.json --phi target.json
+    repro cover   --schema s.json --sigma deps.json --view v.json [--out cover.json]
+    repro empty   --schema s.json --sigma deps.json --view v.json
+    repro validate --schema s.json --rules deps.json --data db.json
+    repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
+
+Exit codes: 0 on a "positive" analysis result (propagated / nonempty /
+clean), 1 on the negative one, 2 on usage or format errors — so shell
+pipelines can branch on the verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from . import io as repro_io
+from .algebra.spcu import SPCUView
+from .cleaning import detect, repair, summarize
+from .propagation import (
+    find_counterexample,
+    prop_cfd_spc,
+    prop_cfd_spcu,
+    propagates,
+    view_is_empty,
+)
+
+
+def _load_common(args):
+    schema = repro_io.schema_from_json(repro_io.load_json(args.schema))
+    sigma = repro_io.dependencies_from_json(repro_io.load_json(args.sigma))
+    view = repro_io.view_from_json(repro_io.load_json(args.view), schema)
+    return schema, sigma, view
+
+
+def _cmd_check(args) -> int:
+    _, sigma, view = _load_common(args)
+    phi_doc = repro_io.load_json(args.phi)
+    targets = phi_doc if isinstance(phi_doc, list) else [phi_doc]
+    all_propagated = True
+    for doc in targets:
+        phi = repro_io.dependency_from_json(doc)
+        verdict = propagates(sigma, view, phi)
+        all_propagated &= verdict
+        print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
+        if not verdict and args.witness:
+            witness = find_counterexample(sigma, view, phi)
+            assert witness is not None
+            print(json.dumps(repro_io.instance_to_json(witness.database), indent=2))
+    return 0 if all_propagated else 1
+
+
+def _cmd_cover(args) -> int:
+    _, sigma, view = _load_common(args)
+    if isinstance(view, SPCUView):
+        cover = prop_cfd_spcu(sigma, view)
+    else:
+        cover = prop_cfd_spc(sigma, view)
+    for phi in cover:
+        print(phi)
+    if args.out:
+        repro_io.dump_json(repro_io.dependencies_to_json(cover), args.out)
+        print(f"# wrote {len(cover)} CFDs to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_empty(args) -> int:
+    _, sigma, view = _load_common(args)
+    empty = view_is_empty(sigma, view)
+    print("EMPTY" if empty else "NONEMPTY")
+    return 1 if empty else 0
+
+
+def _cmd_validate(args) -> int:
+    schema = repro_io.schema_from_json(repro_io.load_json(args.schema))
+    rules = repro_io.dependencies_from_json(repro_io.load_json(args.rules))
+    database = repro_io.instance_from_json(repro_io.load_json(args.data), schema)
+    violations = detect(rules, database)
+    if not violations:
+        print("clean: no violations")
+        return 0
+    for summary in summarize(violations):
+        print(
+            f"{summary.total} violation(s), {summary.dirty_tuples} dirty "
+            f"tuple(s): {summary.rule}"
+        )
+    return 1
+
+
+def _cmd_repair(args) -> int:
+    schema = repro_io.schema_from_json(repro_io.load_json(args.schema))
+    rules = repro_io.dependencies_from_json(repro_io.load_json(args.rules))
+    database = repro_io.instance_from_json(repro_io.load_json(args.data), schema)
+    fixed, edits = repair(rules, database)
+    print(f"repaired with {len(edits)} edit(s)")
+    for edit in edits:
+        print(
+            f"  {edit.relation}.{edit.attribute}: "
+            f"{edit.old_value!r} -> {edit.new_value!r}"
+        )
+    if args.out:
+        repro_io.dump_json(repro_io.instance_to_json(fixed), args.out)
+        print(f"# wrote repaired instance to {args.out}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CFD propagation analysis (Fan et al., VLDB 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--schema", required=True, help="schema JSON file")
+        p.add_argument("--sigma", required=True, help="source dependencies JSON")
+        p.add_argument("--view", required=True, help="view JSON file")
+
+    check = sub.add_parser("check", help="decide Sigma |=_V phi")
+    common(check)
+    check.add_argument("--phi", required=True, help="target dependency JSON")
+    check.add_argument(
+        "--witness", action="store_true", help="print a counterexample database"
+    )
+    check.set_defaults(func=_cmd_check)
+
+    cover = sub.add_parser("cover", help="compute a propagation cover")
+    common(cover)
+    cover.add_argument("--out", help="write the cover to this JSON file")
+    cover.set_defaults(func=_cmd_cover)
+
+    empty = sub.add_parser("empty", help="is the view always empty?")
+    common(empty)
+    empty.set_defaults(func=_cmd_empty)
+
+    validate = sub.add_parser("validate", help="detect CFD violations in data")
+    validate.add_argument("--schema", required=True)
+    validate.add_argument("--rules", required=True)
+    validate.add_argument("--data", required=True)
+    validate.set_defaults(func=_cmd_validate)
+
+    rep = sub.add_parser("repair", help="greedily repair CFD violations")
+    rep.add_argument("--schema", required=True)
+    rep.add_argument("--rules", required=True)
+    rep.add_argument("--data", required=True)
+    rep.add_argument("--out", help="write the repaired instance here")
+    rep.set_defaults(func=_cmd_repair)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (repro_io.FormatError, FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Core formalism: domains, schemas, FDs, CFDs, the chase, implication.
+
+This package implements the dependency theory of Sections 2 and the
+decision procedures it rests on.  Everything else in :mod:`repro` (views,
+propagation, generators) builds on these primitives.
+"""
+
+from .cfd import CFD
+from .chase import (
+    ChaseResult,
+    ChaseStatus,
+    SymbolicInstance,
+    SymVar,
+    VarFactory,
+    chase,
+    chase_with_instantiations,
+)
+from .consistency import is_consistent, witness_tuple
+from .domains import BOOL, Domain, INT, REAL, STRING, finite
+from .fd import FD, attribute_closure, fd_closure, minimal_cover, project_fds
+from .fd import implies as fd_implies
+from .implication import equivalent, implies
+from .mincover import min_cover, partitioned_min_cover
+from .schema import Attribute, DatabaseSchema, RelationSchema
+from .values import (
+    Const,
+    PatternValue,
+    SPECIAL,
+    SpecialVar,
+    WILDCARD,
+    Wildcard,
+    const,
+    is_const,
+    is_special,
+    is_wildcard,
+    leq,
+    matches,
+    meet,
+    value_matches,
+)
+
+__all__ = [
+    "Attribute",
+    "BOOL",
+    "CFD",
+    "ChaseResult",
+    "ChaseStatus",
+    "Const",
+    "DatabaseSchema",
+    "Domain",
+    "FD",
+    "INT",
+    "PatternValue",
+    "REAL",
+    "RelationSchema",
+    "SPECIAL",
+    "STRING",
+    "SpecialVar",
+    "SymVar",
+    "SymbolicInstance",
+    "VarFactory",
+    "WILDCARD",
+    "Wildcard",
+    "attribute_closure",
+    "chase",
+    "chase_with_instantiations",
+    "const",
+    "equivalent",
+    "fd_closure",
+    "fd_implies",
+    "finite",
+    "implies",
+    "is_const",
+    "is_consistent",
+    "is_special",
+    "is_wildcard",
+    "leq",
+    "matches",
+    "meet",
+    "min_cover",
+    "minimal_cover",
+    "partitioned_min_cover",
+    "project_fds",
+    "value_matches",
+    "witness_tuple",
+]

@@ -1,0 +1,377 @@
+"""Conditional functional dependencies (Definition 2.1).
+
+A CFD ``R(X -> Y, tp)`` is an embedded FD ``X -> Y`` plus a pattern tuple
+``tp`` over ``X`` and ``Y`` whose entries are constants or the unnamed
+variable ``'_'``.  View CFDs may additionally take the special equality form
+``R(A -> B, (x || x))``, which asserts ``t[A] = t[B]`` for every tuple and
+encodes the selection conditions of SPC views in the same framework.
+
+Semantics (Section 2.1): an instance ``D`` satisfies ``phi`` iff for every
+pair of tuples ``t1, t2`` (the pair ``t1 = t2`` included), whenever
+``t1[X] = t2[X]`` and both match ``tp[X]``, then ``t1[Y] = t2[Y]`` and both
+match ``tp[Y]``.  Including the identical pair is what gives constant-RHS
+CFDs their single-tuple force: a lone tuple matching ``tp[X]`` must already
+carry the constants of ``tp[Y]``.
+
+Construction convenience: pattern entries may be given as raw values (which
+are wrapped as constants), as the string ``"_"`` (wildcard), or as the
+``PatternValue`` objects of :mod:`repro.core.values`.  To express a genuine
+constant underscore use ``Const("_")`` explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from .fd import FD
+from .values import (
+    Const,
+    PatternValue,
+    SPECIAL,
+    WILDCARD,
+    is_const,
+    is_special,
+    is_wildcard,
+    matches,
+    meet,
+    value_matches,
+)
+
+PatternItems = tuple[tuple[str, PatternValue], ...]
+
+
+def _coerce(entry: Any) -> PatternValue:
+    if isinstance(entry, (Const,)) or is_wildcard(entry) or is_special(entry):
+        return entry
+    if entry == "_":
+        return WILDCARD
+    return Const(entry)
+
+
+def _as_items(pattern: Mapping[str, Any] | Iterable[tuple[str, Any]]) -> PatternItems:
+    if isinstance(pattern, Mapping):
+        pairs = pattern.items()
+    else:
+        pairs = pattern
+    items = tuple(sorted((name, _coerce(entry)) for name, entry in pairs))
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate attributes in pattern: {names}")
+    return items
+
+
+@dataclass(frozen=True)
+class CFD:
+    """A conditional functional dependency in general or normal form.
+
+    Attributes
+    ----------
+    relation:
+        Name of the relation (or view) schema the CFD is defined on.
+    lhs:
+        Sorted ``(attribute, pattern entry)`` pairs for ``X``.
+    rhs:
+        Sorted ``(attribute, pattern entry)`` pairs for ``Y``; normal form
+        has exactly one pair.
+    """
+
+    relation: str
+    lhs: PatternItems
+    rhs: PatternItems
+
+    def __init__(
+        self,
+        relation: str,
+        lhs: Mapping[str, Any] | Iterable[tuple[str, Any]],
+        rhs: Mapping[str, Any] | Iterable[tuple[str, Any]],
+    ) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", _as_items(lhs))
+        object.__setattr__(self, "rhs", _as_items(rhs))
+        if not self.rhs:
+            raise ValueError("a CFD needs a nonempty right-hand side")
+        special_l = [v for _, v in self.lhs if is_special(v)]
+        special_r = [v for _, v in self.rhs if is_special(v)]
+        if special_l or special_r:
+            if not (
+                len(self.lhs) == 1
+                and len(self.rhs) == 1
+                and special_l
+                and special_r
+            ):
+                raise ValueError(
+                    "the special variable x may only appear in the "
+                    "equality form R(A -> B, (x || x))"
+                )
+        # Hot-path caches (reasoning code touches these millions of times).
+        object.__setattr__(self, "_lhs_attrs", tuple(n for n, _ in self.lhs))
+        object.__setattr__(self, "_rhs_attrs", tuple(n for n, _ in self.rhs))
+        object.__setattr__(
+            self,
+            "_attributes",
+            frozenset(self._lhs_attrs) | frozenset(self._rhs_attrs),
+        )
+        object.__setattr__(self, "_lhs_map", dict(self.lhs))
+        object.__setattr__(
+            self, "_is_equality", len(self.rhs) == 1 and bool(special_r)
+        )
+        if len(self.rhs) == 1:
+            object.__setattr__(self, "_rhs_attr", self.rhs[0][0])
+            object.__setattr__(self, "_rhs_entry", self.rhs[0][1])
+        else:
+            object.__setattr__(self, "_rhs_attr", None)
+            object.__setattr__(self, "_rhs_entry", None)
+
+    # ------------------------------------------------------------------
+    # Constructors for the common shapes.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def equality(cls, relation: str, a: str, b: str) -> "CFD":
+        """The view CFD ``R(A -> B, (x || x))`` asserting ``A = B``."""
+        return cls(relation, {a: SPECIAL}, {b: SPECIAL})
+
+    @classmethod
+    def constant(cls, relation: str, attribute: str, value: Any) -> "CFD":
+        """The CFD ``R(A -> A, (_ || a))`` asserting ``A = 'a'`` everywhere."""
+        return cls(relation, {attribute: WILDCARD}, {attribute: value})
+
+    @classmethod
+    def from_fd(cls, fd: FD) -> "CFD":
+        """Embed a traditional FD as a CFD with an all-wildcard pattern."""
+        return cls(
+            fd.relation,
+            {a: WILDCARD for a in fd.lhs},
+            {b: WILDCARD for b in fd.rhs},
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def lhs_attrs(self) -> tuple[str, ...]:
+        return self._lhs_attrs  # type: ignore[attr-defined]
+
+    @property
+    def rhs_attrs(self) -> tuple[str, ...]:
+        return self._rhs_attrs  # type: ignore[attr-defined]
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return self._attributes  # type: ignore[attr-defined]
+
+    def lhs_entry(self, attribute: str) -> PatternValue:
+        try:
+            return self._lhs_map[attribute]  # type: ignore[attr-defined]
+        except KeyError:
+            raise KeyError(attribute) from None
+
+    @property
+    def rhs_attr(self) -> str:
+        """The single RHS attribute; requires normal form."""
+        attr = self._rhs_attr  # type: ignore[attr-defined]
+        if attr is None:
+            raise ValueError(f"CFD {self} is not in normal form")
+        return attr
+
+    @property
+    def rhs_entry(self) -> PatternValue:
+        """The single RHS pattern entry; requires normal form."""
+        entry = self._rhs_entry  # type: ignore[attr-defined]
+        if entry is None:
+            raise ValueError(f"CFD {self} is not in normal form")
+        return entry
+
+    @property
+    def is_equality(self) -> bool:
+        """Whether this is the special ``(x || x)`` equality form."""
+        return self._is_equality  # type: ignore[attr-defined]
+
+    @property
+    def is_normal_form(self) -> bool:
+        return len(self.rhs) == 1
+
+    def embedded_fd(self) -> FD:
+        """The standard FD embedded in this CFD."""
+        return FD(self.relation, self.lhs_attrs, self.rhs_attrs)
+
+    def is_constant_cfd(self) -> bool:
+        """Whether the CFD forces a constant on every tuple it applies to.
+
+        True for normal-form CFDs whose RHS entry is a constant and whose
+        LHS entries are all wildcards — e.g. ``(A -> A, (_ || a))`` — which
+        act as global domain constraints (Section 3.3, Example 3.1).
+        """
+        if not self.is_normal_form or not is_const(self.rhs_entry):
+            return False
+        return all(is_wildcard(v) for _, v in self.lhs)
+
+    # ------------------------------------------------------------------
+    # Structural properties.
+    # ------------------------------------------------------------------
+
+    def normalize(self) -> list["CFD"]:
+        """Equivalent set of normal-form (single-RHS-attribute) CFDs."""
+        if self.is_normal_form:
+            return [self]
+        return [CFD(self.relation, dict(self.lhs), {name: entry}) for name, entry in self.rhs]
+
+    def is_trivial(self) -> bool:
+        """Triviality per Section 4.1.
+
+        A normal-form CFD ``(X -> A, tp)`` is trivial iff ``A`` occurs in
+        ``X`` and either the two pattern entries for ``A`` are equal, or
+        the LHS entry is a constant while the RHS entry is ``'_'``.
+        Note ``(A -> A, (_ || a))`` is *not* trivial: it forces a constant.
+        The equality form is trivial only when both sides name the same
+        attribute.
+        """
+        if self.is_equality:
+            return self.lhs[0][0] == self.rhs[0][0]
+        if not self.is_normal_form:
+            return all(
+                CFD(self.relation, dict(self.lhs), {n: e}).is_trivial()
+                for n, e in self.rhs
+            )
+        a = self.rhs_attr
+        if a not in self.lhs_attrs:
+            return False
+        eta1 = self.lhs_entry(a)
+        eta2 = self.rhs_entry
+        if eta1 == eta2:
+            return True
+        return is_const(eta1) and is_wildcard(eta2)
+
+    def simplified(self) -> "CFD":
+        """Canonical rewrite of self-referential constant CFDs.
+
+        ``(X A -> A, (tx, _ || a))`` is equivalent to ``(X -> A, (tx || a))``:
+        any tuple matching ``tx`` pairs with itself, so the constant is
+        forced without consulting ``A`` on the left.  Normal-form CFDs not
+        of this shape are returned unchanged.  The rewrite keeps procedure
+        RBR's resolvents in a form whose LHS never mentions the attribute
+        being dropped (Section 4.2's point (b) about ``AX -> A`` CFDs).
+        """
+        if not self.is_normal_form or self.is_equality:
+            return self
+        a = self.rhs_attr
+        if a not in self.lhs_attrs:
+            return self
+        if is_wildcard(self.lhs_entry(a)) and is_const(self.rhs_entry):
+            return self.drop_lhs_attribute(a)
+        return self
+
+    # ------------------------------------------------------------------
+    # Satisfaction.
+    # ------------------------------------------------------------------
+
+    def holds_on(self, tuples: Iterable[Mapping[str, Any]]) -> bool:
+        """Whether every tuple collection satisfies this CFD.
+
+        *tuples* is any iterable of attribute-name -> value mappings.
+        """
+        return not any(True for _ in self.violations(tuples))
+
+    def violations(
+        self, tuples: Iterable[Mapping[str, Any]]
+    ) -> Iterable[tuple[Mapping[str, Any], ...]]:
+        """Yield witnesses of violation.
+
+        For the equality form and for single-tuple (constant RHS) failures
+        the witness is a 1-tuple; for embedded-FD failures it is a pair.
+        """
+        tuples = list(tuples)
+        if self.is_equality:
+            a = self.lhs[0][0]
+            b = self.rhs[0][0]
+            for t in tuples:
+                if t[a] != t[b]:
+                    yield (t,)
+            return
+
+        lhs = self.lhs
+        rhs = self.rhs
+        # Single-tuple check: a matching tuple must carry the RHS constants.
+        groups: dict[tuple[Any, ...], list[Mapping[str, Any]]] = {}
+        for t in tuples:
+            if all(value_matches(t[name], entry) for name, entry in lhs):
+                if not all(value_matches(t[name], entry) for name, entry in rhs):
+                    yield (t,)
+                    continue
+                key = tuple(t[name] for name, _ in lhs)
+                groups.setdefault(key, []).append(t)
+        # Pair check: within a matching group all RHS values agree.
+        for group in groups.values():
+            first = group[0]
+            for other in group[1:]:
+                if any(first[name] != other[name] for name, _ in rhs):
+                    yield (first, other)
+
+    # ------------------------------------------------------------------
+    # Attribute surgery (used by PropCFD_SPC).
+    # ------------------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str], relation: str | None = None) -> "CFD":
+        """Rename attributes via *mapping* (identity for absent names)."""
+        new_lhs = {mapping.get(n, n): e for n, e in self.lhs}
+        new_rhs = {mapping.get(n, n): e for n, e in self.rhs}
+        if len(new_lhs) != len(self.lhs) or len(new_rhs) != len(self.rhs):
+            raise ValueError(f"renaming {mapping} collapses attributes of {self}")
+        return CFD(relation or self.relation, new_lhs, new_rhs)
+
+    def substitute(self, old: str, new: str) -> "CFD | None":
+        """Replace attribute *old* by *new* (Lemma 4.3 substitution).
+
+        If *new* already occurs on the same side, the two pattern entries
+        are merged with ``meet``; when the meet is undefined the CFD can
+        never fire on the constrained view and ``None`` is returned.
+        """
+        if old == new:
+            return self
+
+        def merge(items: PatternItems) -> dict[str, PatternValue] | None:
+            out: dict[str, PatternValue] = {}
+            for name, entry in items:
+                name = new if name == old else name
+                if name in out:
+                    merged = meet(out[name], entry)
+                    if merged is None:
+                        return None
+                    out[name] = merged
+                else:
+                    out[name] = entry
+            return out
+
+        lhs = merge(self.lhs)
+        rhs = merge(self.rhs)
+        if lhs is None or rhs is None:
+            return None
+        return CFD(self.relation, lhs, rhs)
+
+    def drop_lhs_attribute(self, attribute: str) -> "CFD":
+        """The CFD with *attribute* removed from the LHS (pattern included)."""
+        remaining = {n: e for n, e in self.lhs if n != attribute}
+        return CFD(self.relation, remaining, dict(self.rhs))
+
+    def with_relation(self, relation: str) -> "CFD":
+        return CFD(relation, dict(self.lhs), dict(self.rhs))
+
+    # ------------------------------------------------------------------
+
+    def matches_lhs_pattern(self, other: "CFD") -> bool:
+        """Whether the LHS patterns of two same-LHS CFDs are compatible."""
+        if self.lhs_attrs != other.lhs_attrs:
+            return False
+        return all(
+            matches(e1, e2)
+            for (_, e1), (_, e2) in zip(self.lhs, other.lhs)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lhs_names = ",".join(n for n, _ in self.lhs) or "()"
+        rhs_names = ",".join(n for n, _ in self.rhs)
+        lhs_pat = ",".join(repr(e) for _, e in self.lhs) or "()"
+        rhs_pat = ",".join(repr(e) for _, e in self.rhs)
+        return f"{self.relation}([{lhs_names}] -> [{rhs_names}], ({lhs_pat} || {rhs_pat}))"

@@ -1,0 +1,110 @@
+"""CFD consistency (satisfiability).
+
+A set of CFDs is *consistent* if some nonempty instance satisfies it
+(Section 3.3).  Unlike traditional FDs — always satisfiable — CFDs can
+contradict each other through their constants: ``(A -> A, (_ || a))`` and
+``(A -> A, (_ || b))`` with ``a != b`` admit no nonempty instance.
+
+The test chases a single fully-variable tuple: pair rules are vacuous on a
+singleton, so the tuple survives iff the unary (constant-forcing)
+consequences of the CFDs are conflict-free.  Infinite domains: one chase
+(PTIME).  General setting: one chase per finite-domain instantiation, and
+the set is consistent iff *some* instantiation survives (the NP
+procedure of [8], reproduced for Theorem 3.7's lower-bound discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .cfd import CFD
+from .chase import (
+    ChaseStatus,
+    SymbolicInstance,
+    VarFactory,
+    chase_with_instantiations,
+    premise_positions,
+)
+from .domains import Domain, STRING
+from .schema import RelationSchema
+
+
+def _attribute_universe(
+    relation: str, sigma: Iterable[CFD], schema: RelationSchema | None
+) -> dict[str, Domain]:
+    if schema is not None:
+        return {a.name: a.domain for a in schema.attributes}
+    names: set[str] = set()
+    for dep in sigma:
+        if dep.relation == relation:
+            names.update(dep.attributes)
+    return {name: STRING for name in sorted(names)}
+
+
+def is_consistent(
+    sigma: Iterable[CFD],
+    relation: str | None = None,
+    schema: RelationSchema | None = None,
+    max_instantiations: int | None = None,
+) -> bool:
+    """Whether a nonempty instance satisfying *sigma* exists.
+
+    With several relations involved, each relation is tested separately
+    (CFDs never cross relations) and all must be satisfiable.
+    """
+    sigma = list(sigma)
+    relations = {relation} if relation else {dep.relation for dep in sigma}
+    for rel in sorted(relations):
+        deps = [dep for dep in sigma if dep.relation == rel]
+        if not _relation_consistent(rel, deps, schema, max_instantiations):
+            return False
+    return True
+
+
+def _relation_consistent(
+    relation: str,
+    sigma: list[CFD],
+    schema: RelationSchema | None,
+    max_instantiations: int | None,
+) -> bool:
+    factory = VarFactory()
+    instance = SymbolicInstance()
+    universe = _attribute_universe(relation, sigma, schema)
+    instance.add_tuple(
+        relation, {name: factory.fresh(domain) for name, domain in universe.items()}
+    )
+    for result in chase_with_instantiations(
+        instance,
+        sigma,
+        limit=max_instantiations,
+        positions=premise_positions(sigma),
+    ):
+        if result.status is ChaseStatus.SATISFIABLE:
+            return True
+    return False
+
+
+def witness_tuple(
+    sigma: Iterable[CFD],
+    relation: str,
+    schema: RelationSchema | None = None,
+) -> dict[str, Any] | None:
+    """A concrete tuple satisfying *sigma* on *relation*, or ``None``.
+
+    Useful for tests and for the instance generator: the surviving chase
+    tableau instantiated with fresh constants.
+    """
+    sigma = [dep for dep in sigma if dep.relation == relation]
+    factory = VarFactory()
+    instance = SymbolicInstance()
+    universe = _attribute_universe(relation, sigma, schema)
+    instance.add_tuple(
+        relation, {name: factory.fresh(domain) for name, domain in universe.items()}
+    )
+    for result in chase_with_instantiations(
+        instance, sigma, positions=premise_positions(sigma)
+    ):
+        if result.status is ChaseStatus.SATISFIABLE:
+            concrete = result.instance.instantiate().concrete()
+            return concrete[relation][0]
+    return None

@@ -1,0 +1,111 @@
+"""Attribute domains.
+
+The paper's complexity results split on a single schema property: whether
+attributes with a *finite* domain (Boolean, date, enumerations, ...) may be
+present.  In the *infinite-domain setting* propagation via SPCU views is in
+PTIME; in the *general setting* it becomes coNP-complete (Theorems 3.1-3.3).
+
+``Domain`` captures both cases.  An infinite domain only needs to hand out
+arbitrarily many fresh constants (for chase counterexample construction);
+a finite domain enumerates its values so the coNP procedures can instantiate
+chase variables over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An attribute domain, either infinite or finite.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"string"`` or ``"bool"``.
+    values:
+        For a finite domain, the tuple of all domain values.  ``None`` means
+        the domain is infinite.
+    """
+
+    name: str
+    values: tuple[Any, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.values is not None and len(self.values) == 0:
+            raise ValueError("a finite domain must have at least one value")
+        if self.values is not None and len(set(self.values)) != len(self.values):
+            raise ValueError("finite domain values must be distinct")
+
+    @property
+    def is_finite(self) -> bool:
+        return self.values is not None
+
+    @property
+    def size(self) -> int:
+        """Number of values; raises for infinite domains."""
+        if self.values is None:
+            raise ValueError(f"domain {self.name!r} is infinite")
+        return len(self.values)
+
+    def __contains__(self, value: Any) -> bool:
+        if self.values is None:
+            return True
+        return value in self.values
+
+    def __iter__(self) -> Iterator[Any]:
+        if self.values is None:
+            raise ValueError(f"cannot enumerate infinite domain {self.name!r}")
+        return iter(self.values)
+
+    def fresh_constants(self, count: int, taken: Sequence[Any] = ()) -> list[Any]:
+        """Return *count* domain values distinct from each other and *taken*.
+
+        For infinite domains fresh constants always exist; for finite
+        domains a ``ValueError`` is raised when the domain is exhausted
+        (callers in the general-setting procedures enumerate instead).
+        """
+        taken_set = set(taken)
+        result: list[Any] = []
+        if self.values is None:
+            i = 0
+            while len(result) < count:
+                candidate = f"${self.name}#{i}"
+                if candidate not in taken_set:
+                    result.append(candidate)
+                    taken_set.add(candidate)
+                i += 1
+            return result
+        for candidate in self.values:
+            if len(result) == count:
+                break
+            if candidate not in taken_set:
+                result.append(candidate)
+                taken_set.add(candidate)
+        if len(result) < count:
+            raise ValueError(
+                f"finite domain {self.name!r} has no {count} fresh values "
+                f"outside {sorted(map(repr, taken_set))}"
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.values is None:
+            return f"Domain({self.name!r})"
+        return f"Domain({self.name!r}, {self.values!r})"
+
+
+#: The default infinite domains used throughout the paper's examples.
+STRING = Domain("string")
+INT = Domain("int")
+REAL = Domain("real")
+
+#: Stock finite domains.
+BOOL = Domain("bool", (False, True))
+
+
+def finite(name: str, values: Sequence[Any]) -> Domain:
+    """Convenience constructor for a finite domain."""
+    return Domain(name, tuple(values))

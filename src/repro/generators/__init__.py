@@ -1,0 +1,15 @@
+"""The Section 5 workload generators (schemas, CFDs, SPC views, instances)."""
+
+from .cfd_gen import CONSTANT_RANGE, random_cfd, random_cfds
+from .instance_gen import random_satisfying_instance
+from .schema_gen import random_schema
+from .view_gen import random_spc_view
+
+__all__ = [
+    "CONSTANT_RANGE",
+    "random_cfd",
+    "random_cfds",
+    "random_satisfying_instance",
+    "random_schema",
+    "random_spc_view",
+]

@@ -1,0 +1,108 @@
+"""The CFD generator of Section 5.
+
+"Given a relational schema R and two natural numbers m and n, the CFD
+generator randomly produces a set Sigma consisting of m source CFDs
+defined on R, such that the average number of CFDs on each relation in R
+is n.  The generator also takes another two parameters LHS and var% as
+input: LHS is the maximum number of attributes in each CFD generated, and
+var% is the percentage of the attributes which are filled with '_' in the
+pattern tuple, while the rest of the attributes draw random values from
+their corresponding domains."
+
+The experiments used ``|Sigma|`` from 200 to 2000, LHS from 3 to 9 and
+var% from 40% to 50%; pattern constants come from the fixed range
+``[1, 100000]`` so that constraints can interact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..core.cfd import CFD
+from ..core.domains import Domain
+from ..core.schema import DatabaseSchema, RelationSchema
+from ..core.values import WILDCARD
+
+#: The constant pool of the paper's generators.
+CONSTANT_RANGE = (1, 100000)
+
+
+def _random_constant(rng: random.Random, domain: Domain) -> Any:
+    if domain.is_finite:
+        return rng.choice(list(domain))
+    return rng.randint(*CONSTANT_RANGE)
+
+
+def random_cfd(
+    rng: random.Random,
+    relation: RelationSchema,
+    max_lhs: int = 9,
+    min_lhs: int = 3,
+    var_pct: float = 0.4,
+) -> CFD:
+    """One random normal-form CFD on *relation*.
+
+    The LHS size is uniform in ``[min_lhs, max_lhs]`` (clamped to the
+    arity minus one so an RHS attribute remains); every pattern position
+    is the wildcard with probability ``var_pct`` and a random domain
+    constant otherwise.
+    """
+    names = list(relation.attribute_names)
+    upper = min(max_lhs, len(names) - 1)
+    lower = min(min_lhs, upper)
+    lhs_size = rng.randint(lower, upper)
+    chosen = rng.sample(names, lhs_size + 1)
+    lhs_attrs, rhs_attr = chosen[:-1], chosen[-1]
+
+    # "var% of the attributes are filled with '_'" — a deterministic
+    # fraction of the pattern positions, not an independent coin flip per
+    # position.  (Independent flips occasionally produce all-wildcard-LHS
+    # constant-RHS CFDs; a handful of those on the same attribute makes
+    # the whole source set inconsistent, which the paper's experiments
+    # clearly never hit.)
+    positions = lhs_attrs + [rhs_attr]
+    num_wild = round(var_pct * len(positions))
+    num_wild = min(num_wild, len(positions) - 1)
+    wild = set(rng.sample(range(len(positions)), num_wild))
+    rhs_index = len(positions) - 1
+    if len(wild - {rhs_index}) >= len(lhs_attrs) and rhs_index not in wild:
+        # All LHS positions came out wildcard with a constant RHS: that is
+        # a *global* constant, and a few of those on one attribute make
+        # Sigma inconsistent.  Move one wildcard to the RHS instead.
+        wild.discard(min(wild))
+        wild.add(rhs_index)
+
+    def entry(index: int, attr: str):
+        if index in wild:
+            return WILDCARD
+        return _random_constant(rng, relation.domain_of(attr))
+
+    lhs = {a: entry(i, a) for i, a in enumerate(lhs_attrs)}
+    rhs = {rhs_attr: entry(len(positions) - 1, rhs_attr)}
+    return CFD(relation.name, lhs, rhs)
+
+
+def random_cfds(
+    rng: random.Random,
+    schema: DatabaseSchema,
+    count: int,
+    max_lhs: int = 9,
+    min_lhs: int = 3,
+    var_pct: float = 0.4,
+) -> list[CFD]:
+    """``count`` random CFDs spread evenly over the schema's relations.
+
+    Round-robin assignment makes the average number of CFDs per relation
+    ``count / |R|`` — the generator's ``n`` parameter.
+    """
+    relations = list(schema)
+    out: list[CFD] = []
+    for i in range(count):
+        relation = relations[i % len(relations)]
+        out.append(
+            random_cfd(
+                rng, relation, max_lhs=max_lhs, min_lhs=min_lhs, var_pct=var_pct
+            )
+        )
+    return out

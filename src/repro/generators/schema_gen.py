@@ -1,0 +1,52 @@
+"""Random source schemas (Section 5 experimental setting).
+
+The paper: "We considered source relational schemas R consisting of at
+least 10 relations, each with 10 to 20 attributes."  Attributes get
+infinite (string) domains by default — the cover algorithm's setting —
+with an option to sprinkle finite-domain attributes for general-setting
+experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.domains import STRING, finite
+from ..core.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+def random_schema(
+    rng: random.Random,
+    num_relations: int = 10,
+    min_attributes: int = 10,
+    max_attributes: int = 20,
+    finite_domain_fraction: float = 0.0,
+    finite_domain_size: int = 2,
+) -> DatabaseSchema:
+    """A random database schema.
+
+    ``finite_domain_fraction`` of the attributes (rounded down per
+    relation) draw from a fresh finite domain of ``finite_domain_size``
+    values; the default 0.0 gives the paper's infinite-domain setting.
+    """
+    if num_relations < 1:
+        raise ValueError("need at least one relation")
+    if not 0 <= finite_domain_fraction <= 1:
+        raise ValueError("finite_domain_fraction must be in [0, 1]")
+    relations = []
+    for r in range(1, num_relations + 1):
+        arity = rng.randint(min_attributes, max_attributes)
+        num_finite = int(arity * finite_domain_fraction)
+        attributes = []
+        for a in range(1, arity + 1):
+            name = f"A{a}"
+            if a <= num_finite:
+                domain = finite(
+                    f"enum{finite_domain_size}",
+                    [f"e{v}" for v in range(finite_domain_size)],
+                )
+            else:
+                domain = STRING
+            attributes.append(Attribute(name, domain))
+        relations.append(RelationSchema(f"S{r}", attributes))
+    return DatabaseSchema(relations)

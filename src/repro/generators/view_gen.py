@@ -1,0 +1,131 @@
+"""The SPC view generator of Section 5.
+
+"Given a source schema R and three numbers |Y|, |F| and |Ec|, the view
+generator randomly produces an SPC view pi_Y(sigma_F(Ec)) defined on R
+such that the set Y consists of |Y| projection attributes, the selection
+condition F is a conjunction of |F| domain constraints of the form A = B
+and A = 'a', and Ec is the Cartesian product of |Ec| relations.  Here each
+constant a is randomly picked from a fixed range [1, 100000] such that the
+domain constraints may interact with each other."
+
+The experiments used |Y| in 5..50, |F| in 1..10 and |Ec| in 2..11.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra.ops import AttrEq, ConstEq, SelectionAtom
+from ..algebra.spc import RelationAtom, SPCView
+from ..core.schema import DatabaseSchema
+from .cfd_gen import CONSTANT_RANGE
+
+
+def random_spc_view(
+    rng: random.Random,
+    schema: DatabaseSchema,
+    num_projected: int = 25,
+    num_selections: int = 10,
+    num_atoms: int = 4,
+    name: str = "V",
+    attr_eq_probability: float = 0.5,
+    block_projection: bool = True,
+) -> SPCView:
+    """One random SPC view in normal form.
+
+    Relations for ``Ec`` are drawn with replacement; each atom renames its
+    source attributes to ``t{j}.{attr}``.  Selection atoms are ``A = B``
+    with probability ``attr_eq_probability`` (between attributes of the
+    same domain) and ``A = 'a'`` otherwise.
+
+    ``Y`` selection has two modes.  ``block_projection=True`` (default)
+    takes contiguous per-atom attribute blocks in round-robin order until
+    ``num_projected`` attributes are chosen, so whole relations tend to be
+    visible through the view — under a uniform ``Y`` essentially no source
+    CFD keeps all its attributes projected and covers collapse to a
+    handful, which contradicts the cover cardinalities the paper reports
+    (Figures 5(b)-8(b)).  ``block_projection=False`` gives the uniform
+    sample for comparison.
+    """
+    relations = list(schema)
+    atoms: list[RelationAtom] = []
+    view_attrs: list[str] = []
+    domains = {}
+    for j in range(num_atoms):
+        source = rng.choice(relations)
+        mapping = {a.name: f"t{j}.{a.name}" for a in source.attributes}
+        atoms.append(RelationAtom(source.name, mapping))
+        for a in source.attributes:
+            view_attrs.append(mapping[a.name])
+            domains[mapping[a.name]] = a.domain
+
+    # Track the classes/keys the selection induces so the generated view
+    # is never *syntactically* contradictory (two distinct constants on
+    # one attribute class would make every view empty — the paper's
+    # experiments clearly run on non-degenerate views).  Interaction with
+    # the source CFDs is still possible and intended.
+    parent: dict[str, str] = {a: a for a in view_attrs}
+
+    def find(a: str) -> str:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    keys: dict[str, int | str] = {}
+
+    selection: list[SelectionAtom] = []
+    for _ in range(num_selections):
+        for _attempt in range(20):
+            if rng.random() < attr_eq_probability and len(view_attrs) >= 2:
+                left, right = rng.sample(view_attrs, 2)
+                if domains[left] != domains[right]:
+                    continue
+                ra, rb = find(left), find(right)
+                if ra != rb and ra in keys and rb in keys and keys[ra] != keys[rb]:
+                    continue
+                if ra != rb:
+                    parent[rb] = ra
+                    if rb in keys:
+                        keys[ra] = keys.pop(rb)
+                selection.append(AttrEq(left, right))
+                break
+            attr = rng.choice(view_attrs)
+            domain = domains[attr]
+            if domain.is_finite:
+                value = rng.choice(list(domain))
+            else:
+                value = rng.randint(*CONSTANT_RANGE)
+            root = find(attr)
+            if root in keys and keys[root] != value:
+                continue
+            keys[root] = value
+            selection.append(ConstEq(attr, value))
+            break
+
+    count = min(num_projected, len(view_attrs))
+    if block_projection:
+        projection = _block_projection(rng, atoms, count)
+    else:
+        projection = sorted(rng.sample(view_attrs, count))
+    return SPCView(name, schema, atoms, selection, projection)
+
+
+def _block_projection(
+    rng: random.Random, atoms: list[RelationAtom], count: int
+) -> list[str]:
+    """Contiguous per-atom attribute blocks, atoms visited round-robin.
+
+    Atom order is shuffled once; attributes are then taken one relation at
+    a time in schema order, so a large enough ``count`` exposes whole
+    relations through the view.
+    """
+    order = list(range(len(atoms)))
+    rng.shuffle(order)
+    projection: list[str] = []
+    for j in order:
+        for view_name in atoms[j].view_attributes:
+            if len(projection) == count:
+                return sorted(projection)
+            projection.append(view_name)
+    return sorted(projection)

@@ -1,0 +1,320 @@
+"""JSON (de)serialization for schemas, dependencies, views and data.
+
+A downstream user drives the library from configuration files; this
+module defines the stable wire format the CLI consumes:
+
+Schema::
+
+    {"relations": [
+        {"name": "R",
+         "attributes": [
+            "A",                                   # string domain
+            {"name": "B", "domain": "int"},        # named builtin domain
+            {"name": "C", "domain": {"name": "bool",
+                                     "values": [false, true]}}]}]}
+
+Dependencies (a list; three shapes)::
+
+    {"kind": "fd",  "relation": "R", "lhs": ["A"], "rhs": ["B"]}
+    {"kind": "cfd", "relation": "R",
+     "lhs": {"A": "_", "CC": {"const": "44"}}, "rhs": {"city": "_"}}
+    {"kind": "cfd-equality", "relation": "R", "left": "A", "right": "B"}
+
+Pattern entries: the string ``"_"`` is the wildcard; anything else is a
+constant, with ``{"const": value}`` available to express the literal
+string ``"_"`` or nested values unambiguously.
+
+SPC view::
+
+    {"name": "V",
+     "atoms": [{"source": "R", "prefix": "t0."}        # rename by prefix
+               | {"source": "R", "mapping": {...}}],
+     "selection": [{"eq": ["t0.A", "t1.B"]}, {"attr": "t0.C", "value": 5}],
+     "projection": ["t0.A", ...],
+     "constants": {"CC": "44"}}
+
+SPCU view::  {"name": "V", "branches": [<spc view>, ...]}
+
+Database instance::  {"R": [{"A": 1, "B": 2}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Union
+
+from .algebra.instance import DatabaseInstance
+from .algebra.ops import AttrEq, ConstEq, SelectionAtom
+from .algebra.spc import RelationAtom, SPCView
+from .algebra.spcu import SPCUView
+from .core.cfd import CFD
+from .core.domains import BOOL, Domain, INT, REAL, STRING
+from .core.fd import FD
+from .core.schema import Attribute, DatabaseSchema, RelationSchema
+from .core.values import Const, WILDCARD, is_const, is_wildcard
+
+Dependency = Union[CFD, FD]
+
+_BUILTIN_DOMAINS = {
+    "string": STRING,
+    "int": INT,
+    "real": REAL,
+    "bool": BOOL,
+}
+
+
+class FormatError(ValueError):
+    """Raised for malformed documents, with a path-ish context message."""
+
+
+# ----------------------------------------------------------------------
+# Domains and schemas.
+# ----------------------------------------------------------------------
+
+
+def domain_from_json(doc: Any) -> Domain:
+    """Parse a domain from a builtin name or a ``{name, values}`` object."""
+    if isinstance(doc, str):
+        try:
+            return _BUILTIN_DOMAINS[doc]
+        except KeyError:
+            raise FormatError(
+                f"unknown builtin domain {doc!r}; "
+                f"builtins are {sorted(_BUILTIN_DOMAINS)}"
+            ) from None
+    if isinstance(doc, Mapping):
+        name = doc.get("name", "custom")
+        values = doc.get("values")
+        return Domain(name, tuple(values) if values is not None else None)
+    raise FormatError(f"cannot parse domain from {doc!r}")
+
+
+def domain_to_json(domain: Domain) -> Any:
+    """Inverse of :func:`domain_from_json`."""
+    for name, builtin in _BUILTIN_DOMAINS.items():
+        if domain == builtin:
+            return name
+    if domain.is_finite:
+        return {"name": domain.name, "values": list(domain.values)}
+    return {"name": domain.name}
+
+
+def schema_from_json(doc: Mapping[str, Any]) -> DatabaseSchema:
+    """Parse a database schema document."""
+    relations = []
+    for rel_doc in doc.get("relations", []):
+        attributes = []
+        for attr_doc in rel_doc["attributes"]:
+            if isinstance(attr_doc, str):
+                attributes.append(Attribute(attr_doc))
+            else:
+                attributes.append(
+                    Attribute(
+                        attr_doc["name"],
+                        domain_from_json(attr_doc.get("domain", "string")),
+                    )
+                )
+        relations.append(RelationSchema(rel_doc["name"], attributes))
+    return DatabaseSchema(relations)
+
+
+def schema_to_json(schema: DatabaseSchema) -> dict[str, Any]:
+    """Inverse of :func:`schema_from_json`."""
+    return {
+        "relations": [
+            {
+                "name": rel.name,
+                "attributes": [
+                    {"name": a.name, "domain": domain_to_json(a.domain)}
+                    for a in rel.attributes
+                ],
+            }
+            for rel in schema
+        ]
+    }
+
+
+# ----------------------------------------------------------------------
+# Dependencies.
+# ----------------------------------------------------------------------
+
+
+def _entry_from_json(doc: Any):
+    if doc == "_":
+        return WILDCARD
+    if isinstance(doc, Mapping) and "const" in doc:
+        return Const(doc["const"])
+    return Const(doc)
+
+
+def _entry_to_json(entry) -> Any:
+    if is_wildcard(entry):
+        return "_"
+    assert is_const(entry)
+    if entry.value == "_" or isinstance(entry.value, Mapping):
+        return {"const": entry.value}
+    return entry.value
+
+
+def dependency_from_json(doc: Mapping[str, Any]) -> Dependency:
+    """Parse one fd / cfd / cfd-equality document."""
+    kind = doc.get("kind", "cfd")
+    if kind == "fd":
+        return FD(doc["relation"], doc["lhs"], doc["rhs"])
+    if kind == "cfd-equality":
+        return CFD.equality(doc["relation"], doc["left"], doc["right"])
+    if kind == "cfd":
+        lhs = {a: _entry_from_json(e) for a, e in doc["lhs"].items()}
+        rhs = {a: _entry_from_json(e) for a, e in doc["rhs"].items()}
+        return CFD(doc["relation"], lhs, rhs)
+    raise FormatError(f"unknown dependency kind {kind!r}")
+
+
+def dependency_to_json(dep: Dependency) -> dict[str, Any]:
+    """Inverse of :func:`dependency_from_json`."""
+    if isinstance(dep, FD):
+        return {
+            "kind": "fd",
+            "relation": dep.relation,
+            "lhs": list(dep.lhs),
+            "rhs": list(dep.rhs),
+        }
+    if dep.is_equality:
+        return {
+            "kind": "cfd-equality",
+            "relation": dep.relation,
+            "left": dep.lhs[0][0],
+            "right": dep.rhs[0][0],
+        }
+    return {
+        "kind": "cfd",
+        "relation": dep.relation,
+        "lhs": {a: _entry_to_json(e) for a, e in dep.lhs},
+        "rhs": {a: _entry_to_json(e) for a, e in dep.rhs},
+    }
+
+
+def dependencies_from_json(docs: Iterable[Mapping[str, Any]]) -> list[Dependency]:
+    """Parse a list of dependency documents."""
+    return [dependency_from_json(doc) for doc in docs]
+
+
+def dependencies_to_json(deps: Iterable[Dependency]) -> list[dict[str, Any]]:
+    """Serialize a list of dependencies."""
+    return [dependency_to_json(dep) for dep in deps]
+
+
+# ----------------------------------------------------------------------
+# Views.
+# ----------------------------------------------------------------------
+
+
+def _selection_from_json(doc: Mapping[str, Any]) -> SelectionAtom:
+    if "eq" in doc:
+        left, right = doc["eq"]
+        return AttrEq(left, right)
+    if "attr" in doc:
+        return ConstEq(doc["attr"], doc["value"])
+    raise FormatError(f"cannot parse selection atom {doc!r}")
+
+
+def _selection_to_json(atom: SelectionAtom) -> dict[str, Any]:
+    if isinstance(atom, AttrEq):
+        return {"eq": [atom.left, atom.right]}
+    return {"attr": atom.attr, "value": atom.value}
+
+
+def spc_view_from_json(
+    doc: Mapping[str, Any], schema: DatabaseSchema
+) -> SPCView:
+    atoms = []
+    for atom_doc in doc.get("atoms", []):
+        source = atom_doc["source"]
+        if "mapping" in atom_doc:
+            mapping = dict(atom_doc["mapping"])
+        else:
+            prefix = atom_doc.get("prefix", "")
+            mapping = {
+                a: f"{prefix}{a}"
+                for a in schema.relation(source).attribute_names
+            }
+        atoms.append(RelationAtom(source, mapping))
+    return SPCView(
+        doc.get("name", "V"),
+        schema,
+        atoms,
+        [_selection_from_json(s) for s in doc.get("selection", [])],
+        doc.get("projection"),
+        doc.get("constants", {}),
+    )
+
+
+def spc_view_to_json(view: SPCView) -> dict[str, Any]:
+    """Inverse of :func:`spc_view_from_json`."""
+    return {
+        "name": view.name,
+        "atoms": [
+            {"source": atom.source, "mapping": dict(atom.mapping)}
+            for atom in view.atoms
+        ],
+        "selection": [_selection_to_json(s) for s in view.selection],
+        "projection": list(view.projection),
+        "constants": dict(view.constants),
+    }
+
+
+def view_from_json(
+    doc: Mapping[str, Any], schema: DatabaseSchema
+) -> SPCView | SPCUView:
+    if "branches" in doc:
+        name = doc.get("name", "V")
+        branches = [
+            spc_view_from_json({**branch, "name": name}, schema)
+            for branch in doc["branches"]
+        ]
+        return SPCUView(name, branches)
+    return spc_view_from_json(doc, schema)
+
+
+def view_to_json(view: SPCView | SPCUView) -> dict[str, Any]:
+    """Serialize an SPC or SPCU view (branch list form for the latter)."""
+    if isinstance(view, SPCUView):
+        return {
+            "name": view.name,
+            "branches": [spc_view_to_json(b) for b in view.branches],
+        }
+    return spc_view_to_json(view)
+
+
+# ----------------------------------------------------------------------
+# Instances.
+# ----------------------------------------------------------------------
+
+
+def instance_from_json(
+    doc: Mapping[str, Any], schema: DatabaseSchema
+) -> DatabaseInstance:
+    return DatabaseInstance(schema, {name: rows for name, rows in doc.items()})
+
+
+def instance_to_json(database: DatabaseInstance) -> dict[str, Any]:
+    return {name: rel.rows for name, rel in database.relations.items()}
+
+
+# ----------------------------------------------------------------------
+# File helpers.
+# ----------------------------------------------------------------------
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a JSON document from *path*."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def dump_json(doc: Any, path: str | Path) -> None:
+    """Write *doc* to *path* as stable, indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,278 @@
+"""The dependency propagation test: ``Sigma |=_V phi`` (Theorems 3.1-3.5).
+
+The procedure is the appendix construction made executable:
+
+1. For every ordered pair of branches ``(e_i, e_j)`` of the (SPCU) view,
+   materialize two independent copies of the view tableaux into one
+   symbolic source instance — this is the instance ``I = rho1(T_V) U
+   rho2(T_V)`` of the Theorem 3.1 proof, generalized to pairs of distinct
+   disjuncts (the ``k^2`` combinations of part (a.2)).
+2. Couple the two summaries through the LHS of the view CFD ``phi``:
+   pattern constants are bound into both copies, wildcard positions share
+   one variable.  If the coupling fails (the mapping ``rho`` is undefined)
+   no violating pair can come from this branch combination.
+3. Chase with the source dependencies.  An undefined chase likewise rules
+   out a violation.  Otherwise the chased tableau instantiates to a
+   concrete source instance satisfying ``Sigma``, and ``phi`` is violated
+   on the view unless the two RHS cells were identified (and forced to the
+   RHS pattern constant, when there is one).
+
+``Sigma |=_V phi`` holds iff no branch combination yields a violation.
+
+Finite domains are handled by enumerating instantiations of finite-domain
+variables before each chase (``chase_with_instantiations``), which is the
+general-setting coNP procedure of Theorems 3.2/3.3 and Corollary 3.6; with
+no finite-domain attributes a single chase runs and the whole test is
+polynomial.  ``assume_infinite=True`` forces the single-chase PTIME
+procedure even in the presence of finite domains — deliberately incomplete,
+used to demonstrate why the general setting costs more (Theorem 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..algebra.instance import DatabaseInstance
+from ..algebra.spc import SPCView
+from ..algebra.spcu import SPCUView
+from ..core.cfd import CFD
+from ..core.chase import (
+    ChaseStatus,
+    SymbolicInstance,
+    SymVar,
+    Value,
+    VarFactory,
+    chase,
+    chase_with_instantiations,
+    premise_positions,
+)
+from ..core.fd import FD
+from ..core.values import is_const
+from ..tableau.tableau import materialize_branch
+
+ViewLike = Union[SPCView, SPCUView]
+DependencyLike = Union[CFD, FD]
+
+
+class UnsupportedViewError(ValueError):
+    """Raised for view languages with no decision procedure (full RA)."""
+
+
+def _as_cfds(dependencies: Iterable[DependencyLike]) -> list[CFD]:
+    out: list[CFD] = []
+    for dep in dependencies:
+        if isinstance(dep, FD):
+            dep = CFD.from_fd(dep)
+        out.extend(dep.normalize())
+    return out
+
+
+def _branches(view: ViewLike) -> list[SPCView]:
+    if isinstance(view, SPCView):
+        return [view]
+    if isinstance(view, SPCUView):
+        return list(view.branches)
+    raise UnsupportedViewError(
+        f"no decision procedure for views of type {type(view).__name__}; "
+        "normalize to SPCView/SPCUView first (full relational algebra with "
+        "difference is undecidable — Tables 1 and 2)"
+    )
+
+
+@dataclass
+class Counterexample:
+    """A witness of non-propagation.
+
+    ``database`` satisfies the source dependencies while the view evaluated
+    on it violates the view dependency; ``branch_pair`` records which
+    disjuncts produced the violating tuples.
+    """
+
+    database: DatabaseInstance
+    branch_pair: tuple[int, int]
+
+
+def propagates(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    phi: DependencyLike,
+    max_instantiations: int | None = None,
+    assume_infinite: bool = False,
+) -> bool:
+    """Decide ``Sigma |=_V phi``.
+
+    ``max_instantiations`` caps the finite-domain enumeration; a capped run
+    is sound for *non*-propagation but may report propagation optimistically
+    (the paper's heuristic escape for the coNP cases).
+    """
+    return (
+        find_counterexample(
+            sigma,
+            view,
+            phi,
+            max_instantiations=max_instantiations,
+            assume_infinite=assume_infinite,
+        )
+        is None
+    )
+
+
+def find_counterexample(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    phi: DependencyLike,
+    max_instantiations: int | None = None,
+    assume_infinite: bool = False,
+) -> Counterexample | None:
+    """Search for a source instance witnessing ``Sigma |/=_V phi``.
+
+    Returns ``None`` when *phi* is propagated.  The witness database is
+    concrete and can be validated by evaluation — the integration tests
+    do exactly that.
+    """
+    sigma_cfds = _as_cfds(sigma)
+    if isinstance(phi, FD):
+        phi = CFD.from_fd(phi)
+    branches = _branches(view)
+    projection = set(branches[0].projection)
+
+    for normal_phi in phi.normalize():
+        if normal_phi.is_trivial():
+            continue
+        missing = normal_phi.attributes - projection
+        if missing:
+            raise KeyError(
+                f"view dependency references attributes {sorted(missing)} "
+                "that the view does not project"
+            )
+        if normal_phi.is_equality:
+            witness = _equality_counterexample(
+                sigma_cfds, branches, normal_phi, max_instantiations, assume_infinite
+            )
+        else:
+            witness = _pair_counterexample(
+                sigma_cfds, branches, normal_phi, max_instantiations, assume_infinite
+            )
+        if witness is not None:
+            return witness
+    return None
+
+
+def _chase_runs(
+    instance: SymbolicInstance,
+    sigma: list[CFD],
+    max_instantiations: int | None,
+    assume_infinite: bool,
+    extra_values: tuple[Value, ...],
+):
+    if assume_infinite:
+        yield chase(instance.copy(), sigma)
+        return
+    yield from chase_with_instantiations(
+        instance,
+        sigma,
+        limit=max_instantiations,
+        positions=premise_positions(sigma),
+        extra_values=extra_values,
+    )
+
+
+def _pair_counterexample(
+    sigma: list[CFD],
+    branches: list[SPCView],
+    phi: CFD,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> Counterexample | None:
+    rhs_attr = phi.rhs_attr
+    rhs_entry = phi.rhs_entry
+
+    for i, left in enumerate(branches):
+        for j, right in enumerate(branches):
+            instance = SymbolicInstance()
+            factory = VarFactory()
+            cells1 = materialize_branch(left, instance, factory)
+            if cells1 is None:
+                continue
+            cells2 = materialize_branch(right, instance, factory)
+            if cells2 is None:
+                continue
+            if not _couple_premise(instance, cells1, cells2, phi):
+                continue
+            y1 = cells1[rhs_attr]
+            y2 = cells2[rhs_attr]
+            for result in _chase_runs(
+                instance, sigma, max_instantiations, assume_infinite, (y1, y2)
+            ):
+                if result.status is ChaseStatus.UNDEFINED:
+                    continue
+                r1 = result.instance.resolve(y1)
+                r2 = result.instance.resolve(y2)
+                violated = r1 != r2
+                if not violated and is_const(rhs_entry):
+                    violated = isinstance(r1, SymVar) or r1 != rhs_entry.value
+                if violated:
+                    database = _to_database(result.instance, branches[0])
+                    return Counterexample(database, (i, j))
+    return None
+
+
+def _couple_premise(
+    instance: SymbolicInstance,
+    cells1: dict[str, Value],
+    cells2: dict[str, Value],
+    phi: CFD,
+) -> bool:
+    """Bind the two summaries to the LHS pattern of *phi*.
+
+    Returns ``False`` when the mapping is undefined — no pair of view
+    tuples from these branches can match the premise.
+    """
+    for attr, entry in phi.lhs:
+        if is_const(entry):
+            if not instance.equate(cells1[attr], entry.value):
+                return False
+            if not instance.equate(cells2[attr], entry.value):
+                return False
+        else:
+            if not instance.equate(cells1[attr], cells2[attr]):
+                return False
+    return True
+
+
+def _equality_counterexample(
+    sigma: list[CFD],
+    branches: list[SPCView],
+    phi: CFD,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> Counterexample | None:
+    a = phi.lhs[0][0]
+    b = phi.rhs[0][0]
+    for i, branch in enumerate(branches):
+        instance = SymbolicInstance()
+        factory = VarFactory()
+        cells = materialize_branch(branch, instance, factory)
+        if cells is None:
+            continue
+        for result in _chase_runs(
+            instance,
+            sigma,
+            max_instantiations,
+            assume_infinite,
+            (cells[a], cells[b]),
+        ):
+            if result.status is ChaseStatus.UNDEFINED:
+                continue
+            if result.instance.resolve(cells[a]) != result.instance.resolve(cells[b]):
+                return Counterexample(_to_database(result.instance, branch), (i, i))
+    return None
+
+
+def _to_database(instance: SymbolicInstance, any_branch: SPCView) -> DatabaseInstance:
+    """Instantiate a chased symbolic instance into a concrete database."""
+    concrete = instance.instantiate().concrete()
+    schema = any_branch.source_schema
+    rows = {rel: concrete.get(rel, []) for rel in concrete}
+    return DatabaseInstance(schema, rows)

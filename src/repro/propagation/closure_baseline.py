@@ -1,0 +1,71 @@
+"""The textbook closure-based propagation-cover method (the baseline).
+
+Section 4.1: the method covered by database texts computes the closure
+``F+`` of the source FDs — *always* exponential time — and projects it
+onto the view attributes.  Gottlob's RBR (and ``PropCFD_SPC`` here) exists
+precisely to avoid that cost on the common inputs whose covers are small.
+
+This module implements the baseline for FD sources and projection views so
+the A1 ablation benchmark can measure the blow-up, plus the Example 4.1
+family on which *every* cover is necessarily exponential — the case where
+the baseline and RBR are both doomed and the paper's polynomial-time
+heuristic (truncate at a bound) is the only escape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.fd import FD, fd_closure, minimal_cover, project_fds
+from ..core.schema import DatabaseSchema, RelationSchema
+
+
+def closure_projection_cover(
+    fds: Iterable[FD],
+    relation: str,
+    attributes: Sequence[str],
+    projection: Sequence[str],
+    minimize: bool = True,
+) -> list[FD]:
+    """Cover of the FDs propagated via ``pi_projection(relation)``.
+
+    Computes the full closure over *attributes* and keeps the FDs whose
+    attributes survive the projection.  Exponential in ``len(attributes)``
+    by construction — this is the point of the baseline.
+    """
+    closure = fd_closure(relation, attributes, fds)
+    projected = project_fds(closure, set(projection), relation=relation)
+    if minimize:
+        return minimal_cover(projected)
+    return projected
+
+
+def exponential_family(n: int) -> tuple[RelationSchema, list[FD], list[str]]:
+    """The Example 4.1 family: covers are necessarily exponential.
+
+    Schema ``R(A1..An, B1..Bn, C1..Cn, D)`` with FDs ``Ai -> Ci``,
+    ``Bi -> Ci`` and ``C1...Cn -> D``; the view projects away the ``Ci``.
+    Every cover of the propagated FDs contains all ``2^n`` dependencies
+    ``eta_1 ... eta_n -> D`` with ``eta_i`` one of ``Ai``/``Bi``.
+
+    Returns the schema, the source FDs and the projection list.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    a = [f"A{i}" for i in range(1, n + 1)]
+    b = [f"B{i}" for i in range(1, n + 1)]
+    c = [f"C{i}" for i in range(1, n + 1)]
+    schema = RelationSchema("R", a + b + c + ["D"])
+    fds: list[FD] = []
+    for i in range(n):
+        fds.append(FD("R", (a[i],), (c[i],)))
+        fds.append(FD("R", (b[i],), (c[i],)))
+    fds.append(FD("R", tuple(c), ("D",)))
+    projection = a + b + ["D"]
+    return schema, fds, projection
+
+
+def exponential_family_schema(n: int) -> DatabaseSchema:
+    """The Example 4.1 schema wrapped as a one-relation database schema."""
+    schema, _, _ = exponential_family(n)
+    return DatabaseSchema([schema])

@@ -1,0 +1,73 @@
+"""The emptiness problem for CFDs and views (Section 3.3).
+
+``V`` is *always empty* under ``Sigma`` when every instance satisfying
+``Sigma`` yields ``V(D) = {}`` — e.g. Example 3.1, where a source CFD pins
+``B = b1`` while the view selects ``B = b2``.  An always-empty view
+satisfies every view dependency, so ``PropCFD_SPC`` must detect the
+situation (Lemma 4.5).
+
+Procedure (Theorems 3.7/3.8): materialize each disjunct's tableau, chase
+with ``Sigma``; the disjunct can produce tuples iff some finite-domain
+instantiation chases to completion (the surviving tableau instantiates to
+a witness database).  PTIME without finite domains, NP-enumeration with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..algebra.instance import DatabaseInstance
+from ..algebra.spc import SPCView
+from ..core.chase import (
+    ChaseStatus,
+    SymbolicInstance,
+    VarFactory,
+    chase_with_instantiations,
+    premise_positions,
+)
+from .check import DependencyLike, ViewLike, _as_cfds, _branches
+
+
+def view_is_empty(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    max_instantiations: int | None = None,
+) -> bool:
+    """Whether ``V(D)`` is empty for every ``D |= Sigma``.
+
+    With ``max_instantiations`` set the enumeration is truncated: a
+    ``False`` answer (some witness found) is always sound, a ``True``
+    answer may be pessimistic.
+    """
+    return nonempty_witness(sigma, view, max_instantiations) is None
+
+
+def nonempty_witness(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    max_instantiations: int | None = None,
+) -> DatabaseInstance | None:
+    """A concrete ``D |= Sigma`` with ``V(D)`` nonempty, or ``None``."""
+    sigma_cfds = _as_cfds(sigma)
+    for branch in _branches(view):
+        instance = SymbolicInstance()
+        factory = VarFactory()
+        cells = _materialize(branch, instance, factory)
+        if cells is None:
+            continue
+        for result in chase_with_instantiations(
+            instance,
+            sigma_cfds,
+            limit=max_instantiations,
+            positions=premise_positions(sigma_cfds),
+        ):
+            if result.status is ChaseStatus.SATISFIABLE:
+                concrete = result.instance.instantiate().concrete()
+                return DatabaseInstance(branch.source_schema, concrete)
+    return None
+
+
+def _materialize(branch: SPCView, instance: SymbolicInstance, factory: VarFactory):
+    from ..tableau.tableau import materialize_branch
+
+    return materialize_branch(branch, instance, factory)

@@ -1,0 +1,111 @@
+"""General-setting (finite-domain) propagation analysis.
+
+:func:`repro.propagation.check.propagates` already runs the correct
+procedure for both settings — it enumerates finite-domain instantiations
+only when finite-domain variables occur.  This module adds the two things
+the paper's complexity discussion calls for:
+
+- :func:`propagates_ptime_chase`: the *infinite-domain* single-chase
+  procedure applied verbatim in the general setting.  It is sound for
+  propagation in one direction only and deliberately incomplete — the
+  Theorem 3.2 reduction family gives inputs where it answers "not
+  propagated" while exhaustive instantiation proves propagation.  Tests
+  and Table 1/2 benchmarks use it to exhibit the PTIME/coNP gap.
+- Diagnostics for the enumeration cost (how many finite-domain cells the
+  coNP procedure may branch on), which the benchmarks plot against
+  running time to show the exponential blow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.chase import SymbolicInstance, VarFactory, premise_positions
+from ..tableau.tableau import materialize_branch
+from .check import (
+    DependencyLike,
+    ViewLike,
+    _as_cfds,
+    _branches,
+    find_counterexample,
+    propagates,
+)
+
+
+def propagates_general(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    phi: DependencyLike,
+    max_instantiations: int | None = None,
+) -> bool:
+    """The general-setting decision procedure (alias with explicit name)."""
+    return propagates(sigma, view, phi, max_instantiations=max_instantiations)
+
+
+def propagates_ptime_chase(
+    sigma: Iterable[DependencyLike],
+    view: ViewLike,
+    phi: DependencyLike,
+) -> bool:
+    """The infinite-domain chase applied blindly (incomplete when finite
+    domains are present).
+
+    A ``True`` answer is always correct: the single chase explores the most
+    general instance, so finding no violation there *with a realizable
+    witness* can only overapproximate violations — in fact the single
+    chase claims a counterexample whenever the RHS cells stay distinct,
+    which needs fresh distinct values that a finite domain may not supply,
+    or may miss failures that only specific finite values trigger.  Hence
+    ``False`` answers must be double-checked by enumeration in the general
+    setting.  (Theorem 3.2 is exactly the statement that this gap cannot
+    be closed in polynomial time unless P = NP.)
+    """
+    return propagates(sigma, view, phi, assume_infinite=True)
+
+
+def finite_branching_cells(
+    sigma: Iterable[DependencyLike], view: ViewLike
+) -> int:
+    """How many finite-domain cells the coNP enumeration may branch on.
+
+    Counts, over the pairwise branch combination with the most cells, the
+    finite-domain variables sitting in rule-premise positions of the
+    materialized instance.  ``2^cells`` bounds the enumeration; the
+    Table 1/2 benchmarks plot runtime against this diagnostic.
+    """
+    sigma_cfds = _as_cfds(sigma)
+    positions = premise_positions(sigma_cfds)
+    worst = 0
+    for left in _branches(view):
+        for right in _branches(view):
+            instance = SymbolicInstance()
+            factory = VarFactory()
+            if materialize_branch(left, instance, factory) is None:
+                continue
+            if materialize_branch(right, instance, factory) is None:
+                continue
+            count = 0
+            for rel, rows in instance.relations.items():
+                watched = positions.get(rel, set())
+                seen = set()
+                for row in rows:
+                    for attr in watched:
+                        value = instance.resolve(row.get(attr))
+                        if (
+                            value is not None
+                            and hasattr(value, "domain")
+                            and value.domain.is_finite
+                            and value not in seen
+                        ):
+                            seen.add(value)
+                            count += 1
+            worst = max(worst, count)
+    return worst
+
+
+__all__ = [
+    "finite_branching_cells",
+    "find_counterexample",
+    "propagates_general",
+    "propagates_ptime_chase",
+]

@@ -1,0 +1,142 @@
+"""Propagation covers in the general setting (Section 7 future work).
+
+``PropCFD_SPC`` assumes the infinite-domain setting.  With finite-domain
+attributes two things change:
+
+1. **Soundness is preserved for free.**  A CFD propagated when every
+   domain is treated as infinite is propagated a fortiori when some
+   domains shrink (there are only fewer source instances to satisfy).
+   So the infinite-domain cover is always a sound starting point.
+2. **Completeness is lost**: finite domains admit *case analysis*.  With
+   ``dom(A) = {v1, ..., vk}``, a view CFD holds iff it holds on each
+   slice ``A = vi`` — e.g. two source CFDs covering both Boolean values
+   of ``A`` jointly force a constant the infinite-domain algorithm can
+   never derive (Theorem 3.3's coNP-hardness lives exactly here).
+
+:func:`prop_cfd_spc_general` implements cover strengthening by bounded
+case analysis:
+
+- run ``PropCFD_SPC`` for the base cover;
+- for every finite-domain attribute ``A`` of ``E_s`` with domain size at
+  most ``max_domain_size``, compute per-value covers of the view with
+  ``A = v`` added to the selection;
+- a candidate derivable in *every* slice is a view CFD with ``A``
+  case-split away: candidates are harvested from the first slice's cover
+  (with ``A``-guards stripped) and kept when implied by each other
+  slice's cover;
+- every harvested candidate is verified with the exact general-setting
+  decision procedure before being admitted (the verification also
+  catches interactions between several finite-domain attributes that a
+  single-attribute split misses).
+
+The result is sound by construction; completeness is relative to
+single-attribute case splits, the natural first step the paper's future
+work calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..algebra.ops import ConstEq
+from ..algebra.spc import SPCView
+from ..algebra.spcu import SPCUView
+from ..core.cfd import CFD
+from ..core.implication import implies
+from ..core.mincover import min_cover
+from ..core.values import is_const
+from .check import DependencyLike, propagates
+from .cover import prop_cfd_spc
+
+
+def _sliced(view: SPCView, attribute: str, value: object) -> SPCView:
+    """The view with ``attribute = value`` added to the selection."""
+    return SPCView(
+        view.name,
+        view.source_schema,
+        view.atoms,
+        list(view.selection) + [ConstEq(attribute, value)],
+        view.projection,
+        view.constants,
+        view.constant_domains,
+        unsatisfiable=view.unsatisfiable,
+    )
+
+
+def _strip_guard(phi: CFD, attribute: str) -> CFD | None:
+    """Remove an ``attribute`` guard from *phi*'s LHS (case-split away)."""
+    if phi.is_equality or attribute not in phi.lhs_attrs:
+        return phi
+    stripped = phi.drop_lhs_attribute(attribute)
+    if stripped.is_trivial():
+        return None
+    if not stripped.lhs and is_const(stripped.rhs_entry):
+        # Canonicalize the empty-LHS global constant to the paper's
+        # (A -> A, (_ || a)) shape.
+        return CFD.constant(
+            stripped.relation, stripped.rhs_attr, stripped.rhs_entry.value
+        )
+    return stripped
+
+
+def prop_cfd_spc_general(
+    sigma: Iterable[DependencyLike],
+    view: SPCView,
+    max_domain_size: int = 4,
+    partition_size: int | None = 40,
+    max_instantiations: int | None = None,
+) -> list[CFD]:
+    """A general-setting propagation cover via bounded case analysis.
+
+    ``max_domain_size`` bounds which finite domains are split (the cost is
+    one ``PropCFD_SPC`` run per value per attribute).  The returned CFDs
+    all pass the exact general-setting decision procedure.
+    """
+    base = prop_cfd_spc(sigma, view, partition_size=partition_size)
+    spcu = SPCUView.from_spc(view)
+
+    extra: list[CFD] = []
+    seen: set[CFD] = set(base)
+    domains = view.es_attributes()
+    for attribute in sorted(domains):
+        domain = domains[attribute]
+        if not domain.is_finite or domain.size > max_domain_size:
+            continue
+        values = list(domain)
+        slice_covers = [
+            prop_cfd_spc(
+                sigma,
+                _sliced(view, attribute, value),
+                partition_size=partition_size,
+            )
+            for value in values
+        ]
+        # Harvest candidates from the first slice, case-split the
+        # attribute away, and require derivability in every other slice.
+        for phi in slice_covers[0]:
+            candidate = _strip_guard(phi, attribute)
+            if candidate is None or candidate in seen:
+                continue
+            if any(
+                is_const(entry) and name == attribute
+                for name, entry in candidate.lhs
+            ):
+                continue
+            if not all(
+                implies(cover, candidate) for cover in slice_covers[1:]
+            ):
+                continue
+            if implies(base + extra, candidate):
+                continue  # already known
+            if propagates(
+                sigma,
+                spcu,
+                candidate,
+                max_instantiations=max_instantiations,
+            ):
+                seen.add(candidate)
+                extra.append(candidate)
+
+    if not extra:
+        return base
+    return min_cover(base + extra)

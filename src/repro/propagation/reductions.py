@@ -1,0 +1,173 @@
+"""The 3SAT reduction of Theorem 3.2.
+
+The lower bound for propagation in the general setting is shown by encoding
+a 3SAT instance ``phi = C1 ^ ... ^ Cn`` over variables ``x1 ... xm`` as a
+propagation question over an SC view: *phi is satisfiable iff the view FD
+is NOT propagated*.  This module constructs the encoding exactly as in the
+appendix proof, so the reduction can be exercised end to end — the tests
+cross-check the propagation verdict against brute-force SAT solving, and
+the Table 1/2 benchmarks use the family to demonstrate the exponential
+blow-up finite domains introduce.
+
+Encoding recap (appendix, proof of Theorem 3.2):
+
+- ``R0(X, A, Z)`` holds the truth assignment — ``X`` a variable index
+  (infinite domain), ``A`` its truth value, ``Z`` a free Boolean — with
+  the FD ``X -> A`` ensuring assignments are functions.
+- ``Rj(A1, A2, Xj, Aj)`` encodes clause ``Cj``: the Boolean pair
+  ``(A1, A2)`` is a 2-bit counter and the FD ``A1 A2 -> Xj Aj`` pins the
+  relation's content to the clause's literals, while ``Xj -> Aj`` keeps
+  per-variable truth values functional.
+- The SC view conjoins: a free copy of ``R0`` (supplying the view FD
+  ``X, A -> Z``), selections forcing ``R0`` to mention ``x1 ... xm``,
+  joins forcing the ``Rj`` assignments to be consistent with ``R0``, and
+  per-clause gadgets enumerating the literal choices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..algebra.ops import AttrEq, ConstEq
+from ..algebra.spc import RelationAtom, SPCView
+from ..core.cfd import CFD
+from ..core.domains import BOOL, INT
+from ..core.fd import FD
+from ..core.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+@dataclass(frozen=True)
+class ThreeSat:
+    """A 3SAT instance: ``clauses`` holds triples of nonzero literals.
+
+    Literal ``+i`` means variable ``x_i``; ``-i`` means its negation.
+    """
+
+    num_variables: int
+    clauses: tuple[tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_variables:
+                    raise ValueError(f"bad literal {literal} in clause {clause}")
+
+    def is_satisfiable(self) -> bool:
+        """Brute-force satisfiability (ground truth for the tests)."""
+        for bits in itertools.product(
+            (False, True), repeat=self.num_variables
+        ):
+            if all(
+                any(
+                    bits[abs(lit) - 1] == (lit > 0) for lit in clause
+                )
+                for clause in self.clauses
+            ):
+                return True
+        return False
+
+
+@dataclass
+class PropagationEncoding:
+    """The Theorem 3.2 artifacts for a 3SAT instance."""
+
+    schema: DatabaseSchema
+    sigma: list[FD]
+    view: SPCView
+    psi: CFD
+
+
+# The truth values are encoded as the Booleans of the BOOL finite domain.
+_TRUE = True
+_FALSE = False
+
+
+def encode(formula: ThreeSat) -> PropagationEncoding:
+    """Build ``(R, Sigma, V, psi)`` with ``SAT(formula) <=> Sigma |/=_V psi``."""
+    m = formula.num_variables
+    n = len(formula.clauses)
+
+    r0 = RelationSchema(
+        "R0",
+        [Attribute("X", INT), Attribute("A", BOOL), Attribute("Z", BOOL)],
+    )
+    clause_rels = [
+        RelationSchema(
+            f"R{j + 1}",
+            [
+                Attribute("A1", BOOL),
+                Attribute("A2", BOOL),
+                Attribute("X", INT),
+                Attribute("A", BOOL),
+            ],
+        )
+        for j in range(n)
+    ]
+    schema = DatabaseSchema([r0, *clause_rels])
+
+    sigma: list[FD] = [FD("R0", ("X",), ("A",))]
+    for j in range(n):
+        sigma.append(FD(f"R{j + 1}", ("A1", "A2"), ("X", "A")))
+        sigma.append(FD(f"R{j + 1}", ("X",), ("A",)))
+
+    atoms: list[RelationAtom] = []
+    selection: list[AttrEq | ConstEq] = []
+
+    def r0_atom(prefix: str) -> None:
+        atoms.append(
+            RelationAtom(
+                "R0",
+                {"X": f"{prefix}.X", "A": f"{prefix}.A", "Z": f"{prefix}.Z"},
+            )
+        )
+
+    def clause_atom(j: int, prefix: str) -> None:
+        atoms.append(
+            RelationAtom(
+                f"R{j + 1}",
+                {
+                    "A1": f"{prefix}.A1",
+                    "A2": f"{prefix}.A2",
+                    "X": f"{prefix}.X",
+                    "A": f"{prefix}.A",
+                },
+            )
+        )
+
+    # e: the free copy of R0 carrying the view FD.
+    r0_atom("e")
+
+    # e01: R0 must mention every variable index 1..m.
+    for i in range(1, m + 1):
+        r0_atom(f"c{i}")
+        selection.append(ConstEq(f"c{i}.X", i))
+
+    # e02: clause-relation assignments agree with R0's assignment.
+    for j in range(n):
+        r0_atom(f"d{j}")
+        clause_atom(j, f"f{j}")
+        selection.append(AttrEq(f"d{j}.X", f"f{j}.X"))
+        selection.append(AttrEq(f"d{j}.A", f"f{j}.A"))
+
+    # ej: the 2-bit counter enumerates the clause's literals (the fourth
+    # counter value repeats the first literal, as in the paper).
+    for j, clause in enumerate(formula.clauses):
+        literals = [clause[0], clause[1], clause[2], clause[0]]
+        for k, literal in enumerate(literals):
+            prefix = f"g{j}_{k}"
+            clause_atom(j, prefix)
+            selection.append(ConstEq(f"{prefix}.A1", bool(k & 2)))
+            selection.append(ConstEq(f"{prefix}.A2", bool(k & 1)))
+            selection.append(ConstEq(f"{prefix}.X", abs(literal)))
+            selection.append(ConstEq(f"{prefix}.A", literal > 0))
+
+    view = SPCView(
+        "V",
+        schema,
+        atoms,
+        selection,
+        projection=None,  # SC view: no projection, all attributes kept.
+    )
+    psi = CFD("V", {"e.X": "_", "e.A": "_"}, {"e.Z": "_"})
+    return PropagationEncoding(schema, sigma, view, psi)

@@ -1,0 +1,5 @@
+"""Tableaux for SPC views (appendix machinery)."""
+
+from .tableau import Tableau, materialize_branch
+
+__all__ = ["Tableau", "materialize_branch"]

@@ -1,0 +1,112 @@
+"""Tableau representations of SPC views (appendix, Theorem 1/Corollary 2).
+
+A tableau ``(Sum, T1, ..., Tm)`` consists of free tuples over the source
+relations plus a summary of distinguished cells.  Every SPC expression has
+an equivalent tableau computable in polynomial time; the propagation and
+emptiness procedures all start by *materializing* a view's tableau into a
+:class:`~repro.core.chase.SymbolicInstance` and chasing it.
+
+``materialize_branch`` is that shared primitive: it adds one copy of the
+view's free tuples (fresh variables per cell, selection condition applied
+by constant binding / variable unification) to a symbolic instance and
+returns the summary — the view-attribute -> cell mapping.  It returns
+``None`` when the selection condition is contradictory, in which case the
+branch can never produce tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..algebra.ops import AttrEq, ConstEq
+from ..algebra.spc import SPCView
+from ..core.chase import SymbolicInstance, Value, VarFactory
+
+
+def materialize_branch(
+    view: SPCView,
+    instance: SymbolicInstance,
+    factory: VarFactory,
+) -> dict[str, Value] | None:
+    """Add one derivation of *view* to *instance*; return its summary.
+
+    The summary maps every *extended* view attribute (projected or not,
+    constants of ``Rc`` included) to its cell — a variable or constant.
+    Cells must be read back through ``instance.resolve`` after chasing.
+    ``None`` signals an unsatisfiable selection condition.
+    """
+    if view.unsatisfiable:
+        return None
+
+    cells: dict[str, Value] = {}
+    for atom in view.atoms:
+        source_rel = view.source_schema.relation(atom.source)
+        row: dict[str, Value] = {}
+        for src, view_name in atom.mapping:
+            var = factory.fresh(source_rel.domain_of(src))
+            row[src] = var
+            cells[view_name] = var
+        instance.add_tuple(atom.source, row)
+
+    for sel in view.selection:
+        if isinstance(sel, ConstEq):
+            if not instance.equate(cells[sel.attr], sel.value):
+                return None
+        else:
+            assert isinstance(sel, AttrEq)
+            if not instance.equate(cells[sel.left], cells[sel.right]):
+                return None
+
+    for attr, value in view.constants.items():
+        cells[attr] = value
+    return cells
+
+
+@dataclass
+class Tableau:
+    """The expository tableau object: summary row plus free tuples.
+
+    ``summary`` covers the projected view attributes only (the classical
+    summary); ``tables`` holds the free tuples grouped by source relation.
+    """
+
+    summary: dict[str, Value]
+    tables: dict[str, list[dict[str, Value]]]
+
+    @classmethod
+    def of_view(cls, view: SPCView) -> "Tableau":
+        """Build the tableau of *view* (empty tableau for contradictory selections)."""
+        instance = SymbolicInstance()
+        factory = VarFactory()
+        cells = materialize_branch(view, instance, factory)
+        if cells is None:
+            return cls(summary={}, tables={})
+        summary = {
+            attr: instance.resolve(cells[attr]) for attr in view.projection
+        }
+        tables = {
+            rel: [instance.resolved_row(row) for row in rows]
+            for rel, rows in instance.relations.items()
+        }
+        return cls(summary=summary, tables=tables)
+
+    @property
+    def is_empty_view(self) -> bool:
+        """True when the view's selection was syntactically contradictory."""
+        return not self.summary and not self.tables
+
+    def variables(self) -> set[Any]:
+        found: set[Any] = set()
+        for rows in self.tables.values():
+            for row in rows:
+                for value in row.values():
+                    if not isinstance(value, (str, int, float, bool)):
+                        found.add(value)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"Sum: {self.summary}"]
+        for rel, rows in self.tables.items():
+            parts.append(f"{rel}: {rows}")
+        return "Tableau(" + "; ".join(parts) + ")"

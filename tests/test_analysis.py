@@ -1,0 +1,93 @@
+"""High-level workflows: partition, mapping verification, update rejection."""
+
+import pytest
+
+from repro import CFD, FD
+from repro.analysis import (
+    partition_rules,
+    propagation_cover,
+    update_is_rejectable,
+    verify_mapping,
+)
+
+
+@pytest.fixture
+def rules():
+    return {
+        "uk-zip-street": CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"}),
+        "plain-zip-street": CFD("R", {"zip": "_"}, {"street": "_"}),
+        "uk-020-london": CFD("R", {"CC": "44", "AC": "20"}, {"city": "ldn"}),
+        "phone-key": FD("R", ("CC", "AC", "phn"), ("street", "city", "zip")),
+    }
+
+
+class TestPartitionRules:
+    def test_splits_by_propagation(self, customer_sigma, customer_view, rules):
+        partition = partition_rules(
+            customer_sigma, customer_view, rules.values()
+        )
+        assert rules["uk-zip-street"] in partition.guaranteed
+        assert rules["uk-020-london"] in partition.guaranteed
+        assert rules["plain-zip-street"] in partition.must_validate
+        assert rules["phone-key"] in partition.must_validate
+
+    def test_empty_rules(self, customer_sigma, customer_view):
+        partition = partition_rules(customer_sigma, customer_view, [])
+        assert partition.guaranteed == [] and partition.must_validate == []
+
+
+class TestVerifyMapping:
+    def test_valid_mapping(self, customer_sigma, customer_view, rules):
+        verdict = verify_mapping(
+            customer_sigma,
+            customer_view,
+            {"uk": rules["uk-zip-street"], "020": rules["uk-020-london"]},
+        )
+        assert verdict.valid
+        assert not verdict.failures
+
+    def test_invalid_mapping_names_failures(
+        self, customer_sigma, customer_view, rules
+    ):
+        verdict = verify_mapping(customer_sigma, customer_view, rules)
+        assert not verdict.valid
+        assert set(verdict.failures) == {"plain-zip-street", "phone-key"}
+        # Counterexamples are real databases violating the constraint.
+        witness = verdict.failures["plain-zip-street"]
+        evaluated = customer_view.evaluate(witness.database)
+        assert not evaluated.satisfies(rules["plain-zip-street"])
+
+
+class TestUpdateRejection:
+    def test_paper_example_insert_rejected(self, customer_sigma, customer_view):
+        """Section 1 application (2): CC=44, AC=20, city=edi is rejected."""
+        cover = propagation_cover(customer_sigma, customer_view)
+        bad = {
+            "CC": "44", "AC": "20", "city": "edi",
+            "phn": "1", "name": "n", "street": "s", "zip": "z",
+        }
+        violated = update_is_rejectable(cover, bad, view_name="R")
+        assert violated is not None
+        assert violated.rhs_attr == "city"
+
+    def test_consistent_insert_not_rejected(self, customer_sigma, customer_view):
+        cover = propagation_cover(customer_sigma, customer_view)
+        good = {
+            "CC": "44", "AC": "20", "city": "ldn",
+            "phn": "1", "name": "n", "street": "s", "zip": "z",
+        }
+        assert update_is_rejectable(cover, good, view_name="R") is None
+
+    def test_pair_rules_cannot_reject_single_tuples(self):
+        cover = [CFD("V", {"A": "_"}, {"B": "_"})]
+        assert update_is_rejectable(cover, {"A": 1, "B": 2}) is None
+
+
+class TestPropagationCover:
+    def test_dispatches_on_view_shape(self, customer_sigma, customer_view):
+        cover = propagation_cover(customer_sigma, customer_view)
+        assert cover  # SPCU path
+        branch_cover = propagation_cover(
+            customer_sigma, customer_view.branches[0]
+        )
+        assert branch_cover  # SPC path

@@ -1,0 +1,256 @@
+"""The chase engine: equalization, CFD rules, instantiation, enumeration."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.chase import (
+    ChaseStatus,
+    SymbolicInstance,
+    SymVar,
+    VarFactory,
+    chase,
+    chase_with_instantiations,
+    finite_domain_assignments,
+    premise_positions,
+)
+from repro.core.domains import BOOL, STRING, finite
+
+
+@pytest.fixture
+def factory():
+    return VarFactory()
+
+
+class TestSymbolicInstance:
+    def test_resolve_follows_bindings(self, factory):
+        inst = SymbolicInstance()
+        a, b = factory.fresh(STRING), factory.fresh(STRING)
+        inst.bind(a, b)
+        inst.bind(b, "c")
+        assert inst.resolve(a) == "c"
+
+    def test_equate_vars_merges_toward_smaller(self, factory):
+        inst = SymbolicInstance()
+        a, b = factory.fresh(STRING), factory.fresh(STRING)
+        assert inst.equate(b, a)
+        assert inst.resolve(b) == a
+
+    def test_equate_var_with_constant(self, factory):
+        inst = SymbolicInstance()
+        a = factory.fresh(STRING)
+        assert inst.equate(a, "x")
+        assert inst.resolve(a) == "x"
+
+    def test_equate_distinct_constants_fails(self, factory):
+        inst = SymbolicInstance()
+        assert not inst.equate("x", "y")
+        assert inst.equate("x", "x")
+
+    def test_variables_lists_live_representatives(self, factory):
+        inst = SymbolicInstance()
+        a, b = factory.fresh(STRING), factory.fresh(STRING)
+        inst.add_tuple("R", {"A": a, "B": b})
+        inst.equate(a, b)
+        assert inst.variables() == [a]
+
+    def test_instantiate_gives_distinct_fresh_constants(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(STRING), "B": factory.fresh(STRING)})
+        concrete = inst.instantiate().concrete()
+        row = concrete["R"][0]
+        assert row["A"] != row["B"]
+
+    def test_copy_is_independent(self, factory):
+        inst = SymbolicInstance()
+        a = factory.fresh(STRING)
+        inst.add_tuple("R", {"A": a})
+        clone = inst.copy()
+        clone.bind(a, "x")
+        assert isinstance(inst.resolve(a), SymVar)
+
+
+class TestChaseRules:
+    def test_pair_rule_merges_rhs(self, factory):
+        inst = SymbolicInstance()
+        shared = factory.fresh(STRING)
+        b1, b2 = factory.fresh(STRING), factory.fresh(STRING)
+        inst.add_tuple("R", {"A": shared, "B": b1})
+        inst.add_tuple("R", {"A": shared, "B": b2})
+        result = chase(inst, [CFD("R", {"A": "_"}, {"B": "_"})])
+        assert result.status is ChaseStatus.SATISFIABLE
+        assert inst.resolve(b1) == inst.resolve(b2)
+
+    def test_pair_rule_fails_on_distinct_constants(self, factory):
+        inst = SymbolicInstance()
+        shared = factory.fresh(STRING)
+        inst.add_tuple("R", {"A": shared, "B": "x"})
+        inst.add_tuple("R", {"A": shared, "B": "y"})
+        result = chase(inst, [CFD("R", {"A": "_"}, {"B": "_"})])
+        assert result.status is ChaseStatus.UNDEFINED
+
+    def test_pair_rule_needs_forced_equality(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(STRING), "B": "x"})
+        inst.add_tuple("R", {"A": factory.fresh(STRING), "B": "y"})
+        result = chase(inst, [CFD("R", {"A": "_"}, {"B": "_"})])
+        assert result.status is ChaseStatus.SATISFIABLE  # distinct vars
+
+    def test_constant_rule_binds_variable(self, factory):
+        inst = SymbolicInstance()
+        b = factory.fresh(STRING)
+        inst.add_tuple("R", {"A": "1", "B": b})
+        chase(inst, [CFD("R", {"A": "1"}, {"B": "b"})])
+        assert inst.resolve(b) == "b"
+
+    def test_constant_rule_fails_on_conflict(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": "1", "B": "c"})
+        result = chase(inst, [CFD("R", {"A": "1"}, {"B": "b"})])
+        assert result.status is ChaseStatus.UNDEFINED
+
+    def test_variable_does_not_match_constant_premise(self, factory):
+        inst = SymbolicInstance()
+        b = factory.fresh(STRING)
+        inst.add_tuple("R", {"A": factory.fresh(STRING), "B": b})
+        chase(inst, [CFD("R", {"A": "1"}, {"B": "b"})])
+        assert isinstance(inst.resolve(b), SymVar)  # rule must not fire
+
+    def test_equality_cfd_merges_columns(self, factory):
+        inst = SymbolicInstance()
+        a, b = factory.fresh(STRING), factory.fresh(STRING)
+        inst.add_tuple("R", {"A": a, "B": b})
+        chase(inst, [CFD.equality("R", "A", "B")])
+        assert inst.resolve(a) == inst.resolve(b)
+
+    def test_transitive_merging_across_rules(self, factory):
+        inst = SymbolicInstance()
+        shared = factory.fresh(STRING)
+        rows = [
+            {"A": shared, "B": factory.fresh(STRING), "C": factory.fresh(STRING)},
+            {"A": shared, "B": factory.fresh(STRING), "C": factory.fresh(STRING)},
+        ]
+        for row in rows:
+            inst.add_tuple("R", dict(row))
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"}), CFD("R", {"B": "_"}, {"C": "_"})]
+        chase(inst, sigma)
+        assert inst.resolve(rows[0]["C"]) == inst.resolve(rows[1]["C"])
+
+    def test_general_form_normalized(self, factory):
+        inst = SymbolicInstance()
+        shared = factory.fresh(STRING)
+        rows = [
+            {"A": shared, "B": factory.fresh(STRING), "C": factory.fresh(STRING)},
+            {"A": shared, "B": factory.fresh(STRING), "C": factory.fresh(STRING)},
+        ]
+        for row in rows:
+            inst.add_tuple("R", dict(row))
+        chase(inst, [CFD("R", {"A": "_"}, {"B": "_", "C": "_"})])
+        assert inst.resolve(rows[0]["B"]) == inst.resolve(rows[1]["B"])
+        assert inst.resolve(rows[0]["C"]) == inst.resolve(rows[1]["C"])
+
+
+class TestPremisePositions:
+    def test_lhs_attributes_collected(self):
+        sigma = [CFD("R", {"A": "_", "B": "1"}, {"C": "_"})]
+        assert premise_positions(sigma) == {"R": {"A", "B"}}
+
+    def test_equality_counts_both_sides(self):
+        sigma = [CFD.equality("R", "A", "B")]
+        assert premise_positions(sigma) == {"R": {"A", "B"}}
+
+    def test_multiple_relations(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("S", {"C": "_"}, {"D": "_"}),
+        ]
+        positions = premise_positions(sigma)
+        assert positions["R"] == {"A"} and positions["S"] == {"C"}
+
+
+class TestFiniteEnumeration:
+    def test_assignments_cover_product(self):
+        v1 = SymVar(0, BOOL)
+        v2 = SymVar(1, finite("abc", ["a", "b", "c"]))
+        assignments = list(finite_domain_assignments([v1, v2]))
+        assert len(assignments) == 6
+
+    def test_assignment_limit(self):
+        v1 = SymVar(0, BOOL)
+        assert len(list(finite_domain_assignments([v1], limit=1))) == 1
+
+    def test_no_finite_vars_single_run(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(STRING)})
+        results = list(chase_with_instantiations(inst, []))
+        assert len(results) == 1
+
+    def test_finite_vars_enumerated(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(BOOL)})
+        results = list(chase_with_instantiations(inst, []))
+        assert len(results) == 2
+        values = {r.instance.resolve(r.instance.rows("R")[0]["A"]) for r in results}
+        assert values == {False, True}
+
+    def test_failed_branches_pruned(self, factory):
+        # (A=True -> B=b) conflicts with B='c' baked in; only A=False survives.
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(BOOL), "B": "c"})
+        sigma = [CFD("R", {"A": True}, {"B": "b"})]
+        results = list(chase_with_instantiations(inst, sigma))
+        assert len(results) == 1
+        assert results[0].instance.resolve(results[0].instance.rows("R")[0]["A"]) is False
+
+    def test_positions_skip_irrelevant_finite_vars(self, factory):
+        # B is never read by a premise: it must not be branched on.
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(STRING), "B": factory.fresh(BOOL)})
+        sigma = [CFD("R", {"A": "_"}, {"C": "_"})]
+        inst.rows("R")[0]["C"] = factory.fresh(STRING)
+        results = list(
+            chase_with_instantiations(
+                inst, sigma, positions=premise_positions(sigma)
+            )
+        )
+        assert len(results) == 1  # no branching happened
+
+    def test_extra_values_force_branching(self, factory):
+        inst = SymbolicInstance()
+        b = factory.fresh(BOOL)
+        inst.add_tuple("R", {"A": factory.fresh(STRING), "B": b})
+        results = list(
+            chase_with_instantiations(inst, [], positions={}, extra_values=(b,))
+        )
+        assert len(results) == 2
+
+    def test_limit_caps_yielded_results(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": factory.fresh(BOOL), "B": factory.fresh(BOOL)})
+        results = list(chase_with_instantiations(inst, [], limit=3))
+        assert len(results) == 3
+
+
+class TestTermination:
+    def test_chase_reports_steps(self, factory):
+        inst = SymbolicInstance()
+        inst.add_tuple("R", {"A": "1", "B": factory.fresh(STRING)})
+        result = chase(inst, [CFD("R", {"A": "1"}, {"B": "b"})])
+        assert result.steps >= 1
+
+    def test_large_chain_terminates(self, factory):
+        # A chain A0 -> A1 -> ... -> A30 over a pair of tuples.
+        inst = SymbolicInstance()
+        shared = factory.fresh(STRING)
+        n = 30
+        rows = []
+        for _ in range(2):
+            row = {"A0": shared}
+            row.update({f"A{i}": factory.fresh(STRING) for i in range(1, n + 1)})
+            rows.append(row)
+            inst.add_tuple("R", row)
+        sigma = [
+            CFD("R", {f"A{i}": "_"}, {f"A{i+1}": "_"}) for i in range(n)
+        ]
+        result = chase(inst, sigma)
+        assert result.status is ChaseStatus.SATISFIABLE
+        assert inst.resolve(rows[0][f"A{n}"]) == inst.resolve(rows[1][f"A{n}"])

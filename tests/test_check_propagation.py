@@ -1,0 +1,201 @@
+"""The propagation decision procedure (Theorems 3.1/3.3/3.5)."""
+
+import pytest
+
+from repro import (
+    CFD,
+    ConstEq,
+    AttrEq,
+    DatabaseSchema,
+    FD,
+    Projection,
+    RelationRef,
+    RelationSchema,
+    SPCUView,
+    SPCView,
+    Selection,
+    find_counterexample,
+    propagates,
+)
+from repro.algebra.spc import RelationAtom
+
+
+class TestExample11:
+    """The paper's running example: what propagates and what does not."""
+
+    def test_phi1_zip_street_under_uk(self, customer_sigma, customer_view):
+        phi1 = CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"})
+        assert propagates(customer_sigma, customer_view, phi1)
+
+    def test_f1_as_plain_fd_fails(self, customer_sigma, customer_view):
+        assert not propagates(
+            customer_sigma, customer_view, CFD("R", {"zip": "_"}, {"street": "_"})
+        )
+
+    def test_phi2_phi3_area_code_city(self, customer_sigma, customer_view):
+        for cc in ("44", "31"):
+            phi = CFD("R", {"CC": cc, "AC": "_"}, {"city": "_"})
+            assert propagates(customer_sigma, customer_view, phi)
+
+    def test_ac_city_without_country_fails(self, customer_sigma, customer_view):
+        assert not propagates(
+            customer_sigma, customer_view, CFD("R", {"AC": "_"}, {"city": "_"})
+        )
+
+    def test_phi4_phi5_constant_patterns(self, customer_sigma, customer_view):
+        phi4 = CFD("R", {"CC": "44", "AC": "20"}, {"city": "ldn"})
+        phi5 = CFD("R", {"CC": "31", "AC": "20"}, {"city": "Amsterdam"})
+        assert propagates(customer_sigma, customer_view, phi4)
+        assert propagates(customer_sigma, customer_view, phi5)
+
+    def test_phi4_without_cc_fails(self, customer_sigma, customer_view):
+        modified = CFD("R", {"AC": "20"}, {"city": "ldn"})
+        assert not propagates(customer_sigma, customer_view, modified)
+
+    def test_phi6_target_fd_not_propagated(self, customer_sigma, customer_view):
+        phi6 = FD("R", ("CC", "AC", "phn"), ("street", "city", "zip"))
+        assert not propagates(customer_sigma, customer_view, phi6)
+
+    def test_us_branch_has_no_zip_guarantee(self, customer_sigma, customer_view):
+        phi = CFD("R", {"CC": "01", "zip": "_"}, {"street": "_"})
+        assert not propagates(customer_sigma, customer_view, phi)
+
+
+class TestCounterexamples:
+    def test_counterexample_is_concrete_and_valid(
+        self, customer_sigma, customer_view
+    ):
+        phi = CFD("R", {"zip": "_"}, {"street": "_"})
+        witness = find_counterexample(customer_sigma, customer_view, phi)
+        assert witness is not None
+        db = witness.database
+        assert db.satisfies_all(customer_sigma)
+        assert not customer_view.evaluate(db).satisfies(phi)
+
+    def test_no_counterexample_for_propagated(self, customer_sigma, customer_view):
+        phi1 = CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"})
+        assert find_counterexample(customer_sigma, customer_view, phi1) is None
+
+    def test_branch_pair_recorded(self, customer_sigma, customer_view):
+        # AC -> city fails across the UK and NL branches (t1 vs t5).
+        phi = CFD("R", {"AC": "_"}, {"city": "_"})
+        witness = find_counterexample(customer_sigma, customer_view, phi)
+        assert witness is not None
+        i, j = witness.branch_pair
+        assert i != j  # the violation needs two different countries
+
+
+class TestSimpleViews:
+    @pytest.fixture
+    def db(self):
+        return DatabaseSchema([RelationSchema("R", ["A", "B", "C"])])
+
+    def test_projection_view_keeps_fd(self, db):
+        view = SPCView.from_expr(Projection(RelationRef("R"), ["A", "B"]), db)
+        sigma = [FD("R", ("A",), ("B",))]
+        assert propagates(sigma, view, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_projection_view_transitive_shortcut(self, db):
+        # A -> B -> C with B projected away: A -> C survives.
+        view = SPCView.from_expr(Projection(RelationRef("R"), ["A", "C"]), db)
+        sigma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        assert propagates(sigma, view, CFD("V", {"A": "_"}, {"C": "_"}))
+        assert not propagates(sigma, view, CFD("V", {"C": "_"}, {"A": "_"}))
+
+    def test_selection_strengthens_dependencies(self, db):
+        # sigma_{A=a}: the pattern CFD (A=a -> B) becomes a plain FD.
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("A", "a")]), db
+        )
+        sigma = [CFD("R", {"A": "a"}, {"B": "_"})]
+        assert propagates(sigma, view, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_selection_constant_cfd_on_view(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("A", "a")]), db
+        )
+        assert propagates([], view, CFD.constant("V", "A", "a"))
+        assert not propagates([], view, CFD.constant("V", "B", "a"))
+
+    def test_equality_selection_propagates_equality_cfd(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [AttrEq("A", "B")]), db
+        )
+        assert propagates([], view, CFD.equality("V", "A", "B"))
+        assert not propagates([], view, CFD.equality("V", "A", "C"))
+
+    def test_product_keeps_per_relation_cfds(self):
+        db = DatabaseSchema(
+            [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+        )
+        atoms = [
+            RelationAtom("R", {"A": "A", "B": "B"}),
+            RelationAtom("S", {"C": "C", "D": "D"}),
+        ]
+        view = SPCView("V", db, atoms)
+        sigma = [FD("R", ("A",), ("B",))]
+        assert propagates(sigma, view, CFD("V", {"A": "_"}, {"B": "_"}))
+        # ... but nothing links the two sides.
+        assert not propagates(sigma, view, CFD("V", {"C": "_"}, {"D": "_"}))
+
+    def test_join_transfers_dependencies_across_atoms(self):
+        db = DatabaseSchema(
+            [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+        )
+        atoms = [
+            RelationAtom("R", {"A": "A", "B": "B"}),
+            RelationAtom("S", {"C": "C", "D": "D"}),
+        ]
+        view = SPCView("V", db, atoms, [AttrEq("B", "C")])
+        sigma = [FD("R", ("A",), ("B",)), FD("S", ("C",), ("D",))]
+        # A -> B = C -> D composes through the join condition.
+        assert propagates(sigma, view, CFD("V", {"A": "_"}, {"D": "_"}))
+
+    def test_always_empty_view_propagates_everything(self, db):
+        # Example 3.1 shape: source pins B=b1, view selects B=b2.
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("B", "b2")]), db
+        )
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        assert propagates(sigma, view, CFD("V", {"C": "_"}, {"A": "weird"}))
+
+    def test_missing_view_attribute_raises(self, db):
+        view = SPCView.from_expr(Projection(RelationRef("R"), ["A"]), db)
+        with pytest.raises(KeyError):
+            propagates([], view, CFD("V", {"A": "_"}, {"Z": "_"}))
+
+    def test_trivial_target_always_propagates(self, db):
+        view = SPCView.from_expr(Projection(RelationRef("R"), ["A", "B"]), db)
+        assert propagates([], view, CFD("V", {"A": "_"}, {"A": "_"}))
+
+
+class TestUnsupportedViews:
+    def test_raw_expression_rejected_with_guidance(self):
+        from repro.propagation import UnsupportedViewError
+
+        expr = Projection(RelationRef("R"), ["A"])  # not normalized
+        with pytest.raises(UnsupportedViewError, match="undecidable"):
+            propagates([], expr, CFD("V", {"A": "_"}, {"B": "_"}))
+
+
+class TestSPCUInteractions:
+    def test_union_requires_all_branches(self):
+        """An FD holding on each branch separately can fail across branches."""
+        db = DatabaseSchema(
+            [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["A", "B"])]
+        )
+        from repro.algebra.ops import Union
+
+        view = SPCUView.from_expr(
+            Union(RelationRef("R"), RelationRef("S")), db
+        )
+        sigma = [FD("R", ("A",), ("B",)), FD("S", ("A",), ("B",))]
+        # Within each branch A -> B holds; across branches it does not.
+        assert not propagates(sigma, view, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_disjoint_union_with_tags_propagates(self, customer_sigma, customer_view):
+        # Tagged branches cannot cross-pair, so per-country FDs survive
+        # exactly when guarded by the tag (phi2/phi3 above); sanity-check
+        # the mixed-constant case too.
+        phi = CFD("R", {"CC": "01", "AC": "_"}, {"city": "_"})
+        assert not propagates(customer_sigma, customer_view, phi)

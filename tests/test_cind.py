@@ -1,0 +1,211 @@
+"""Conditional inclusion dependencies and derivable view CINDs."""
+
+import random
+
+import pytest
+
+from repro import DatabaseInstance, DatabaseSchema, RelationSchema, SPCView
+from repro.algebra.ops import AttrEq, ConstEq
+from repro.algebra.spc import RelationAtom
+from repro.cind import CIND, derive_source_view_cinds, derive_view_source_cinds
+from repro.generators import random_satisfying_instance, random_schema, random_spc_view
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema(
+        [
+            RelationSchema("Order", ["oid", "cust", "status"]),
+            RelationSchema("Customer", ["cid", "country"]),
+        ]
+    )
+
+
+@pytest.fixture
+def instance(db):
+    return DatabaseInstance(
+        db,
+        {
+            "Order": [
+                {"oid": 1, "cust": "c1", "status": "open"},
+                {"oid": 2, "cust": "c2", "status": "shipped"},
+            ],
+            "Customer": [
+                {"cid": "c1", "country": "UK"},
+                {"cid": "c2", "country": "US"},
+            ],
+        },
+    )
+
+
+class TestCINDModel:
+    def test_plain_ind_satisfied(self, instance):
+        psi = CIND("Order", ["cust"], "Customer", ["cid"])
+        assert psi.is_plain_ind
+        assert psi.holds_on(instance)
+
+    def test_plain_ind_violated(self, db):
+        broken = DatabaseInstance(
+            db,
+            {
+                "Order": [{"oid": 1, "cust": "ghost", "status": "open"}],
+                "Customer": [],
+            },
+        )
+        psi = CIND("Order", ["cust"], "Customer", ["cid"])
+        assert not psi.holds_on(broken)
+        assert len(list(psi.violations(broken))) == 1
+
+    def test_lhs_condition_restricts_scope(self, db):
+        instance = DatabaseInstance(
+            db,
+            {
+                "Order": [
+                    {"oid": 1, "cust": "ghost", "status": "draft"},
+                ],
+                "Customer": [],
+            },
+        )
+        # Only shipped orders need a customer; drafts are exempt.
+        psi = CIND(
+            "Order", ["cust"], "Customer", ["cid"],
+            lhs_condition={"status": "shipped"},
+        )
+        assert psi.holds_on(instance)
+
+    def test_rhs_condition_requires_witness_pattern(self, instance):
+        uk_only = CIND(
+            "Order", ["cust"], "Customer", ["cid"],
+            rhs_condition={"country": "UK"},
+        )
+        # c2's customer exists but is not in the UK.
+        assert not uk_only.holds_on(instance)
+        guarded = CIND(
+            "Order", ["cust"], "Customer", ["cid"],
+            lhs_condition={"status": "open"},
+            rhs_condition={"country": "UK"},
+        )
+        assert guarded.holds_on(instance)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CIND("R", ["A", "B"], "S", ["C"])
+
+    def test_condition_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            CIND("R", ["A"], "S", ["C"], lhs_condition={"A": 1})
+
+    def test_rename_lhs(self):
+        psi = CIND("R", ["A"], "S", ["C"], lhs_condition={"B": 1})
+        renamed = psi.rename_lhs({"A": "x.A", "B": "x.B"}, relation="V")
+        assert renamed.lhs_relation == "V"
+        assert renamed.lhs_attrs == ("x.A",)
+        assert dict(renamed.lhs_condition) == {"x.B": 1}
+
+
+class TestDerivedViewSourceCINDs:
+    def test_projection_view(self, db, instance):
+        atoms = [
+            RelationAtom(
+                "Order", {"oid": "oid", "cust": "cust", "status": "status"}
+            )
+        ]
+        view = SPCView("V", db, atoms, projection=["oid", "cust"])
+        cinds = derive_view_source_cinds(view)
+        assert len(cinds) == 1
+        psi = cinds[0]
+        assert psi.lhs_relation == "V"
+        assert psi.rhs_relation == "Order"
+        # Verify empirically on the instance + evaluated view.
+        self._check_on(view, instance, psi)
+
+    def test_selection_constant_becomes_rhs_condition(self, db, instance):
+        atoms = [
+            RelationAtom(
+                "Order", {"oid": "oid", "cust": "cust", "status": "status"}
+            )
+        ]
+        view = SPCView(
+            "V", db, atoms, [ConstEq("status", "open")], ["oid", "cust"]
+        )
+        (psi,) = derive_view_source_cinds(view)
+        assert dict(psi.rhs_condition) == {"status": "open"}
+        self._check_on(view, instance, psi)
+
+    def test_join_view_yields_one_cind_per_atom(self, db, instance):
+        atoms = [
+            RelationAtom(
+                "Order", {"oid": "oid", "cust": "cust", "status": "status"}
+            ),
+            RelationAtom("Customer", {"cid": "cid", "country": "country"}),
+        ]
+        view = SPCView(
+            "V", db, atoms, [AttrEq("cust", "cid")], ["oid", "cust", "country"]
+        )
+        cinds = derive_view_source_cinds(view)
+        assert {c.rhs_relation for c in cinds} == {"Order", "Customer"}
+        for psi in cinds:
+            self._check_on(view, instance, psi)
+
+    @staticmethod
+    def _check_on(view, instance, psi):
+        """Evaluate the view and check the CIND on view ∪ sources."""
+        view_rel = view.evaluate(instance)
+        combined_schema = DatabaseSchema(
+            list(instance.schema) + [view_rel.schema]
+        )
+        combined = DatabaseInstance(combined_schema)
+        for name, rel in instance.relations.items():
+            for row in rel:
+                combined.add(name, row)
+        for row in view_rel:
+            combined.add(view_rel.schema.name, row)
+        assert psi.holds_on(combined), f"derived CIND {psi} violated"
+
+    def test_random_views_always_satisfy_derived_cinds(self):
+        rng = random.Random(7)
+        schema = random_schema(
+            rng, num_relations=3, min_attributes=3, max_attributes=4
+        )
+        for _ in range(5):
+            view = random_spc_view(
+                rng, schema, num_projected=5, num_selections=2, num_atoms=2
+            )
+            db = random_satisfying_instance(rng, schema, [], rows_per_relation=6)
+            for psi in derive_view_source_cinds(view):
+                self._check_on(view, db, psi)
+
+
+class TestDerivedSourceViewCINDs:
+    def test_single_atom_selection_view(self, db, instance):
+        atoms = [
+            RelationAtom(
+                "Order", {"oid": "oid", "cust": "cust", "status": "status"}
+            )
+        ]
+        view = SPCView(
+            "V", db, atoms, [ConstEq("status", "open")], ["oid", "cust"]
+        )
+        (psi,) = derive_source_view_cinds(view)
+        assert psi.lhs_relation == "Order"
+        assert dict(psi.lhs_condition) == {"status": "open"}
+        TestDerivedViewSourceCINDs._check_on(view, instance, psi)
+
+    def test_join_views_yield_nothing(self, db):
+        atoms = [
+            RelationAtom(
+                "Order", {"oid": "oid", "cust": "cust", "status": "status"}
+            ),
+            RelationAtom("Customer", {"cid": "cid", "country": "country"}),
+        ]
+        view = SPCView("V", db, atoms, [AttrEq("cust", "cid")])
+        assert derive_source_view_cinds(view) == []
+
+    def test_attr_eq_selection_yields_nothing(self, db):
+        atoms = [
+            RelationAtom(
+                "Order", {"oid": "oid", "cust": "cust", "status": "status"}
+            )
+        ]
+        view = SPCView("V", db, atoms, [AttrEq("oid", "cust")])
+        assert derive_source_view_cinds(view) == []

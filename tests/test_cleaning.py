@@ -1,0 +1,138 @@
+"""Data cleaning: violation detection and greedy repair."""
+
+import pytest
+
+from repro import CFD, DatabaseInstance, DatabaseSchema, FD, RelationSchema
+from repro.cleaning import (
+    RepairFailed,
+    detect,
+    detect_in_rows,
+    repair,
+    summarize,
+)
+
+
+@pytest.fixture
+def db():
+    schema = DatabaseSchema([RelationSchema("R", ["A", "B", "C"])])
+    return DatabaseInstance(
+        schema,
+        {
+            "R": [
+                {"A": 1, "B": "x", "C": "p"},
+                {"A": 1, "B": "y", "C": "p"},  # conflicts on B given A
+                {"A": 2, "B": "z", "C": "q"},
+            ]
+        },
+    )
+
+
+class TestDetect:
+    def test_conflict_violation(self, db):
+        violations = detect([FD("R", ("A",), ("B",))], db)
+        assert len(violations) == 1
+        assert violations[0].kind == "conflict"
+        assert len(violations[0].tuples) == 2
+
+    def test_constant_violation(self, db):
+        rule = CFD("R", {"A": 2}, {"C": "qq"})
+        violations = detect([rule], db)
+        assert len(violations) == 1
+        assert violations[0].kind == "constant"
+
+    def test_equality_violation(self, db):
+        rule = CFD.equality("R", "B", "C")
+        violations = detect([rule], db)
+        assert len(violations) == 3
+        assert all(v.kind == "equality" for v in violations)
+
+    def test_clean_data_no_violations(self, db):
+        assert detect([FD("R", ("A", "B"), ("C",))], db) == []
+
+    def test_unknown_relation_raises(self, db):
+        with pytest.raises(KeyError):
+            detect([FD("S", ("A",), ("B",))], db)
+
+    def test_detect_in_rows(self):
+        rows = [{"A": 1, "B": 1}, {"A": 1, "B": 2}]
+        violations = detect_in_rows([CFD("R", {"A": "_"}, {"B": "_"})], rows)
+        assert len(violations) == 1
+
+    def test_general_form_rules_normalized(self, db):
+        rule = CFD("R", {"A": "_"}, {"B": "_", "C": "_"})
+        violations = detect([rule], db)
+        # B conflicts; C agrees — exactly one normalized rule fires.
+        assert len(violations) == 1
+        assert violations[0].rule.rhs_attr == "B"
+
+
+class TestSummarize:
+    def test_aggregates_by_rule(self, db):
+        rules = [FD("R", ("A",), ("B",)), CFD("R", {"A": 2}, {"C": "qq"})]
+        summaries = summarize(detect(rules, db))
+        assert len(summaries) == 2
+        totals = {s.rule.rhs_attr: s.total for s in summaries}
+        assert totals == {"B": 1, "C": 1}
+
+    def test_dirty_tuples_deduplicated(self, db):
+        summaries = summarize(detect([FD("R", ("A",), ("B",))], db))
+        assert summaries[0].dirty_tuples == 2
+
+    def test_sorted_by_total(self, db):
+        rules = [
+            CFD.equality("R", "B", "C"),  # 3 violations
+            FD("R", ("A",), ("B",)),      # 1 violation
+        ]
+        summaries = summarize(detect(rules, db))
+        assert summaries[0].total >= summaries[-1].total
+
+
+class TestRepair:
+    def test_repair_produces_clean_instance(self, db):
+        rules = [FD("R", ("A",), ("B",)), CFD("R", {"A": 2}, {"C": "qq"})]
+        fixed, edits = repair(rules, db)
+        assert detect(rules, fixed) == []
+        assert len(edits) >= 2
+
+    def test_original_untouched(self, db):
+        rules = [FD("R", ("A",), ("B",))]
+        before = [dict(r) for r in db.relation("R").rows]
+        repair(rules, db)
+        assert db.relation("R").rows == before
+
+    def test_edit_log_records_values(self, db):
+        rules = [CFD("R", {"A": 2}, {"C": "qq"})]
+        _, edits = repair(rules, db)
+        assert len(edits) == 1
+        assert edits[0].attribute == "C"
+        assert edits[0].old_value == "q"
+        assert edits[0].new_value == "qq"
+
+    def test_cascading_rules_converge(self, db):
+        rules = [
+            FD("R", ("A",), ("B",)),
+            FD("R", ("B",), ("C",)),
+        ]
+        fixed, _ = repair(rules, db)
+        assert detect(rules, fixed) == []
+
+    def test_equality_rule_repaired(self, db):
+        rules = [CFD.equality("R", "B", "C")]
+        fixed, _ = repair(rules, db)
+        assert detect(rules, fixed) == []
+        for row in fixed.relation("R"):
+            assert row["B"] == row["C"]
+
+    def test_unsatisfiable_rules_raise(self, db):
+        rules = [
+            CFD.constant("R", "C", "v1"),
+            CFD.constant("R", "C", "v2"),
+        ]
+        with pytest.raises(RepairFailed):
+            repair(rules, db, max_rounds=10)
+
+    def test_clean_input_needs_no_edits(self, db):
+        rules = [FD("R", ("A", "B"), ("C",))]
+        fixed, edits = repair(rules, db)
+        assert edits == []
+        assert len(fixed.relation("R")) == len(db.relation("R"))

@@ -1,0 +1,201 @@
+"""The command-line interface, driven through temp JSON files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    """Schema/sigma/view files for the Example 1.1 UK branch."""
+    attrs = ["AC", "phn", "name", "street", "city", "zip"]
+    schema = {
+        "relations": [
+            {"name": f"R{i}", "attributes": attrs} for i in (1, 2, 3)
+        ]
+    }
+    sigma = [
+        {"kind": "fd", "relation": "R1", "lhs": ["zip"], "rhs": ["street"]},
+        {"kind": "fd", "relation": "R1", "lhs": ["AC"], "rhs": ["city"]},
+        {
+            "kind": "cfd",
+            "relation": "R1",
+            "lhs": {"AC": "20"},
+            "rhs": {"city": "ldn"},
+        },
+    ]
+    view = {
+        "name": "R",
+        "branches": [
+            {
+                "atoms": [{"source": "R1", "prefix": ""}],
+                "projection": attrs + ["CC"],
+                "constants": {"CC": "44"},
+            },
+            {
+                "atoms": [{"source": "R2", "prefix": ""}],
+                "projection": attrs + ["CC"],
+                "constants": {"CC": "01"},
+            },
+        ],
+    }
+    paths = {}
+    for name, doc in [("schema", schema), ("sigma", sigma), ("view", view)]:
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(doc))
+        paths[name] = str(path)
+    paths["dir"] = tmp_path
+    return paths
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestCheck:
+    def test_propagated_exit_zero(self, workspace, capsys):
+        phi = _write(
+            workspace["dir"],
+            "phi.json",
+            {
+                "kind": "cfd",
+                "relation": "R",
+                "lhs": {"CC": "44", "zip": "_"},
+                "rhs": {"street": "_"},
+            },
+        )
+        code = main(
+            ["check", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi]
+        )
+        assert code == 0
+        assert "PROPAGATED" in capsys.readouterr().out
+
+    def test_not_propagated_exit_one_with_witness(self, workspace, capsys):
+        phi = _write(
+            workspace["dir"],
+            "phi.json",
+            {
+                "kind": "cfd",
+                "relation": "R",
+                "lhs": {"zip": "_"},
+                "rhs": {"street": "_"},
+            },
+        )
+        code = main(
+            ["check", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi,
+             "--witness"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "not propagated" in out
+        assert "R2" in out  # the witness database is printed
+
+    def test_list_of_targets(self, workspace, capsys):
+        phi = _write(
+            workspace["dir"],
+            "phis.json",
+            [
+                {
+                    "kind": "cfd",
+                    "relation": "R",
+                    "lhs": {"CC": "44", "zip": "_"},
+                    "rhs": {"street": "_"},
+                },
+                {
+                    "kind": "cfd",
+                    "relation": "R",
+                    "lhs": {"zip": "_"},
+                    "rhs": {"street": "_"},
+                },
+            ],
+        )
+        code = main(
+            ["check", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi]
+        )
+        assert code == 1  # one of the two fails
+
+
+class TestCover:
+    def test_cover_written_to_file(self, workspace, capsys):
+        out_path = workspace["dir"] / "cover.json"
+        code = main(
+            ["cover", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"],
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        cover = json.loads(out_path.read_text())
+        assert cover  # nonempty list of dependency documents
+        assert all("kind" in doc for doc in cover)
+
+
+class TestEmpty:
+    def test_nonempty_view(self, workspace, capsys):
+        code = main(
+            ["empty", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"]]
+        )
+        assert code == 0
+        assert "NONEMPTY" in capsys.readouterr().out
+
+
+class TestValidateAndRepair:
+    @pytest.fixture
+    def data_files(self, workspace):
+        rules = [
+            {"kind": "fd", "relation": "R1", "lhs": ["zip"], "rhs": ["street"]},
+        ]
+        dirty_row = {
+            "AC": "20", "phn": "1", "name": "a", "street": "S1",
+            "city": "LDN", "zip": "Z",
+        }
+        dirty_row2 = dict(dirty_row, phn="2", name="b", street="S2")
+        data = {"R1": [dirty_row, dirty_row2], "R2": [], "R3": []}
+        return (
+            _write(workspace["dir"], "rules.json", rules),
+            _write(workspace["dir"], "data.json", data),
+        )
+
+    def test_validate_reports_violations(self, workspace, data_files, capsys):
+        rules, data = data_files
+        code = main(
+            ["validate", "--schema", workspace["schema"], "--rules", rules,
+             "--data", data]
+        )
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_repair_fixes_and_writes(self, workspace, data_files, capsys):
+        rules, data = data_files
+        out_path = workspace["dir"] / "fixed.json"
+        code = main(
+            ["repair", "--schema", workspace["schema"], "--rules", rules,
+             "--data", data, "--out", str(out_path)]
+        )
+        assert code == 0
+        fixed = json.loads(out_path.read_text())
+        streets = {row["street"] for row in fixed["R1"]}
+        assert len(streets) == 1  # the conflict was repaired
+
+        code = main(
+            ["validate", "--schema", workspace["schema"], "--rules", rules,
+             "--data", str(out_path)]
+        )
+        assert code == 0
+
+
+class TestErrors:
+    def test_missing_file_exit_two(self, workspace, capsys):
+        code = main(
+            ["empty", "--schema", "/nonexistent.json", "--sigma",
+             workspace["sigma"], "--view", workspace["view"]]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

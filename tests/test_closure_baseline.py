@@ -1,0 +1,68 @@
+"""The textbook closure baseline and the Example 4.1 exponential family."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.fd import FD, implies as fd_implies
+from repro.core.implication import equivalent
+from repro.propagation.closure_baseline import (
+    closure_projection_cover,
+    exponential_family,
+)
+from repro.propagation.rbr import rbr
+
+
+class TestClosureCover:
+    ATTRS = ("A", "B", "C", "D")
+
+    def test_transitive_shortcut_found(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        cover = closure_projection_cover(fds, "R", self.ATTRS, ("A", "C"))
+        assert fd_implies(cover, FD("R", ("A",), ("C",)))
+        assert not fd_implies(cover, FD("R", ("C",), ("A",)))
+
+    def test_projection_drops_hidden_fds(self):
+        fds = [FD("R", ("A",), ("B",))]
+        cover = closure_projection_cover(fds, "R", self.ATTRS, ("C", "D"))
+        assert cover == []
+
+    def test_unminimized_output_option(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        raw = closure_projection_cover(
+            fds, "R", self.ATTRS, ("A", "B", "C"), minimize=False
+        )
+        minimized = closure_projection_cover(fds, "R", self.ATTRS, ("A", "B", "C"))
+        assert len(raw) >= len(minimized)
+
+
+class TestExponentialFamily:
+    def test_schema_shape(self):
+        schema, fds, projection = exponential_family(3)
+        assert schema.arity == 3 * 3 + 1
+        assert len(fds) == 2 * 3 + 1
+        assert len(projection) == 2 * 3 + 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            exponential_family(0)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_cover_is_exponential(self, n):
+        """Every cover contains all 2^n substituted dependencies."""
+        schema, fds, projection = exponential_family(n)
+        cover = closure_projection_cover(
+            fds, "R", schema.attribute_names, projection
+        )
+        # Count the FDs deriving D: there must be >= 2^n of them.
+        deriving_d = [f for f in cover if "D" in f.rhs]
+        assert len(deriving_d) >= 2**n
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_rbr_agrees_with_baseline(self, n):
+        schema, fds, projection = exponential_family(n)
+        dropped = [a for a in schema.attribute_names if a not in projection]
+        via_rbr = rbr([CFD.from_fd(f) for f in fds], dropped)
+        baseline = closure_projection_cover(
+            fds, "R", schema.attribute_names, projection
+        )
+        assert equivalent(via_rbr, [CFD.from_fd(f) for f in baseline])

@@ -1,0 +1,99 @@
+"""CFD consistency (satisfiability) and witness construction."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.consistency import is_consistent, witness_tuple
+from repro.core.domains import BOOL, finite
+from repro.core.schema import Attribute, RelationSchema
+
+
+class TestInfiniteDomain:
+    def test_plain_fds_always_consistent(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        assert is_consistent(sigma)
+
+    def test_conflicting_global_constants_inconsistent(self):
+        sigma = [CFD.constant("R", "A", "a"), CFD.constant("R", "A", "b")]
+        assert not is_consistent(sigma)
+
+    def test_constant_chain_conflict(self):
+        # A=a everywhere; A=a forces B=b1 and B=b2.
+        sigma = [
+            CFD.constant("R", "A", "a"),
+            CFD("R", {"A": "a"}, {"B": "b1"}),
+            CFD("R", {"A": "a"}, {"B": "b2"}),
+        ]
+        assert not is_consistent(sigma)
+
+    def test_pattern_local_conflict_is_still_consistent(self):
+        # B=b1 and B=b2 conflict only on A=a tuples; tuples with other A
+        # values exist, so a nonempty instance exists.
+        sigma = [
+            CFD("R", {"A": "a"}, {"B": "b1"}),
+            CFD("R", {"A": "a"}, {"B": "b2"}),
+        ]
+        assert is_consistent(sigma)
+
+    def test_multiple_relations_all_checked(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD.constant("S", "A", "a"),
+            CFD.constant("S", "A", "b"),
+        ]
+        assert not is_consistent(sigma)
+        assert is_consistent(sigma, relation="R")
+
+    def test_empty_sigma_consistent(self):
+        assert is_consistent([])
+
+
+class TestFiniteDomains:
+    def test_finite_case_split_inconsistency(self):
+        # dom(A) = {T, F}; both values force conflicting constants on B.
+        schema = RelationSchema("R", [Attribute("A", BOOL), Attribute("B")])
+        sigma = [
+            CFD("R", {"A": True}, {"B": "b1"}),
+            CFD("R", {"A": False}, {"B": "b2"}),
+            CFD.constant("R", "B", "b3"),
+        ]
+        assert not is_consistent(sigma, schema=schema)
+
+    def test_same_sigma_consistent_with_infinite_domain(self):
+        sigma = [
+            CFD("R", {"A": True}, {"B": "b1"}),
+            CFD("R", {"A": False}, {"B": "b2"}),
+            CFD.constant("R", "B", "b3"),
+        ]
+        assert is_consistent(sigma)  # A can take a third value
+
+    def test_one_surviving_branch_suffices(self):
+        schema = RelationSchema("R", [Attribute("A", BOOL), Attribute("B")])
+        sigma = [
+            CFD("R", {"A": True}, {"B": "b1"}),
+            CFD.constant("R", "B", "b2"),
+        ]
+        assert is_consistent(sigma, schema=schema)  # choose A = False
+
+
+class TestWitness:
+    def test_witness_satisfies_sigma(self):
+        sigma = [
+            CFD.constant("R", "A", "a"),
+            CFD("R", {"A": "a"}, {"B": "b"}),
+        ]
+        witness = witness_tuple(sigma, "R")
+        assert witness is not None
+        assert witness["A"] == "a"
+        assert witness["B"] == "b"
+        assert all(dep.holds_on([witness]) for dep in sigma)
+
+    def test_no_witness_for_inconsistent(self):
+        sigma = [CFD.constant("R", "A", "a"), CFD.constant("R", "A", "b")]
+        assert witness_tuple(sigma, "R") is None
+
+    def test_witness_uses_fresh_values_for_free_attributes(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        witness = witness_tuple(sigma, "R")
+        assert witness is not None
+        assert witness["A"] != witness["B"]

@@ -1,0 +1,217 @@
+"""PropCFD_SPC: the minimal propagation-cover algorithm (Figure 2)."""
+
+import pytest
+
+from repro import (
+    CFD,
+    DatabaseSchema,
+    FD,
+    RelationSchema,
+    SPCUView,
+    SPCView,
+    implies,
+    prop_cfd_spc,
+    prop_cfd_spc_report,
+    propagates,
+)
+from repro.algebra.ops import AttrEq, ConstEq
+from repro.algebra.spc import RelationAtom
+
+
+@pytest.fixture
+def example_4_3():
+    """The schema, view and CFDs of the paper's Example 4.3."""
+    schema = DatabaseSchema(
+        [
+            RelationSchema("R1", ["B1p", "B2"]),
+            RelationSchema("R2", ["A1", "A2", "A"]),
+            RelationSchema("R3", ["Ap", "A2p", "B1", "B"]),
+        ]
+    )
+    atoms = [
+        RelationAtom("R1", {"B1p": "B1p", "B2": "B2"}),
+        RelationAtom("R2", {"A1": "A1", "A2": "A2", "A": "A"}),
+        RelationAtom("R3", {"Ap": "Ap", "A2p": "A2p", "B1": "B1", "B": "B"}),
+    ]
+    selection = [AttrEq("B1", "B1p"), AttrEq("A", "Ap"), AttrEq("A2", "A2p")]
+    projection = ["A1", "A2", "B", "B1", "B1p", "B2"]
+    view = SPCView("V", schema, atoms, selection, projection)
+    sigma = [
+        CFD("R2", {"A1": "_", "A2": "c"}, {"A": "a"}),
+        CFD("R3", {"Ap": "_", "A2p": "c", "B1": "b"}, {"B": "_"}),
+    ]
+    return schema, view, sigma
+
+
+class TestExample43:
+    def test_cover_contents(self, example_4_3):
+        _, view, sigma = example_4_3
+        cover = prop_cfd_spc(sigma, view)
+        # The paper's phi = ([A1, A2, B1] -> B, (_, c, b || _)) — our
+        # MinCover additionally drops A1 (redundant by self-pairing of
+        # the constant-RHS psi1), and phi' = (B1 -> B1p, (x || x)).
+        resolved = CFD("V", {"A2": "c", "B1": "b"}, {"B": "_"})
+        paper_phi = CFD("V", {"A1": "_", "A2": "c", "B1": "b"}, {"B": "_"})
+        equality = CFD.equality("V", "B1", "B1p")
+        assert any(implies([c], resolved) for c in cover)
+        assert implies(cover, paper_phi)
+        assert implies(cover, equality)
+        assert len(cover) == 2
+
+    def test_cover_is_sound(self, example_4_3):
+        _, view, sigma = example_4_3
+        cover = prop_cfd_spc(sigma, view)
+        spcu = SPCUView.from_spc(view)
+        for phi in cover:
+            assert propagates(sigma, spcu, phi), f"{phi} not propagated"
+
+
+class TestSoundnessAndCompleteness:
+    @pytest.fixture
+    def db(self):
+        return DatabaseSchema([RelationSchema("R", ["A", "B", "C", "D"])])
+
+    def _view(self, db, selection=(), projection=None, constants=None):
+        atoms = [RelationAtom("R", {a: a for a in "ABCD"})]
+        return SPCView(
+            "V", db, atoms, selection, projection, constants=constants or {}
+        )
+
+    def test_projection_shortcut_found(self, db):
+        view = self._view(db, projection=["A", "C", "D"])
+        sigma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        cover = prop_cfd_spc(sigma, view)
+        assert implies(cover, CFD("V", {"A": "_"}, {"C": "_"}))
+        assert not implies(cover, CFD("V", {"C": "_"}, {"A": "_"}))
+
+    def test_selection_constant_in_cover(self, db):
+        view = self._view(db, [ConstEq("A", "x")])
+        cover = prop_cfd_spc([], view)
+        assert implies(cover, CFD.constant("V", "A", "x"))
+
+    def test_selection_equality_in_cover(self, db):
+        view = self._view(db, [AttrEq("A", "B")])
+        cover = prop_cfd_spc([], view)
+        assert implies(cover, CFD.equality("V", "A", "B"))
+
+    def test_rc_constants_in_cover(self, db):
+        view = self._view(db, projection=["A", "B", "C", "D", "CC"], constants={"CC": "44"})
+        cover = prop_cfd_spc([], view)
+        assert implies(cover, CFD.constant("V", "CC", "44"))
+
+    def test_selection_strengthens_pattern_cfd(self, db):
+        view = self._view(db, [ConstEq("A", "a")])
+        sigma = [CFD("R", {"A": "a"}, {"B": "_"})]
+        cover = prop_cfd_spc(sigma, view)
+        # On the selected slice the CFD applies unconditionally.
+        assert implies(cover, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_keyed_attribute_eliminated_from_lhs(self, db):
+        # A is pinned to 'a' by selection but NOT projected; the CFD
+        # (A=a, B -> C) must survive as (B -> C).
+        view = self._view(db, [ConstEq("A", "a")], projection=["B", "C", "D"])
+        sigma = [CFD("R", {"A": "a", "B": "_"}, {"C": "_"})]
+        cover = prop_cfd_spc(sigma, view)
+        assert implies(cover, CFD("V", {"B": "_"}, {"C": "_"}))
+
+    def test_conflicting_pattern_cfd_killed(self, db):
+        # A pinned to 'a'; a CFD guarded by A='z' can never fire.
+        view = self._view(db, [ConstEq("A", "a")], projection=["B", "C", "D"])
+        sigma = [CFD("R", {"A": "z", "B": "_"}, {"C": "_"})]
+        cover = prop_cfd_spc(sigma, view)
+        assert not implies(cover, CFD("V", {"B": "_"}, {"C": "_"}))
+
+    def test_equality_substitution_merges_cfds(self, db):
+        # Selection A=B; CFD on A transfers to the representative.
+        view = self._view(db, [AttrEq("A", "B")])
+        sigma = [FD("R", ("A",), ("C",))]
+        cover = prop_cfd_spc(sigma, view)
+        assert implies(cover, CFD("V", {"A": "_"}, {"C": "_"}))
+        assert implies(cover, CFD("V", {"B": "_"}, {"C": "_"}))
+
+    def test_fd_sources_accepted(self, db):
+        view = self._view(db)
+        cover = prop_cfd_spc([FD("R", ("A",), ("B",))], view)
+        assert implies(cover, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_cover_members_all_propagated(self, db):
+        view = self._view(
+            db, [ConstEq("A", "a"), AttrEq("B", "C")], projection=["B", "C", "D"]
+        )
+        sigma = [
+            CFD("R", {"A": "a", "B": "_"}, {"D": "_"}),
+            FD("R", ("C",), ("D",)),
+        ]
+        cover = prop_cfd_spc(sigma, view)
+        spcu = SPCUView.from_spc(view)
+        for phi in cover:
+            assert propagates(sigma, spcu, phi), f"{phi} not propagated"
+
+
+class TestInconsistentViews:
+    @pytest.fixture
+    def db(self):
+        return DatabaseSchema([RelationSchema("R", ["A", "B"])])
+
+    def test_lemma_4_5_pair(self, db):
+        atoms = [RelationAtom("R", {"A": "A", "B": "B"})]
+        view = SPCView("V", db, atoms, [ConstEq("B", "b2")])
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        report = prop_cfd_spc_report(sigma, view)
+        assert report.inconsistent
+        assert len(report.cover) == 2
+        # The pair forces two distinct constants on one attribute.
+        (c1, c2) = report.cover
+        assert c1.rhs_attr == c2.rhs_attr
+        assert c1.rhs_entry != c2.rhs_entry
+
+    def test_pair_implies_anything(self, db):
+        atoms = [RelationAtom("R", {"A": "A", "B": "B"})]
+        view = SPCView("V", db, atoms, [ConstEq("B", "b2")])
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        cover = prop_cfd_spc(sigma, view)
+        assert implies(cover, CFD("V", {"A": "weird"}, {"B": "strange"}))
+
+    def test_syntactic_contradiction(self, db):
+        atoms = [RelationAtom("R", {"A": "A", "B": "B"})]
+        view = SPCView("V", db, atoms, [ConstEq("A", 1), ConstEq("A", 2)])
+        report = prop_cfd_spc_report([], view)
+        assert report.inconsistent
+
+
+class TestOptions:
+    @pytest.fixture
+    def workload(self):
+        db = DatabaseSchema([RelationSchema("R", ["A", "B", "C", "D"])])
+        atoms = [RelationAtom("R", {a: a for a in "ABCD"})]
+        view = SPCView("V", db, atoms, projection=["A", "C", "D"])
+        sigma = [
+            FD("R", ("A",), ("B",)),
+            FD("R", ("B",), ("C",)),
+            FD("R", ("A",), ("C",)),  # redundant
+        ]
+        return sigma, view
+
+    def test_all_option_combinations_equivalent(self, workload):
+        from repro.core.implication import equivalent
+
+        sigma, view = workload
+        reference = prop_cfd_spc(sigma, view)
+        for partition in (None, 2, 40):
+            for final in (True, False):
+                for minimize in (True, False):
+                    cover = prop_cfd_spc(
+                        sigma,
+                        view,
+                        partition_size=partition,
+                        final_min_cover=final,
+                        minimize_input=minimize,
+                    )
+                    assert equivalent(cover, reference)
+
+    def test_report_diagnostics_populated(self, workload):
+        sigma, view = workload
+        report = prop_cfd_spc_report(sigma, view)
+        assert report.sigma_v_size > 0
+        assert report.dropped_attributes == 1
+        assert not report.inconsistent

@@ -1,0 +1,75 @@
+"""Domains: finite vs infinite, fresh constants, membership."""
+
+import pytest
+
+from repro.core.domains import BOOL, Domain, INT, STRING, finite
+
+
+class TestConstruction:
+    def test_infinite_by_default(self):
+        assert not STRING.is_finite
+        assert not INT.is_finite
+
+    def test_finite_constructor(self):
+        d = finite("abc", ["a", "b", "c"])
+        assert d.is_finite
+        assert d.size == 3
+
+    def test_bool_domain(self):
+        assert BOOL.is_finite
+        assert set(BOOL) == {False, True}
+
+    def test_empty_finite_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Domain("empty", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            Domain("dup", ("a", "a"))
+
+
+class TestMembership:
+    def test_infinite_contains_everything(self):
+        assert "anything" in STRING
+        assert 42 in STRING
+
+    def test_finite_membership(self):
+        assert True in BOOL
+        assert "x" not in BOOL
+
+
+class TestEnumeration:
+    def test_finite_iterates_values(self):
+        assert list(finite("d", [1, 2])) == [1, 2]
+
+    def test_infinite_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            iter(STRING)
+
+    def test_size_of_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            STRING.size
+
+
+class TestFreshConstants:
+    def test_infinite_fresh_are_distinct(self):
+        values = STRING.fresh_constants(5)
+        assert len(set(values)) == 5
+
+    def test_infinite_fresh_avoid_taken(self):
+        taken = STRING.fresh_constants(3)
+        more = STRING.fresh_constants(3, taken=taken)
+        assert not set(taken) & set(more)
+
+    def test_finite_fresh_within_domain(self):
+        d = finite("d", ["a", "b", "c"])
+        values = d.fresh_constants(2, taken=["a"])
+        assert values == ["b", "c"]
+
+    def test_finite_exhaustion_raises(self):
+        with pytest.raises(ValueError):
+            BOOL.fresh_constants(3)
+
+    def test_finite_exhaustion_with_taken(self):
+        with pytest.raises(ValueError):
+            BOOL.fresh_constants(1, taken=[False, True])

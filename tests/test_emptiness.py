@@ -1,0 +1,115 @@
+"""The emptiness problem for CFDs and views (Theorems 3.7/3.8)."""
+
+import pytest
+
+from repro import CFD, DatabaseSchema, RelationSchema, SPCUView, SPCView
+from repro.algebra.ops import (
+    ConstEq,
+    AttrEq,
+    RelationRef,
+    Selection,
+    Union,
+)
+from repro.core.domains import BOOL
+from repro.core.schema import Attribute
+from repro.propagation import nonempty_witness, view_is_empty
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema([RelationSchema("R", ["A", "B", "C"])])
+
+
+class TestExample31:
+    def test_conflicting_selection_always_empty(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("B", "b2")]), db
+        )
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        assert view_is_empty(sigma, view)
+
+    def test_matching_selection_nonempty(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("B", "b1")]), db
+        )
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        assert not view_is_empty(sigma, view)
+
+
+class TestWitnesses:
+    def test_witness_satisfies_sigma_and_fills_view(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("A", "x")]), db
+        )
+        sigma = [CFD("R", {"A": "x"}, {"B": "b"})]
+        witness = nonempty_witness(sigma, view)
+        assert witness is not None
+        assert witness.satisfies_all(sigma)
+        assert len(view.evaluate(witness)) >= 1
+
+    def test_no_witness_when_empty(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("B", "b2")]), db
+        )
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        assert nonempty_witness(sigma, view) is None
+
+    def test_no_sigma_means_nonempty(self, db):
+        view = SPCView.from_expr(Selection(RelationRef("R"), []), db)
+        assert not view_is_empty([], view)
+
+
+class TestSPCU:
+    def test_union_empty_only_if_all_branches_empty(self, db):
+        expr = Union(
+            Selection(RelationRef("R"), [ConstEq("B", "b2")]),
+            Selection(RelationRef("R"), [ConstEq("B", "b1")]),
+        )
+        view = SPCUView.from_expr(expr, db)
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        assert not view_is_empty(sigma, view)
+
+    def test_union_of_empty_branches(self, db):
+        expr = Union(
+            Selection(RelationRef("R"), [ConstEq("B", "b2")]),
+            Selection(RelationRef("R"), [ConstEq("B", "b3")]),
+        )
+        view = SPCUView.from_expr(expr, db)
+        sigma = [CFD("R", {"A": "_"}, {"B": "b1"})]
+        assert view_is_empty(sigma, view)
+
+
+class TestSelectionChains:
+    def test_equality_chain_conflict(self, db):
+        # A = B and B = 'b1' while sigma pins A = 'a1'.
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [AttrEq("A", "B"), ConstEq("B", "b1")]),
+            db,
+        )
+        sigma = [CFD("R", {"C": "_"}, {"A": "a1"})]
+        assert view_is_empty(sigma, view)
+
+    def test_syntactically_contradictory_selection(self, db):
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("A", "1"), ConstEq("A", "2")]),
+            db,
+        )
+        assert view_is_empty([], view)
+
+
+class TestFiniteDomains:
+    def test_finite_exhaustion_makes_view_empty(self):
+        # dom(A) = {T, F}; both values force B = 'b'; view wants B = 'c'.
+        db = DatabaseSchema(
+            [RelationSchema("R", [Attribute("A", BOOL), Attribute("B")])]
+        )
+        view = SPCView.from_expr(
+            Selection(RelationRef("R"), [ConstEq("B", "c")]), db
+        )
+        sigma = [
+            CFD("R", {"A": True}, {"B": "b"}),
+            CFD("R", {"A": False}, {"B": "b"}),
+        ]
+        assert view_is_empty(sigma, view)
+        # Dropping one case re-opens the view.
+        assert not view_is_empty(sigma[:1], view)

@@ -1,0 +1,84 @@
+"""Direct RA evaluation, including the operators outside SPCU."""
+
+import pytest
+
+from repro.algebra.eval import evaluate
+from repro.algebra.instance import DatabaseInstance
+from repro.algebra.ops import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Renaming,
+    Selection,
+    Union,
+)
+from repro.core.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema(
+        [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["A", "B"])]
+    )
+
+
+@pytest.fixture
+def instance(db):
+    return DatabaseInstance(
+        db,
+        {
+            "R": [{"A": 1, "B": 1}, {"A": 2, "B": 3}],
+            "S": [{"A": 1, "B": 1}],
+        },
+    )
+
+
+class TestOperators:
+    def test_relation_ref(self, instance):
+        assert len(evaluate(RelationRef("R"), instance)) == 2
+
+    def test_selection_attr_eq(self, instance):
+        result = evaluate(Selection(RelationRef("R"), [AttrEq("A", "B")]), instance)
+        assert result.rows == [{"A": 1, "B": 1}]
+
+    def test_selection_const_eq(self, instance):
+        result = evaluate(Selection(RelationRef("R"), [ConstEq("A", 2)]), instance)
+        assert result.rows == [{"A": 2, "B": 3}]
+
+    def test_projection_deduplicates(self, db):
+        inst = DatabaseInstance(
+            db, {"R": [{"A": 1, "B": 1}, {"A": 1, "B": 2}], "S": []}
+        )
+        result = evaluate(Projection(RelationRef("R"), ["A"]), inst)
+        assert result.rows == [{"A": 1}]
+
+    def test_renaming(self, instance):
+        result = evaluate(Renaming(RelationRef("R"), {"A": "X"}), instance)
+        assert all("X" in row and "A" not in row for row in result.rows)
+
+    def test_product(self, instance):
+        expr = Product(
+            Renaming(RelationRef("R"), {"A": "A1", "B": "B1"}),
+            RelationRef("S"),
+        )
+        assert len(evaluate(expr, instance)) == 2
+
+    def test_union(self, instance):
+        result = evaluate(Union(RelationRef("R"), RelationRef("S")), instance)
+        assert len(result) == 2  # (1,1) deduplicated
+
+    def test_difference(self, instance):
+        result = evaluate(Difference(RelationRef("R"), RelationRef("S")), instance)
+        assert result.rows == [{"A": 2, "B": 3}]
+
+    def test_constant_relation(self, instance):
+        result = evaluate(ConstantRelation({"CC": "44"}), instance)
+        assert result.rows == [{"CC": "44"}]
+
+    def test_named_output(self, instance):
+        result = evaluate(RelationRef("R"), instance, name="V")
+        assert result.schema.name == "V"

@@ -1,0 +1,159 @@
+"""Classical FD machinery: closure, implication, minimal cover."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fd import (
+    FD,
+    attribute_closure,
+    equivalent,
+    fd_closure,
+    implies,
+    minimal_cover,
+    project_fds,
+)
+
+ATTRS = ["A", "B", "C", "D", "E"]
+
+
+def small_fds():
+    attr = st.sampled_from(ATTRS)
+    return st.lists(
+        st.tuples(st.sets(attr, min_size=1, max_size=3), attr).map(
+            lambda pair: FD("R", pair[0], (pair[1],))
+        ),
+        max_size=6,
+    )
+
+
+class TestFDBasics:
+    def test_lhs_rhs_sorted_and_deduplicated(self):
+        fd = FD("R", ("B", "A", "B"), ("D", "C"))
+        assert fd.lhs == ("A", "B")
+        assert fd.rhs == ("C", "D")
+
+    def test_string_rhs_allowed(self):
+        assert FD("R", ("A",), "B").rhs == ("B",)
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            FD("R", ("A",), ())
+
+    def test_trivial(self):
+        assert FD("R", ("A", "B"), ("A",)).is_trivial()
+        assert not FD("R", ("A",), ("B",)).is_trivial()
+
+    def test_split(self):
+        parts = FD("R", ("A",), ("B", "C")).split()
+        assert parts == [FD("R", ("A",), ("B",)), FD("R", ("A",), ("C",))]
+
+
+class TestClosure:
+    def test_transitive_chain(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        assert attribute_closure(["A"], fds) == {"A", "B", "C"}
+
+    def test_no_spurious_attributes(self):
+        fds = [FD("R", ("A", "B"), ("C",))]
+        assert attribute_closure(["A"], fds) == {"A"}
+
+    def test_multi_attribute_lhs(self):
+        fds = [FD("R", ("A", "B"), ("C",)), FD("R", ("C",), ("D",))]
+        assert attribute_closure(["A", "B"], fds) == {"A", "B", "C", "D"}
+
+    @given(small_fds(), st.sets(st.sampled_from(ATTRS), max_size=3))
+    def test_closure_contains_start(self, fds, start):
+        assert set(start) <= attribute_closure(start, fds)
+
+    @given(small_fds(), st.sets(st.sampled_from(ATTRS), max_size=3))
+    def test_closure_idempotent(self, fds, start):
+        once = attribute_closure(start, fds)
+        assert attribute_closure(once, fds) == once
+
+    @given(small_fds(), st.sets(st.sampled_from(ATTRS), max_size=2))
+    def test_closure_monotone(self, fds, start):
+        bigger = set(start) | {"E"}
+        assert attribute_closure(start, fds) <= attribute_closure(bigger, fds)
+
+
+class TestImplication:
+    def test_transitivity(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        assert implies(fds, FD("R", ("A",), ("C",)))
+
+    def test_non_implication(self):
+        fds = [FD("R", ("A",), ("B",))]
+        assert not implies(fds, FD("R", ("B",), ("A",)))
+
+    def test_other_relations_ignored(self):
+        fds = [FD("S", ("A",), ("B",))]
+        assert not implies(fds, FD("R", ("A",), ("B",)))
+
+    def test_reflexivity(self):
+        assert implies([], FD("R", ("A", "B"), ("A",)))
+
+    def test_equivalent_sets(self):
+        first = [FD("R", ("A",), ("B", "C"))]
+        second = [FD("R", ("A",), ("B",)), FD("R", ("A",), ("C",))]
+        assert equivalent(first, second)
+        assert not equivalent(first, [FD("R", ("A",), ("B",))])
+
+
+class TestMinimalCover:
+    def test_removes_redundant_fd(self):
+        fds = [
+            FD("R", ("A",), ("B",)),
+            FD("R", ("B",), ("C",)),
+            FD("R", ("A",), ("C",)),
+        ]
+        cover = minimal_cover(fds)
+        assert len(cover) == 2
+        assert equivalent(cover, fds)
+
+    def test_removes_extraneous_attribute(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("A", "B"), ("C",))]
+        cover = minimal_cover(fds)
+        assert FD("R", ("A",), ("C",)) in cover or equivalent(cover, fds)
+        assert all(len(f.lhs) == 1 for f in cover)
+
+    def test_drops_trivial(self):
+        assert minimal_cover([FD("R", ("A",), ("A",))]) == []
+
+    @given(small_fds())
+    @settings(max_examples=40, deadline=None)
+    def test_cover_equivalent_to_input(self, fds):
+        cover = minimal_cover(fds)
+        assert equivalent(cover, fds)
+
+    @given(small_fds())
+    @settings(max_examples=40, deadline=None)
+    def test_cover_has_no_redundant_member(self, fds):
+        cover = minimal_cover(fds)
+        for fd in cover:
+            rest = [f for f in cover if f != fd]
+            assert not implies(rest, fd)
+
+
+class TestFullClosure:
+    def test_fd_closure_contains_derived(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        closure = fd_closure("R", ["A", "B", "C"], fds)
+        assert FD("R", ("A",), ("C",)) in closure
+
+    def test_fd_closure_only_nontrivial(self):
+        closure = fd_closure("R", ["A", "B"], [FD("R", ("A",), ("B",))])
+        assert all(not f.is_trivial() for f in closure)
+
+    def test_max_lhs_caps_enumeration(self):
+        fds = [FD("R", ("A", "B"), ("C",))]
+        capped = fd_closure("R", ["A", "B", "C"], fds, max_lhs=1)
+        assert FD("R", ("A", "B"), ("C",)) not in capped
+
+    def test_project_fds(self):
+        fds = [FD("R", ("A",), ("B",)), FD("R", ("A",), ("C",))]
+        kept = project_fds(fds, {"A", "B"})
+        assert kept == [FD("R", ("A",), ("B",))]
+
+    def test_project_renames_relation(self):
+        fds = [FD("R", ("A",), ("B",))]
+        assert project_fds(fds, {"A", "B"}, relation="V")[0].relation == "V"

@@ -1,0 +1,125 @@
+"""General-setting propagation covers (finite-domain case analysis)."""
+
+import pytest
+
+from repro import CFD, DatabaseSchema, FD, RelationSchema, SPCView, implies
+from repro.algebra.spc import RelationAtom
+from repro.core.domains import BOOL, finite
+from repro.core.schema import Attribute
+from repro.propagation import (
+    prop_cfd_spc,
+    prop_cfd_spc_general,
+    propagates_general,
+)
+
+
+def _identity_view(db):
+    relation = next(iter(db))
+    atoms = [RelationAtom(relation.name, {a: a for a in relation.attribute_names})]
+    return SPCView("V", db, atoms)
+
+
+class TestCaseAnalysis:
+    @pytest.fixture
+    def bool_db(self):
+        return DatabaseSchema(
+            [
+                RelationSchema(
+                    "R", [Attribute("A", BOOL), Attribute("B"), Attribute("C")]
+                )
+            ]
+        )
+
+    def test_boolean_exhaustion_found(self, bool_db):
+        view = _identity_view(bool_db)
+        sigma = [
+            CFD("R", {"A": False}, {"B": "b"}),
+            CFD("R", {"A": True}, {"B": "b"}),
+        ]
+        base = prop_cfd_spc(sigma, view)
+        general = prop_cfd_spc_general(sigma, view)
+        target = CFD.constant("V", "B", "b")
+        assert not implies(base, target)       # invisible to the base algorithm
+        assert implies(general, target)        # found by case analysis
+        assert propagates_general(sigma, view, target)
+
+    def test_partial_exhaustion_not_claimed(self, bool_db):
+        view = _identity_view(bool_db)
+        sigma = [CFD("R", {"A": False}, {"B": "b"})]
+        general = prop_cfd_spc_general(sigma, view)
+        assert not implies(general, CFD.constant("V", "B", "b"))
+
+    def test_pair_facts_do_not_case_split(self, bool_db):
+        """C -> B holding on each slice A=F / A=T does NOT make it hold
+        globally: a violating pair can span the two slices.  The harvest
+        must not admit it (the exact verifier rejects the candidate)."""
+        view = _identity_view(bool_db)
+        sigma = [
+            CFD("R", {"A": False, "C": "_"}, {"B": "_"}),
+            CFD("R", {"A": True, "C": "_"}, {"B": "_"}),
+        ]
+        target = CFD("V", {"C": "_"}, {"B": "_"})
+        assert not propagates_general(sigma, view, target)
+        general = prop_cfd_spc_general(sigma, view)
+        assert not implies(general, target)
+
+    def test_constant_facts_case_split_soundly(self, bool_db):
+        """Constant-RHS facts have single-tuple semantics, so slice-wise
+        derivation IS sound: every tuple has A in {F, T}."""
+        view = _identity_view(bool_db)
+        sigma = [
+            CFD("R", {"A": False, "C": "c"}, {"B": "b"}),
+            CFD("R", {"A": True, "C": "c"}, {"B": "b"}),
+        ]
+        target = CFD("V", {"C": "c"}, {"B": "b"})
+        assert propagates_general(sigma, view, target)
+        general = prop_cfd_spc_general(sigma, view)
+        assert implies(general, target)
+        assert not implies(prop_cfd_spc(sigma, view), target)
+
+    def test_three_valued_domain(self):
+        dom3 = finite("d3", ["x", "y", "z"])
+        db = DatabaseSchema(
+            [RelationSchema("R", [Attribute("A", dom3), Attribute("B")])]
+        )
+        view = _identity_view(db)
+        sigma = [
+            CFD("R", {"A": v}, {"B": "b"}) for v in ("x", "y", "z")
+        ]
+        general = prop_cfd_spc_general(sigma, view)
+        assert implies(general, CFD.constant("V", "B", "b"))
+
+    def test_domain_size_bound_respected(self):
+        big = finite("big", [f"v{i}" for i in range(10)])
+        db = DatabaseSchema(
+            [RelationSchema("R", [Attribute("A", big), Attribute("B")])]
+        )
+        view = _identity_view(db)
+        sigma = [CFD("R", {"A": f"v{i}"}, {"B": "b"}) for i in range(10)]
+        # Domain bigger than the bound: the split is skipped (sound, less
+        # complete) and the base cover is returned.
+        general = prop_cfd_spc_general(sigma, view, max_domain_size=4)
+        assert not implies(general, CFD.constant("V", "B", "b"))
+        full = prop_cfd_spc_general(sigma, view, max_domain_size=10)
+        assert implies(full, CFD.constant("V", "B", "b"))
+
+    def test_infinite_schema_reduces_to_base(self):
+        db = DatabaseSchema([RelationSchema("R", ["A", "B", "C"])])
+        view = _identity_view(db)
+        sigma = [FD("R", ("A",), ("B",))]
+        from repro.core.implication import equivalent
+
+        assert equivalent(
+            prop_cfd_spc_general(sigma, view), prop_cfd_spc(sigma, view)
+        )
+
+    def test_every_member_passes_general_check(self, bool_db):
+        view = _identity_view(bool_db)
+        sigma = [
+            CFD("R", {"A": False}, {"B": "b"}),
+            CFD("R", {"A": True}, {"B": "b"}),
+            FD("R", ("C",), ("A",)),
+        ]
+        general = prop_cfd_spc_general(sigma, view)
+        for phi in general:
+            assert propagates_general(sigma, view, phi), f"{phi} unsound"

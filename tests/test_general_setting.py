@@ -1,0 +1,147 @@
+"""The general setting: finite domains, the PTIME/coNP gap, Theorem 3.2."""
+
+import pytest
+
+from repro import CFD, DatabaseSchema, FD, RelationSchema, SPCView
+from repro.core.domains import BOOL, finite
+from repro.core.schema import Attribute
+from repro.algebra.ops import ConstEq
+from repro.algebra.spc import RelationAtom
+from repro.propagation import (
+    ThreeSat,
+    encode,
+    finite_branching_cells,
+    propagates,
+    propagates_general,
+    propagates_ptime_chase,
+)
+
+
+def _bool_view(db, projection=None):
+    atoms = [
+        RelationAtom("R", {a: a for a in db.relation("R").attribute_names})
+    ]
+    return SPCView("V", db, atoms, projection=projection)
+
+
+class TestFiniteDomainGap:
+    """Cases where the infinite-domain chase is wrong in the general setting."""
+
+    @pytest.fixture
+    def db(self):
+        return DatabaseSchema(
+            [
+                RelationSchema(
+                    "R", [Attribute("A", BOOL), Attribute("B"), Attribute("C")]
+                )
+            ]
+        )
+
+    def test_case_split_propagation(self, db):
+        view = _bool_view(db)
+        sigma = [
+            CFD("R", {"A": False}, {"B": "b"}),
+            CFD("R", {"A": True}, {"B": "b"}),
+        ]
+        phi = CFD.constant("V", "B", "b")
+        assert propagates_general(sigma, view, phi)
+        # The single chase misses the case split: it reports a spurious
+        # counterexample (a fresh non-Boolean value for A).
+        assert not propagates_ptime_chase(sigma, view, phi)
+
+    def test_singleton_domain_forces_constant(self):
+        one = finite("one", ["only"])
+        db = DatabaseSchema(
+            [RelationSchema("R", [Attribute("A", one), Attribute("B")])]
+        )
+        view = _bool_view(db)
+        phi = CFD.constant("V", "A", "only")
+        assert propagates_general([], view, phi)
+        assert not propagates_ptime_chase([], view, phi)
+
+    def test_agreement_when_no_finite_domains(self):
+        db = DatabaseSchema([RelationSchema("R", ["A", "B", "C"])])
+        view = _bool_view(db)
+        sigma = [FD("R", ("A",), ("B",))]
+        phi = CFD("V", {"A": "_"}, {"B": "_"})
+        assert propagates_general(sigma, view, phi) == propagates_ptime_chase(
+            sigma, view, phi
+        )
+
+    def test_finite_domain_fd_still_fails_when_it_should(self, db):
+        view = _bool_view(db)
+        sigma = [CFD("R", {"A": False}, {"B": "b"})]  # True case missing
+        phi = CFD.constant("V", "B", "b")
+        assert not propagates_general(sigma, view, phi)
+
+    def test_max_instantiations_caps_are_optimistic(self, db):
+        view = _bool_view(db)
+        sigma = [CFD("R", {"A": False}, {"B": "b"})]
+        phi = CFD.constant("V", "B", "b")
+        # Uncapped: the A=True case refutes propagation.
+        assert not propagates(sigma, view, phi)
+        # With enough budget the counterexample is still found...
+        assert not propagates(sigma, view, phi, max_instantiations=4)
+        # ... but a budget of 1 explores only the A=False case and is
+        # (documented to be) optimistic.
+        assert propagates(sigma, view, phi, max_instantiations=1)
+
+
+class TestTheorem32Reduction:
+    """SAT(formula) <=> the view FD is NOT propagated."""
+
+    CASES = [
+        (ThreeSat(3, ((1, 2, 3),)), True),
+        (ThreeSat(1, ((1, 1, 1),)), True),
+        (ThreeSat(1, ((1, 1, 1), (-1, -1, -1))), False),
+        (ThreeSat(2, ((1, 2, 2), (-1, -2, -2), (1, -2, -2), (-1, 2, 2))), False),
+        (ThreeSat(2, ((1, 2, 2), (-1, 2, 2))), True),
+        (ThreeSat(3, ((1, 2, 3), (-1, -2, -3))), True),
+    ]
+
+    @pytest.mark.parametrize("formula,expected_sat", CASES)
+    def test_brute_force_sat(self, formula, expected_sat):
+        assert formula.is_satisfiable() == expected_sat
+
+    @pytest.mark.parametrize("formula,expected_sat", CASES)
+    def test_round_trip(self, formula, expected_sat):
+        enc = encode(formula)
+        not_propagated = not propagates(enc.sigma, enc.view, enc.psi)
+        assert not_propagated == expected_sat
+
+    def test_encoding_structure(self):
+        formula = ThreeSat(2, ((1, -2, 2),))
+        enc = encode(formula)
+        # 1 free R0 copy + m index copies + 1 join copy, plus 1 + 4 clause
+        # copies of R1.
+        r0_atoms = [a for a in enc.view.atoms if a.source == "R0"]
+        r1_atoms = [a for a in enc.view.atoms if a.source == "R1"]
+        assert len(r0_atoms) == 1 + 2 + 1
+        assert len(r1_atoms) == 1 + 4
+        assert enc.view.projection  # SC view keeps everything
+        assert len(enc.view.projection) == len(enc.view.es_attributes())
+
+    def test_bad_literals_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeSat(1, ((0, 1, 1),))
+        with pytest.raises(ValueError):
+            ThreeSat(1, ((2, 1, 1),))
+
+    def test_branching_cells_diagnostic_grows_with_clauses(self):
+        small = encode(ThreeSat(1, ((1, 1, 1),)))
+        large = encode(ThreeSat(2, ((1, 2, 2), (-1, -2, -2))))
+        assert finite_branching_cells(large.sigma, large.view) > finite_branching_cells(
+            small.sigma, small.view
+        )
+
+
+class TestSCViewConstantInteraction:
+    def test_selection_on_finite_attr_with_exhaustive_cfds(self):
+        db = DatabaseSchema(
+            [RelationSchema("R", [Attribute("A", BOOL), Attribute("B")])]
+        )
+        atoms = [RelationAtom("R", {"A": "A", "B": "B"})]
+        view = SPCView("V", db, atoms, [ConstEq("A", True)])
+        sigma = [CFD("R", {"A": True}, {"B": "b"})]
+        # On the selected slice the constant is forced.
+        assert propagates_general(sigma, view, CFD.constant("V", "B", "b"))

@@ -1,0 +1,156 @@
+"""The Section 5 workload generators: parameter compliance."""
+
+import random
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.consistency import is_consistent
+from repro.core.values import is_wildcard
+from repro.generators import (
+    CONSTANT_RANGE,
+    random_cfd,
+    random_cfds,
+    random_satisfying_instance,
+    random_schema,
+    random_spc_view,
+)
+
+
+@pytest.fixture
+def schema(rng):
+    return random_schema(rng, num_relations=10)
+
+
+class TestSchemaGenerator:
+    def test_relation_count(self, rng):
+        schema = random_schema(rng, num_relations=12)
+        assert len(schema) == 12
+
+    def test_arity_bounds(self, schema):
+        for relation in schema:
+            assert 10 <= relation.arity <= 20
+
+    def test_infinite_domains_by_default(self, schema):
+        assert not schema.has_finite_domain_attribute()
+
+    def test_finite_domain_fraction(self, rng):
+        schema = random_schema(rng, finite_domain_fraction=0.5)
+        assert schema.has_finite_domain_attribute()
+        for relation in schema:
+            finite = sum(a.domain.is_finite for a in relation.attributes)
+            assert finite == int(relation.arity * 0.5)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            random_schema(rng, num_relations=0)
+        with pytest.raises(ValueError):
+            random_schema(rng, finite_domain_fraction=1.5)
+
+
+class TestCFDGenerator:
+    def test_count_and_round_robin(self, rng, schema):
+        sigma = random_cfds(rng, schema, 50)
+        assert len(sigma) == 50
+        per_relation = {}
+        for phi in sigma:
+            per_relation[phi.relation] = per_relation.get(phi.relation, 0) + 1
+        assert max(per_relation.values()) - min(per_relation.values()) <= 1
+
+    def test_lhs_size_bounds(self, rng, schema):
+        sigma = random_cfds(rng, schema, 200, max_lhs=9, min_lhs=3)
+        for phi in sigma:
+            assert 3 <= len(phi.lhs) <= 9
+
+    def test_var_pct_is_deterministic_fraction(self, rng, schema):
+        for _ in range(50):
+            relation = next(iter(schema))
+            phi = random_cfd(rng, relation, max_lhs=5, min_lhs=3, var_pct=0.4)
+            positions = len(phi.lhs) + 1
+            wild = sum(
+                is_wildcard(e) for _, e in phi.lhs
+            ) + is_wildcard(phi.rhs_entry)
+            assert abs(wild - round(0.4 * positions)) <= 1
+
+    def test_constants_in_paper_range(self, rng, schema):
+        sigma = random_cfds(rng, schema, 100, var_pct=0.0)
+        lo, hi = CONSTANT_RANGE
+        for phi in sigma:
+            for _, entry in phi.lhs + phi.rhs:
+                if not is_wildcard(entry):
+                    assert lo <= entry.value <= hi
+
+    def test_generated_sigma_is_consistent(self, rng, schema):
+        # Small LHS sizes are the risky case (global constants).
+        sigma = random_cfds(rng, schema, 100, max_lhs=2, min_lhs=1, var_pct=0.5)
+        assert is_consistent(sigma)
+
+    def test_normal_form(self, rng, schema):
+        sigma = random_cfds(rng, schema, 30)
+        assert all(phi.is_normal_form for phi in sigma)
+
+
+class TestViewGenerator:
+    def test_structure_parameters(self, rng, schema):
+        view = random_spc_view(
+            rng, schema, num_projected=25, num_selections=10, num_atoms=4
+        )
+        assert len(view.atoms) == 4
+        assert len(view.projection) == 25
+        assert len(view.selection) <= 10
+
+    def test_no_syntactic_contradiction(self, rng, schema):
+        from repro.propagation.eqclasses import BottomEQ, compute_eq
+
+        for _ in range(20):
+            view = random_spc_view(
+                rng, schema, num_projected=10, num_selections=10, num_atoms=3
+            )
+            assert not isinstance(compute_eq(view, []), BottomEQ)
+
+    def test_block_projection_exposes_whole_atoms(self, rng, schema):
+        view = random_spc_view(
+            rng, schema, num_projected=15, num_atoms=3, block_projection=True
+        )
+        projected = set(view.projection)
+        fully_visible = [
+            atom
+            for atom in view.atoms
+            if set(atom.view_attributes) <= projected
+        ]
+        assert fully_visible  # at least one atom fully projected
+
+    def test_uniform_projection_mode(self, rng, schema):
+        view = random_spc_view(
+            rng, schema, num_projected=15, num_atoms=3, block_projection=False
+        )
+        assert len(view.projection) == 15
+
+    def test_projection_capped_at_product_width(self, rng, schema):
+        view = random_spc_view(rng, schema, num_projected=10_000, num_atoms=2)
+        assert len(view.projection) == len(view.es_attributes())
+
+
+class TestInstanceGenerator:
+    def test_instance_satisfies_sigma(self, rng):
+        schema = random_schema(rng, num_relations=3, min_attributes=3, max_attributes=5)
+        sigma = random_cfds(rng, schema, 6, max_lhs=2, min_lhs=1, var_pct=0.5)
+        db = random_satisfying_instance(rng, schema, sigma, rows_per_relation=15)
+        assert db.satisfies_all(sigma)
+
+    def test_row_counts(self, rng):
+        schema = random_schema(rng, num_relations=2, min_attributes=3, max_attributes=3)
+        db = random_satisfying_instance(rng, schema, [], rows_per_relation=10)
+        for relation in schema:
+            assert len(db.relation(relation.name)) <= 10  # set semantics
+
+    def test_inconsistent_sigma_raises(self, rng):
+        schema = random_schema(rng, num_relations=1, min_attributes=3, max_attributes=3)
+        relation = next(iter(schema)).name
+        attr = next(iter(schema)).attribute_names[0]
+        sigma = [
+            CFD.constant(relation, attr, "a"),
+            CFD.constant(relation, attr, "b"),
+        ]
+        with pytest.raises(ValueError):
+            random_satisfying_instance(rng, schema, sigma)

@@ -1,0 +1,202 @@
+"""CFD implication: the chase-based decision procedure.
+
+Includes a model-checking cross-validation: on small random inputs the
+symbolic answer must agree with brute-force search over tiny concrete
+instances (a counterexample found by brute force refutes implication).
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.domains import BOOL, finite
+from repro.core.implication import equivalent, implies
+from repro.core.schema import Attribute, RelationSchema
+
+
+class TestFDStyleAxioms:
+    def test_reflexivity(self):
+        assert implies([], CFD("R", {"A": "_", "B": "_"}, {"A": "_"}))
+
+    def test_transitivity(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"}), CFD("R", {"B": "_"}, {"C": "_"})]
+        assert implies(sigma, CFD("R", {"A": "_"}, {"C": "_"}))
+
+    def test_augmentation(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        assert implies(sigma, CFD("R", {"A": "_", "C": "_"}, {"B": "_"}))
+
+    def test_no_reverse_direction(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        assert not implies(sigma, CFD("R", {"B": "_"}, {"A": "_"}))
+
+    def test_union_rule_via_general_form(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"}), CFD("R", {"A": "_"}, {"C": "_"})]
+        assert implies(sigma, CFD("R", {"A": "_"}, {"B": "_", "C": "_"}))
+
+    def test_relation_mismatch_not_implied(self):
+        sigma = [CFD("S", {"A": "_"}, {"B": "_"})]
+        assert not implies(sigma, CFD("R", {"A": "_"}, {"B": "_"}))
+
+
+class TestPatternReasoning:
+    def test_weaker_pattern_implies_stronger(self):
+        # (A -> B, (_ || _)) implies (A -> B, (a || _)).
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        assert implies(sigma, CFD("R", {"A": "a"}, {"B": "_"}))
+
+    def test_stronger_pattern_does_not_imply_weaker(self):
+        sigma = [CFD("R", {"A": "a"}, {"B": "_"})]
+        assert not implies(sigma, CFD("R", {"A": "_"}, {"B": "_"}))
+
+    def test_constant_chaining(self):
+        sigma = [CFD("R", {"A": "1"}, {"B": "2"}), CFD("R", {"B": "2"}, {"C": "3"})]
+        assert implies(sigma, CFD("R", {"A": "1"}, {"C": "3"}))
+        assert not implies(sigma, CFD("R", {"A": "1"}, {"C": "4"}))
+
+    def test_constant_blocks_transitivity(self):
+        # First CFD concludes '_', second requires a constant: no chaining.
+        sigma = [CFD("R", {"A": "1"}, {"B": "_"}), CFD("R", {"B": "2"}, {"C": "3"})]
+        assert not implies(sigma, CFD("R", {"A": "1"}, {"C": "3"}))
+
+    def test_constant_cfd_implies_weakened_variants(self):
+        sigma = [CFD.constant("R", "B", "b")]
+        assert implies(sigma, CFD("R", {"A": "_"}, {"B": "b"}))
+        assert implies(sigma, CFD("R", {"A": "_"}, {"B": "_"}))
+
+    def test_self_pair_forces_constant_rhs(self):
+        # (A1 A2 -> A, (_, c || a)) forces A = a on every A2 = c tuple, so
+        # A1 is redundant (the Example 4.2/4.3 observation).
+        sigma = [CFD("R", {"A1": "_", "A2": "c"}, {"A": "a"})]
+        assert implies(sigma, CFD("R", {"A2": "c"}, {"A": "a"}))
+
+    def test_vacuous_implication_from_conflicting_constants(self):
+        # Sigma forces B = b1 and B = b2 on A = 1 tuples: no such tuple
+        # exists, so anything about A = 1 tuples is implied.
+        sigma = [
+            CFD("R", {"A": "1"}, {"B": "b1"}),
+            CFD("R", {"A": "1"}, {"B": "b2"}),
+        ]
+        assert implies(sigma, CFD("R", {"A": "1"}, {"C": "weird"}))
+        # ... but not about other tuples.
+        assert not implies(sigma, CFD("R", {"A": "2"}, {"C": "weird"}))
+
+
+class TestEqualityTargets:
+    def test_equality_implied_by_itself(self):
+        sigma = [CFD.equality("R", "A", "B")]
+        assert implies(sigma, CFD.equality("R", "A", "B"))
+        assert implies(sigma, CFD.equality("R", "B", "A"))
+
+    def test_equality_transitivity(self):
+        sigma = [CFD.equality("R", "A", "B"), CFD.equality("R", "B", "C")]
+        assert implies(sigma, CFD.equality("R", "A", "C"))
+
+    def test_equality_not_implied_by_fd(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        assert not implies(sigma, CFD.equality("R", "A", "B"))
+
+    def test_trivial_equality_always_implied(self):
+        assert implies([], CFD.equality("R", "A", "A"))
+
+
+class TestFiniteDomains:
+    def test_case_split_over_bool(self):
+        schema = RelationSchema("R", [Attribute("A", BOOL), Attribute("B")])
+        sigma = [
+            CFD("R", {"A": False}, {"B": "b"}),
+            CFD("R", {"A": True}, {"B": "b"}),
+        ]
+        target = CFD.constant("R", "B", "b")
+        assert implies(sigma, target, schema=schema)
+        assert not implies(sigma, target)  # infinite-domain reading
+
+    def test_three_valued_domain_needs_all_cases(self):
+        dom3 = finite("d3", ["x", "y", "z"])
+        schema = RelationSchema("R", [Attribute("A", dom3), Attribute("B")])
+        sigma = [
+            CFD("R", {"A": "x"}, {"B": "b"}),
+            CFD("R", {"A": "y"}, {"B": "b"}),
+        ]
+        assert not implies(sigma, CFD.constant("R", "B", "b"), schema=schema)
+        sigma.append(CFD("R", {"A": "z"}, {"B": "b"}))
+        assert implies(sigma, CFD.constant("R", "B", "b"), schema=schema)
+
+    def test_singleton_domain_forces_value(self):
+        dom1 = finite("one", ["only"])
+        schema = RelationSchema("R", [Attribute("A", dom1), Attribute("B")])
+        assert implies([], CFD.constant("R", "A", "only"), schema=schema)
+
+    def test_max_instantiations_caps_work(self):
+        schema = RelationSchema(
+            "R", [Attribute("A", BOOL), Attribute("B", BOOL), Attribute("C")]
+        )
+        sigma = [CFD("R", {"A": True}, {"C": "c"})]
+        # Capped enumeration still returns a boolean without error.
+        result = implies(
+            sigma, CFD.constant("R", "C", "c"), schema=schema, max_instantiations=1
+        )
+        assert isinstance(result, bool)
+
+
+class TestEquivalence:
+    def test_split_vs_general_form(self):
+        first = [CFD("R", {"A": "_"}, {"B": "_", "C": "_"})]
+        second = [CFD("R", {"A": "_"}, {"B": "_"}), CFD("R", {"A": "_"}, {"C": "_"})]
+        assert equivalent(first, second)
+
+    def test_inequivalent_sets(self):
+        assert not equivalent(
+            [CFD("R", {"A": "_"}, {"B": "_"})],
+            [CFD("R", {"B": "_"}, {"A": "_"})],
+        )
+
+
+# ----------------------------------------------------------------------
+# Model-checking cross-validation.
+# ----------------------------------------------------------------------
+
+ATTRS = ("A", "B", "C")
+VALUES = ("0", "1")
+
+
+def _random_cfd(rng: random.Random) -> CFD:
+    lhs_attr, rhs_attr = rng.sample(ATTRS, 2)
+
+    def entry():
+        return rng.choice(["_", rng.choice(VALUES)])
+
+    return CFD("R", {lhs_attr: entry()}, {rhs_attr: entry()})
+
+
+def _brute_force_counterexample(sigma, phi) -> bool:
+    """Search all 2-row instances over VALUES for a violation witness."""
+    rows = [
+        dict(zip(ATTRS, combo))
+        for combo in itertools.product(VALUES, repeat=len(ATTRS))
+    ]
+    for r1 in rows:
+        for r2 in rows:
+            instance = [r1] if r1 == r2 else [r1, r2]
+            if all(dep.holds_on(instance) for dep in sigma):
+                if not phi.holds_on(instance):
+                    return True
+    return False
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_implication_never_contradicted_by_concrete_models(seed):
+    """If brute force finds a concrete counterexample, implies() must say no.
+
+    (The converse need not hold: the symbolic counterexample may need
+    values outside the tiny brute-force universe.)
+    """
+    rng = random.Random(seed)
+    sigma = [_random_cfd(rng) for _ in range(rng.randint(1, 4))]
+    phi = _random_cfd(rng)
+    if _brute_force_counterexample(sigma, phi):
+        assert not implies(sigma, phi)

@@ -1,0 +1,80 @@
+"""Concrete relations and database instances."""
+
+import pytest
+
+from repro.algebra.instance import DatabaseInstance, Relation
+from repro.core.cfd import CFD
+from repro.core.domains import BOOL
+from repro.core.fd import FD
+from repro.core.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("R", ["A", "B"])
+
+
+class TestRelation:
+    def test_add_and_iterate(self, schema):
+        rel = Relation(schema, [{"A": 1, "B": 2}])
+        assert len(rel) == 1
+        assert {"A": 1, "B": 2} in rel
+
+    def test_set_semantics(self, schema):
+        rel = Relation(schema, [{"A": 1, "B": 2}, {"A": 1, "B": 2}])
+        assert len(rel) == 1
+
+    def test_wrong_attributes_rejected(self, schema):
+        with pytest.raises(ValueError):
+            Relation(schema, [{"A": 1}])
+        with pytest.raises(ValueError):
+            Relation(schema, [{"A": 1, "B": 2, "C": 3}])
+
+    def test_domain_validation(self):
+        schema = RelationSchema("R", [Attribute("A", BOOL)])
+        with pytest.raises(ValueError):
+            Relation(schema, [{"A": "not-bool"}])
+        Relation(schema, [{"A": True}])  # fine
+
+    def test_satisfies_cfd(self, schema):
+        rel = Relation(schema, [{"A": 1, "B": 1}, {"A": 1, "B": 2}])
+        assert not rel.satisfies(CFD("R", {"A": "_"}, {"B": "_"}))
+
+    def test_satisfies_fd(self, schema):
+        rel = Relation(schema, [{"A": 1, "B": 1}])
+        assert rel.satisfies(FD("R", ("A",), ("B",)))
+
+    def test_relation_mismatch_rejected(self, schema):
+        rel = Relation(schema, [])
+        with pytest.raises(ValueError):
+            rel.satisfies(CFD("S", {"A": "_"}, {"B": "_"}))
+
+
+class TestDatabaseInstance:
+    def test_construction_with_rows(self):
+        db_schema = DatabaseSchema(
+            [RelationSchema("R", ["A"]), RelationSchema("S", ["B"])]
+        )
+        db = DatabaseInstance(db_schema, {"R": [{"A": 1}]})
+        assert len(db.relation("R")) == 1
+        assert len(db.relation("S")) == 0
+
+    def test_add(self):
+        db_schema = DatabaseSchema([RelationSchema("R", ["A"])])
+        db = DatabaseInstance(db_schema)
+        db.add("R", {"A": 1})
+        assert len(db.relation("R")) == 1
+
+    def test_missing_relation(self):
+        db_schema = DatabaseSchema([RelationSchema("R", ["A"])])
+        db = DatabaseInstance(db_schema)
+        with pytest.raises(KeyError):
+            db.relation("Z")
+
+    def test_satisfies_all(self):
+        db_schema = DatabaseSchema([RelationSchema("R", ["A", "B"])])
+        db = DatabaseInstance(db_schema, {"R": [{"A": 1, "B": 1}]})
+        deps = [FD("R", ("A",), ("B",)), CFD("R", {"A": "_"}, {"B": "_"})]
+        assert db.satisfies_all(deps)
+        db.add("R", {"A": 1, "B": 2})
+        assert not db.satisfies_all(deps)

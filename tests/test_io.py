@@ -1,0 +1,158 @@
+"""JSON serialization round trips."""
+
+import pytest
+
+from repro import (
+    CFD,
+    DatabaseInstance,
+    DatabaseSchema,
+    FD,
+    RelationSchema,
+    SPCView,
+    SPCUView,
+)
+from repro.algebra.ops import AttrEq, ConstEq
+from repro.algebra.spc import RelationAtom
+from repro.core.domains import BOOL, STRING, finite
+from repro.core.schema import Attribute
+from repro import io as repro_io
+
+
+class TestDomains:
+    def test_builtin_round_trip(self):
+        for name in ("string", "int", "real", "bool"):
+            domain = repro_io.domain_from_json(name)
+            assert repro_io.domain_to_json(domain) == name
+
+    def test_custom_finite_round_trip(self):
+        doc = {"name": "status", "values": ["open", "closed"]}
+        domain = repro_io.domain_from_json(doc)
+        assert domain.is_finite and domain.size == 2
+        assert repro_io.domain_to_json(domain) == doc
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(repro_io.FormatError):
+            repro_io.domain_from_json("quux")
+
+
+class TestSchema:
+    def test_round_trip(self):
+        schema = DatabaseSchema(
+            [
+                RelationSchema(
+                    "R", [Attribute("A", STRING), Attribute("B", BOOL)]
+                ),
+                RelationSchema("S", [Attribute("C", finite("f2", [1, 2]))]),
+            ]
+        )
+        doc = repro_io.schema_to_json(schema)
+        back = repro_io.schema_from_json(doc)
+        assert back.relation("R").domain_of("B").is_finite
+        assert back.relation("S").domain_of("C").size == 2
+
+    def test_bare_string_attributes(self):
+        schema = repro_io.schema_from_json(
+            {"relations": [{"name": "R", "attributes": ["A", "B"]}]}
+        )
+        assert schema.relation("R").attribute_names == ("A", "B")
+
+
+class TestDependencies:
+    @pytest.mark.parametrize(
+        "dep",
+        [
+            FD("R", ("A", "B"), ("C",)),
+            CFD("R", {"A": "44", "B": "_"}, {"C": "_"}),
+            CFD("R", {"A": "_"}, {"B": "b", "C": "_"}),
+            CFD.equality("R", "A", "B"),
+            CFD.constant("R", "A", "x"),
+        ],
+    )
+    def test_round_trip(self, dep):
+        doc = repro_io.dependency_to_json(dep)
+        assert repro_io.dependency_from_json(doc) == dep
+
+    def test_literal_underscore_constant(self):
+        from repro.core.values import Const
+
+        dep = CFD("R", {"A": Const("_")}, {"B": "_"})
+        doc = repro_io.dependency_to_json(dep)
+        assert doc["lhs"]["A"] == {"const": "_"}
+        assert repro_io.dependency_from_json(doc) == dep
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(repro_io.FormatError):
+            repro_io.dependency_from_json({"kind": "nope", "relation": "R"})
+
+    def test_list_round_trip(self):
+        deps = [FD("R", ("A",), ("B",)), CFD("R", {"A": "1"}, {"B": "2"})]
+        docs = repro_io.dependencies_to_json(deps)
+        assert repro_io.dependencies_from_json(docs) == deps
+
+
+class TestViews:
+    @pytest.fixture
+    def schema(self):
+        return DatabaseSchema(
+            [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+        )
+
+    def test_spc_round_trip(self, schema):
+        view = SPCView(
+            "V",
+            schema,
+            [
+                RelationAtom("R", {"A": "x.A", "B": "x.B"}),
+                RelationAtom("S", {"C": "y.C", "D": "y.D"}),
+            ],
+            [AttrEq("x.B", "y.C"), ConstEq("x.A", 5)],
+            ["x.A", "y.D", "CC"],
+            {"CC": "44"},
+        )
+        doc = repro_io.spc_view_to_json(view)
+        back = repro_io.spc_view_from_json(doc, schema)
+        assert back.projection == view.projection
+        assert back.selection == view.selection
+        assert back.constants == view.constants
+        assert [a.mapping for a in back.atoms] == [a.mapping for a in view.atoms]
+
+    def test_prefix_shorthand(self, schema):
+        doc = {
+            "name": "V",
+            "atoms": [{"source": "R", "prefix": "t0."}],
+            "projection": ["t0.A"],
+        }
+        view = repro_io.spc_view_from_json(doc, schema)
+        assert view.atoms[0].mapping_dict == {"A": "t0.A", "B": "t0.B"}
+
+    def test_spcu_round_trip(self, schema):
+        branches = [
+            SPCView("V", schema, [RelationAtom("R", {"A": "A", "B": "B"})]),
+            SPCView("V", schema, [RelationAtom("R", {"A": "A", "B": "B"})],
+                    [ConstEq("A", 1)]),
+        ]
+        view = SPCUView("V", branches)
+        doc = repro_io.view_to_json(view)
+        back = repro_io.view_from_json(doc, schema)
+        assert isinstance(back, SPCUView)
+        assert len(back.branches) == 2
+
+    def test_view_dispatch(self, schema):
+        spc_doc = {"name": "V", "atoms": [{"source": "R", "prefix": ""}]}
+        assert isinstance(repro_io.view_from_json(spc_doc, schema), SPCView)
+
+
+class TestInstances:
+    def test_round_trip(self):
+        schema = DatabaseSchema([RelationSchema("R", ["A", "B"])])
+        db = DatabaseInstance(schema, {"R": [{"A": 1, "B": 2}]})
+        doc = repro_io.instance_to_json(db)
+        back = repro_io.instance_from_json(doc, schema)
+        assert back.relation("R").rows == [{"A": 1, "B": 2}]
+
+
+class TestFiles:
+    def test_load_dump(self, tmp_path):
+        path = tmp_path / "doc.json"
+        repro_io.dump_json({"hello": [1, 2]}, path)
+        assert repro_io.load_json(path) == {"hello": [1, 2]}

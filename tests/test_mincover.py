@@ -1,0 +1,157 @@
+"""MinCover: minimal covers of CFD sets."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.implication import equivalent, implies
+from repro.core.mincover import min_cover, partitioned_min_cover
+
+
+class TestBasics:
+    def test_removes_redundant_cfd(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"B": "_"}, {"C": "_"}),
+            CFD("R", {"A": "_"}, {"C": "_"}),
+        ]
+        cover = min_cover(sigma)
+        assert len(cover) == 2
+        assert equivalent(cover, sigma)
+
+    def test_removes_trivial(self):
+        assert min_cover([CFD("R", {"A": "_"}, {"A": "_"})]) == []
+
+    def test_keeps_constant_forcing_self_cfd(self):
+        phi = CFD("R", {"A": "_"}, {"A": "a"})
+        cover = min_cover([phi])
+        assert len(cover) == 1
+        assert equivalent(cover, [phi])
+
+    def test_normalizes_general_form(self):
+        sigma = [CFD("R", {"A": "_"}, {"B": "_", "C": "_"})]
+        cover = min_cover(sigma)
+        assert all(phi.is_normal_form for phi in cover)
+        assert len(cover) == 2
+
+    def test_trims_redundant_lhs_attribute(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"A": "_", "B": "_"}, {"C": "_"}),
+        ]
+        cover = min_cover(sigma)
+        assert equivalent(cover, sigma)
+        trimmed = [phi for phi in cover if phi.rhs_attr == "C"]
+        assert trimmed and len(trimmed[0].lhs) == 1
+
+    def test_trims_lhs_via_constant_self_pairing(self):
+        # (A1, A2=c -> A=a): A1 is redundant by self-pairing.
+        sigma = [CFD("R", {"A1": "_", "A2": "c"}, {"A": "a"})]
+        cover = min_cover(sigma)
+        assert cover == [CFD("R", {"A2": "c"}, {"A": "a"})]
+
+    def test_duplicate_cfds_collapse(self):
+        phi = CFD("R", {"A": "_"}, {"B": "_"})
+        assert len(min_cover([phi, phi, phi])) == 1
+
+    def test_pattern_subsumed_cfd_removed(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"A": "1"}, {"B": "_"}),
+        ]
+        cover = min_cover(sigma)
+        assert cover == [CFD("R", {"A": "_"}, {"B": "_"})]
+
+    def test_multiple_relations_kept_apart(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("S", {"A": "_"}, {"B": "_"}),
+        ]
+        assert len(min_cover(sigma)) == 2
+
+    def test_equality_cfds_supported(self):
+        sigma = [
+            CFD.equality("R", "A", "B"),
+            CFD.equality("R", "A", "B"),
+        ]
+        assert len(min_cover(sigma)) == 1
+
+    def test_deterministic(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"B": "_"}, {"C": "_"}),
+            CFD("R", {"A": "_"}, {"C": "_"}),
+        ]
+        assert min_cover(sigma) == min_cover(list(reversed(sigma)))
+
+
+ATTRS = ("A", "B", "C", "D")
+
+
+def _random_cfd(rng: random.Random) -> CFD:
+    size = rng.randint(1, 2)
+    chosen = rng.sample(ATTRS, size + 1)
+
+    def entry():
+        return rng.choice(["_", rng.choice(("0", "1"))])
+
+    return CFD("R", {a: entry() for a in chosen[:-1]}, {chosen[-1]: entry()})
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_cover_equivalent_to_input(self, seed):
+        rng = random.Random(seed)
+        sigma = [_random_cfd(rng) for _ in range(rng.randint(1, 6))]
+        cover = min_cover(sigma)
+        assert equivalent(cover, sigma)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_cover_never_larger_than_normalized_input(self, seed):
+        rng = random.Random(seed)
+        sigma = [_random_cfd(rng) for _ in range(rng.randint(1, 6))]
+        cover = min_cover(sigma)
+        normalized = [p for d in sigma for p in d.normalize() if not p.is_trivial()]
+        assert len(cover) <= len(set(normalized))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_no_member_implied_by_rest(self, seed):
+        rng = random.Random(seed)
+        sigma = [_random_cfd(rng) for _ in range(rng.randint(1, 5))]
+        cover = min_cover(sigma)
+        for phi in cover:
+            rest = [other for other in cover if other != phi]
+            assert not implies(rest, phi)
+
+
+class TestPartitioned:
+    def test_partition_size_validated(self):
+        with pytest.raises(ValueError):
+            partitioned_min_cover([], 0)
+
+    def test_partitioned_is_equivalent(self):
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"B": "_"}, {"C": "_"}),
+            CFD("R", {"B": "_"}, {"C": "_"}),
+        ]
+        cover = partitioned_min_cover(sigma, 2)
+        assert equivalent(cover, sigma)
+        assert len(cover) == 2
+
+    def test_partitioned_may_keep_cross_block_redundancy(self):
+        # Redundancy spanning blocks is not removed — that is the point
+        # of the bounded-cost variant.
+        sigma = [
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"B": "_"}, {"C": "_"}),
+            CFD("R", {"A": "_"}, {"C": "_"}),
+        ]
+        cover = partitioned_min_cover(sigma, 1)
+        assert len(cover) == 3

@@ -1,0 +1,116 @@
+"""RA expression trees: schemas, validation, fragment classification."""
+
+import pytest
+
+from repro.algebra.ops import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Renaming,
+    Selection,
+    Union,
+    classify,
+    operators,
+)
+from repro.core.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema(
+        [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+    )
+
+
+class TestSchemas:
+    def test_relation_ref(self, db):
+        assert RelationRef("R").schema(db).attribute_names == ("A", "B")
+
+    def test_projection(self, db):
+        expr = Projection(RelationRef("R"), ["B"])
+        assert expr.schema(db).attribute_names == ("B",)
+
+    def test_projection_unknown_attribute(self, db):
+        with pytest.raises(KeyError):
+            Projection(RelationRef("R"), ["Z"]).schema(db)
+
+    def test_selection_keeps_schema(self, db):
+        expr = Selection(RelationRef("R"), [AttrEq("A", "B")])
+        assert expr.schema(db).attribute_names == ("A", "B")
+
+    def test_selection_unknown_attribute(self, db):
+        with pytest.raises(KeyError):
+            Selection(RelationRef("R"), [ConstEq("Z", 1)]).schema(db)
+
+    def test_product_concatenates(self, db):
+        expr = Product(RelationRef("R"), RelationRef("S"))
+        assert expr.schema(db).attribute_names == ("A", "B", "C", "D")
+
+    def test_product_overlap_rejected(self, db):
+        with pytest.raises(ValueError):
+            Product(RelationRef("R"), RelationRef("R")).schema(db)
+
+    def test_renaming(self, db):
+        expr = Renaming(RelationRef("R"), {"A": "X"})
+        assert expr.schema(db).attribute_names == ("X", "B")
+
+    def test_renaming_collision_rejected(self, db):
+        with pytest.raises(ValueError):
+            Renaming(RelationRef("R"), {"A": "B"}).schema(db)
+
+    def test_union_compatibility(self, db):
+        Union(RelationRef("R"), RelationRef("R")).schema(db)
+        with pytest.raises(ValueError):
+            Union(RelationRef("R"), RelationRef("S")).schema(db)
+
+    def test_difference_compatibility(self, db):
+        Difference(RelationRef("R"), RelationRef("R")).schema(db)
+        with pytest.raises(ValueError):
+            Difference(RelationRef("R"), RelationRef("S")).schema(db)
+
+    def test_constant_relation(self, db):
+        expr = ConstantRelation({"CC": "44"})
+        assert expr.schema(db).attribute_names == ("CC",)
+        assert expr.as_dict() == {"CC": "44"}
+
+
+class TestClassification:
+    def test_identity(self):
+        assert classify(RelationRef("R")) == "identity"
+        assert classify(Renaming(RelationRef("R"), {"A": "X"})) == "identity"
+
+    def test_single_operators(self):
+        assert classify(Selection(RelationRef("R"), [])) == "S"
+        assert classify(Projection(RelationRef("R"), ["A"])) == "P"
+        assert classify(Product(RelationRef("R"), RelationRef("S"))) == "C"
+
+    def test_constant_relation_counts_as_c(self):
+        # Q1 of Example 1.1 is a C query: {(CC: 44)} x R1.
+        expr = Product(ConstantRelation({"CC": "44"}), RelationRef("R1"))
+        assert classify(expr) == "C"
+
+    def test_composites(self):
+        sp = Projection(Selection(RelationRef("R"), []), ["A"])
+        assert classify(sp) == "SP"
+        sc = Selection(Product(RelationRef("R"), RelationRef("S")), [])
+        assert classify(sc) == "SC"
+        pc = Projection(Product(RelationRef("R"), RelationRef("S")), ["A"])
+        assert classify(pc) == "PC"
+        spc = Projection(sc, ["A"])
+        assert classify(spc) == "SPC"
+
+    def test_union_lifts_to_spcu(self):
+        expr = Union(RelationRef("R"), RelationRef("R"))
+        assert classify(expr) == "SPCU"
+
+    def test_difference_lifts_to_ra(self):
+        expr = Difference(RelationRef("R"), RelationRef("R"))
+        assert classify(expr) == "RA"
+
+    def test_operators_set(self):
+        expr = Projection(Selection(RelationRef("R"), []), ["A"])
+        assert operators(expr) == {"S", "P"}

@@ -1,0 +1,166 @@
+"""Cross-validation of the propagation checker against brute force.
+
+``Sigma |=_V phi`` quantifies over ALL source instances; on a tiny
+universe (two relations of <= 2 attributes, values from {0, 1}, at most
+two rows each) the quantifier can be brute-forced.  A brute-force
+counterexample refutes propagation, so on every random workload:
+
+    brute-force finds a violating D  ==>  propagates() returns False
+    propagates() returns True        ==>  no violating D exists
+
+(the symbolic checker may legitimately say False when the only
+counterexamples need values outside the tiny universe — that direction is
+not asserted).  This mirrors the implication cross-check and exercises
+selection, projection, product and union paths of the checker.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CFD,
+    DatabaseInstance,
+    DatabaseSchema,
+    RelationSchema,
+    SPCUView,
+    SPCView,
+    propagates,
+)
+from repro.algebra.ops import AttrEq, ConstEq
+from repro.algebra.spc import RelationAtom
+
+VALUES = ("0", "1")
+SCHEMA = DatabaseSchema(
+    [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+)
+
+
+def _random_view(rng: random.Random) -> SPCView:
+    atoms = [RelationAtom("R", {"A": "A", "B": "B"})]
+    attrs = ["A", "B"]
+    if rng.random() < 0.5:
+        atoms.append(RelationAtom("S", {"C": "C", "D": "D"}))
+        attrs += ["C", "D"]
+    selection = []
+    if rng.random() < 0.5:
+        attr = rng.choice(attrs)
+        selection.append(ConstEq(attr, rng.choice(VALUES)))
+    if len(atoms) == 2 and rng.random() < 0.5:
+        selection.append(AttrEq(rng.choice(["A", "B"]), rng.choice(["C", "D"])))
+    projection = sorted(rng.sample(attrs, rng.randint(1, len(attrs))))
+    return SPCView("V", SCHEMA, atoms, selection, projection)
+
+
+def _random_cfd(rng: random.Random, relation: str, attrs) -> CFD:
+    attrs = list(attrs)
+    rng.shuffle(attrs)
+    lhs_attr, rhs_attr = attrs[0], attrs[1]
+
+    def entry():
+        return rng.choice(["_", rng.choice(VALUES)])
+
+    return CFD(relation, {lhs_attr: entry()}, {rhs_attr: entry()})
+
+
+def _all_relations(attrs, max_rows):
+    """All instances of one relation with <= max_rows rows over VALUES."""
+    rows = [
+        dict(zip(attrs, combo))
+        for combo in itertools.product(VALUES, repeat=len(attrs))
+    ]
+    instances = [[]]
+    instances += [[r] for r in rows]
+    if max_rows >= 2:
+        instances += [
+            [rows[i], rows[j]]
+            for i in range(len(rows))
+            for j in range(i + 1, len(rows))
+        ]
+    return instances
+
+
+def _brute_force_counterexample(sigma, view, phi) -> bool:
+    r_instances = _all_relations(["A", "B"], 2)
+    needs_s = any(atom.source == "S" for atom in view.atoms)
+    s_instances = _all_relations(["C", "D"], 2) if needs_s else [[]]
+    for r_rows in r_instances:
+        for s_rows in s_instances:
+            db = DatabaseInstance(SCHEMA, {"R": r_rows, "S": s_rows})
+            if not db.satisfies_all(sigma):
+                continue
+            if not view.evaluate(db).satisfies(phi):
+                return True
+    return False
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=40, deadline=None)
+def test_propagation_agrees_with_brute_force(seed):
+    rng = random.Random(seed)
+    view = _random_view(rng)
+    sigma = [
+        _random_cfd(rng, "R", ["A", "B"])
+        for _ in range(rng.randint(0, 2))
+    ]
+    if any(atom.source == "S" for atom in view.atoms) and rng.random() < 0.5:
+        sigma.append(_random_cfd(rng, "S", ["C", "D"]))
+    if len(view.projection) < 2:
+        return  # need two attributes for a nontrivial target
+    lhs_attr, rhs_attr = rng.sample(view.projection, 2)
+
+    def entry():
+        return rng.choice(["_", rng.choice(VALUES)])
+
+    phi = CFD("V", {lhs_attr: entry()}, {rhs_attr: entry()})
+
+    symbolic = propagates(sigma, view, phi)
+    brute = _brute_force_counterexample(sigma, view, phi)
+    if brute:
+        assert not symbolic, (
+            f"seed={seed}: brute force refutes propagation of {phi} via "
+            f"{view} under {sigma}, but the checker claims it"
+        )
+
+
+@given(st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=20, deadline=None)
+def test_spcu_propagation_agrees_with_brute_force(seed):
+    rng = random.Random(seed)
+    branch1 = _random_view(rng)
+    branch2 = SPCView(
+        "V",
+        SCHEMA,
+        [RelationAtom("R", {"A": "A", "B": "B"})],
+        [ConstEq(rng.choice(["A", "B"]), rng.choice(VALUES))],
+        branch1.projection if set(branch1.projection) <= {"A", "B"} else None,
+    )
+    if sorted(branch2.projection) != sorted(branch1.projection):
+        return
+    view = SPCUView("V", [branch1, branch2])
+    sigma = [_random_cfd(rng, "R", ["A", "B"])]
+    if len(view.projection) < 2:
+        return
+    lhs_attr, rhs_attr = rng.sample(list(view.projection), 2)
+    phi = CFD("V", {lhs_attr: "_"}, {rhs_attr: "_"})
+
+    symbolic = propagates(sigma, view, phi)
+
+    def brute():
+        for r_rows in _all_relations(["A", "B"], 2):
+            for s_rows in (
+                _all_relations(["C", "D"], 1)
+                if any(a.source == "S" for a in branch1.atoms)
+                else [[]]
+            ):
+                db = DatabaseInstance(SCHEMA, {"R": r_rows, "S": s_rows})
+                if not db.satisfies_all(sigma):
+                    continue
+                if not view.evaluate(db).satisfies(phi):
+                    return True
+        return False
+
+    if brute():
+        assert not symbolic, f"seed={seed}: SPCU checker overclaims"

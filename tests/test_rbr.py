@@ -1,0 +1,239 @@
+"""Reduction By Resolution: A-resolvents, Drop, RBR (Figure 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.fd import FD, fd_closure, project_fds
+from repro.core.implication import equivalent, implies
+from repro.core.values import Const, WILDCARD
+from repro.propagation.rbr import a_resolvent, drop, rbr, resolvents
+
+
+class TestAResolvent:
+    def test_example_4_2(self):
+        """The paper's Example 4.2 resolvent."""
+        phi1 = CFD("R", {"A1": "_", "A2": "c"}, {"A": "a"})
+        phi2 = CFD("R", {"A": "_", "A2": "c", "B1": "b"}, {"B": "_"})
+        result = a_resolvent(phi1, phi2, "A")
+        # The paper reports ([A1, A2, B1] -> B, (_, c, b || _)); our
+        # simplification keeps it identical (no self-reference involved).
+        assert result == CFD(
+            "R", {"A1": "_", "A2": "c", "B1": "b"}, {"B": "_"}
+        )
+
+    def test_constant_rhs_flows_into_leq_gate(self):
+        # Producer concludes A = a; consumer needs A = a: allowed.
+        phi1 = CFD("R", {"X": "_"}, {"A": "a"})
+        phi2 = CFD("R", {"A": "a", "Z": "_"}, {"B": "_"})
+        result = a_resolvent(phi1, phi2, "A")
+        assert result == CFD("R", {"X": "_", "Z": "_"}, {"B": "_"})
+
+    def test_wildcard_conclusion_blocked_by_constant_premise(self):
+        # Producer concludes an unknown A; consumer requires A = a.
+        phi1 = CFD("R", {"X": "_"}, {"A": "_"})
+        phi2 = CFD("R", {"A": "a", "Z": "_"}, {"B": "_"})
+        assert a_resolvent(phi1, phi2, "A") is None
+
+    def test_constant_conclusion_meets_wildcard_premise(self):
+        phi1 = CFD("R", {"X": "_"}, {"A": "a"})
+        phi2 = CFD("R", {"A": "_", "Z": "_"}, {"B": "_"})
+        assert a_resolvent(phi1, phi2, "A") is not None
+
+    def test_mismatched_constants_blocked(self):
+        phi1 = CFD("R", {"X": "_"}, {"A": "a"})
+        phi2 = CFD("R", {"A": "b", "Z": "_"}, {"B": "_"})
+        assert a_resolvent(phi1, phi2, "A") is None
+
+    def test_shared_attribute_patterns_meet(self):
+        phi1 = CFD("R", {"X": "1"}, {"A": "_"})
+        phi2 = CFD("R", {"A": "_", "X": "_"}, {"B": "_"})
+        result = a_resolvent(phi1, phi2, "A")
+        assert result.lhs == (("X", Const("1")),)
+
+    def test_shared_attribute_conflict_blocks(self):
+        phi1 = CFD("R", {"X": "1"}, {"A": "_"})
+        phi2 = CFD("R", {"A": "_", "X": "2"}, {"B": "_"})
+        assert a_resolvent(phi1, phi2, "A") is None
+
+    def test_wrong_roles_rejected(self):
+        phi1 = CFD("R", {"X": "_"}, {"A": "_"})
+        phi2 = CFD("R", {"A": "_"}, {"B": "_"})
+        assert a_resolvent(phi1, phi2, "B") is None  # phi1 does not derive B
+        assert a_resolvent(phi2, phi1, "A") is None  # phi1 does not consume A
+
+    def test_resolvent_never_mentions_dropped_attribute(self):
+        phi1 = CFD("R", {"X": "_"}, {"A": "_"})
+        phi2 = CFD("R", {"A": "_", "X": "_"}, {"B": "_"})
+        result = a_resolvent(phi1, phi2, "A")
+        assert "A" not in result.attributes
+
+    def test_equality_cfds_not_resolved(self):
+        phi1 = CFD.equality("R", "X", "A")
+        phi2 = CFD("R", {"A": "_"}, {"B": "_"})
+        assert a_resolvent(phi1, phi2, "A") is None
+
+
+class TestDrop:
+    def test_drop_removes_attribute_entirely(self):
+        gamma = [
+            CFD("R", {"X": "_"}, {"A": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"X": "_"}, {"C": "_"}),
+        ]
+        result = drop(gamma, "A")
+        assert all("A" not in phi.attributes for phi in result)
+        assert CFD("R", {"X": "_"}, {"B": "_"}) in result
+        assert CFD("R", {"X": "_"}, {"C": "_"}) in result
+
+    def test_resolvents_function(self):
+        gamma = [
+            CFD("R", {"X": "_"}, {"A": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+        ]
+        found = resolvents(gamma, "A")
+        assert found == [CFD("R", {"X": "_"}, {"B": "_"})]
+
+    def test_trivial_resolvents_excluded(self):
+        gamma = [
+            CFD("R", {"B": "_"}, {"A": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+        ]
+        assert resolvents(gamma, "A") == []  # B -> B is trivial
+
+
+class TestRBRvsClosureBaseline:
+    """Proposition 4.4 ground truth: RBR equals closure-then-project.
+
+    For FD workloads both methods must yield equivalent covers of the
+    projected dependencies; the closure method is the exponential oracle.
+    """
+
+    ATTRS = ("A", "B", "C", "D", "E")
+
+    def _check(self, fds, projection):
+        cfds = [CFD.from_fd(fd) for fd in fds]
+        dropped = [a for a in self.ATTRS if a not in projection]
+        via_rbr = rbr(cfds, dropped)
+        oracle = project_fds(
+            fd_closure("R", self.ATTRS, fds), set(projection)
+        )
+        oracle_cfds = [CFD.from_fd(fd) for fd in oracle]
+        assert equivalent(via_rbr, oracle_cfds), (
+            f"RBR {via_rbr} != closure {oracle} for {fds} on {projection}"
+        )
+
+    def test_transitive_chain(self):
+        self._check(
+            [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))], ("A", "C")
+        )
+
+    def test_diamond(self):
+        self._check(
+            [
+                FD("R", ("A",), ("B",)),
+                FD("R", ("A",), ("C",)),
+                FD("R", ("B", "C"), ("D",)),
+            ],
+            ("A", "D"),
+        )
+
+    def test_nothing_projects(self):
+        self._check([FD("R", ("A",), ("B",))], ("C", "D"))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_fd_workloads(self, seed):
+        rng = random.Random(seed)
+        fds = []
+        for _ in range(rng.randint(1, 5)):
+            lhs = rng.sample(self.ATTRS, rng.randint(1, 2))
+            rhs = rng.choice([a for a in self.ATTRS if a not in lhs])
+            fds.append(FD("R", lhs, (rhs,)))
+        projection = tuple(rng.sample(self.ATTRS, rng.randint(2, 4)))
+        self._check(fds, projection)
+
+
+class TestRBRSoundnessWithPatterns:
+    """Every RBR output must be implied by the input (Proposition 4.4's
+    easy direction), for pattern-carrying CFDs too."""
+
+    ATTRS = ("A", "B", "C", "D")
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_implied_by_inputs(self, seed):
+        rng = random.Random(seed)
+        gamma = []
+        for _ in range(rng.randint(1, 5)):
+            size = rng.randint(1, 2)
+            chosen = rng.sample(self.ATTRS, size + 1)
+
+            def entry():
+                return rng.choice(["_", rng.choice(("0", "1"))])
+
+            gamma.append(
+                CFD(
+                    "R",
+                    {a: entry() for a in chosen[:-1]},
+                    {chosen[-1]: entry()},
+                )
+            )
+        dropped = rng.sample(self.ATTRS, rng.randint(1, 2))
+        result = rbr(gamma, dropped)
+        for phi in result:
+            assert not set(dropped) & set(phi.attributes)
+            assert implies(gamma, phi), (
+                f"seed={seed}: RBR produced {phi} not implied by {gamma}"
+            )
+
+
+class TestRBRWithPatterns:
+    def test_constants_block_transitivity(self):
+        # The Figure 6 discussion: constants on the dropped attribute
+        # block resolution, so fewer CFDs propagate with more constants.
+        wild = [
+            CFD("R", {"X": "_"}, {"A": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+        ]
+        blocked = [
+            CFD("R", {"X": "_"}, {"A": "_"}),
+            CFD("R", {"A": "k"}, {"B": "_"}),
+        ]
+        assert rbr(wild, ["A"])  # nonempty: X -> B survives
+        assert rbr(blocked, ["A"]) == []
+
+    def test_constant_forcing_cfd_survives_via_simplification(self):
+        # (X A -> A, (tx, _ || a)) must not be lost when A is dropped...
+        gamma = [CFD("R", {"X": "x1", "A": "_"}, {"A": "a"})]
+        result = rbr(gamma, ["B"])  # dropping something else keeps it
+        assert result == [CFD("R", {"X": "x1"}, {"A": "a"})]
+
+    def test_pattern_meet_in_chained_resolution(self):
+        gamma = [
+            CFD("R", {"X": "1"}, {"A": "2"}),
+            CFD("R", {"A": "2"}, {"B": "3"}),
+        ]
+        result = rbr(gamma, ["A"])
+        assert result == [CFD("R", {"X": "1"}, {"B": "3"})]
+
+    def test_partitioned_mincover_toggle(self):
+        gamma = [
+            CFD("R", {"X": "_"}, {"A": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"X": "_"}, {"B": "_"}),  # redundant with resolvent
+        ]
+        with_opt = rbr(gamma, ["A"], partition_size=2)
+        without_opt = rbr(gamma, ["A"], partition_size=None)
+        assert equivalent(with_opt, without_opt)
+
+    def test_multiple_drops_in_sequence(self):
+        gamma = [
+            CFD("R", {"X": "_"}, {"A": "_"}),
+            CFD("R", {"A": "_"}, {"B": "_"}),
+            CFD("R", {"B": "_"}, {"C": "_"}),
+        ]
+        result = rbr(gamma, ["A", "B"])
+        assert equivalent(result, [CFD("R", {"X": "_"}, {"C": "_"})])

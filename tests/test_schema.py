@@ -1,0 +1,87 @@
+"""Relation and database schemas."""
+
+import pytest
+
+from repro.core.domains import BOOL, STRING
+from repro.core.schema import Attribute, DatabaseSchema, RelationSchema
+
+
+class TestRelationSchema:
+    def test_string_attributes_coerced(self):
+        r = RelationSchema("R", ["A", "B"])
+        assert r.attribute_names == ("A", "B")
+        assert r.domain_of("A") is STRING
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", ["A", "A"])
+
+    def test_arity_and_contains(self):
+        r = RelationSchema("R", ["A", "B", "C"])
+        assert r.arity == 3
+        assert "B" in r
+        assert "Z" not in r
+
+    def test_attribute_lookup_error_names_schema(self):
+        r = RelationSchema("R", ["A"])
+        with pytest.raises(KeyError, match="R"):
+            r.attribute("Z")
+
+    def test_index_of(self):
+        r = RelationSchema("R", ["A", "B"])
+        assert r.index_of("B") == 1
+        with pytest.raises(KeyError):
+            r.index_of("Z")
+
+    def test_finite_domain_detection(self):
+        plain = RelationSchema("R", ["A"])
+        mixed = RelationSchema("S", [Attribute("A", BOOL), Attribute("B")])
+        assert not plain.has_finite_domain_attribute()
+        assert mixed.has_finite_domain_attribute()
+
+    def test_renamed_produces_prefixed_names(self):
+        r = RelationSchema("R", ["A", "B"])
+        renamed, mapping = r.renamed("R1", "t0.")
+        assert renamed.attribute_names == ("t0.A", "t0.B")
+        assert mapping == {"A": "t0.A", "B": "t0.B"}
+
+    def test_renamed_preserves_domains(self):
+        r = RelationSchema("R", [Attribute("A", BOOL)])
+        renamed, _ = r.renamed("R1", "x.")
+        assert renamed.domain_of("x.A") is BOOL
+
+    def test_project_orders_by_request(self):
+        r = RelationSchema("R", ["A", "B", "C"])
+        p = r.project(["C", "A"])
+        assert p.attribute_names == ("C", "A")
+
+    def test_equality_and_hash(self):
+        assert RelationSchema("R", ["A"]) == RelationSchema("R", ["A"])
+        assert hash(RelationSchema("R", ["A"])) == hash(RelationSchema("R", ["A"]))
+        assert RelationSchema("R", ["A"]) != RelationSchema("R", ["B"])
+
+
+class TestDatabaseSchema:
+    def test_lookup(self):
+        db = DatabaseSchema([RelationSchema("R", ["A"]), RelationSchema("S", ["B"])])
+        assert db.relation("R").attribute_names == ("A",)
+        assert len(db) == 2
+        assert "S" in db
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseSchema([RelationSchema("R", ["A"]), RelationSchema("R", ["B"])])
+
+    def test_missing_relation_error(self):
+        db = DatabaseSchema([RelationSchema("R", ["A"])])
+        with pytest.raises(KeyError, match="R"):
+            db.relation("Z")
+
+    def test_finite_domain_detection(self):
+        db = DatabaseSchema(
+            [
+                RelationSchema("R", ["A"]),
+                RelationSchema("S", [Attribute("B", BOOL)]),
+            ]
+        )
+        assert db.has_finite_domain_attribute()

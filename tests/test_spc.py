@@ -1,0 +1,210 @@
+"""The SPC normal form: construction, normalization, evaluation."""
+
+import pytest
+
+from repro.algebra.instance import DatabaseInstance
+from repro.algebra.eval import evaluate
+from repro.algebra.ops import (
+    AttrEq,
+    ConstEq,
+    ConstantRelation,
+    Product,
+    Projection,
+    RelationRef,
+    Renaming,
+    Selection,
+    Union,
+)
+from repro.algebra.spc import RelationAtom, SPCView
+from repro.core.cfd import CFD
+from repro.core.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema(
+        [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+    )
+
+
+@pytest.fixture
+def instance(db):
+    return DatabaseInstance(
+        db,
+        {
+            "R": [{"A": 1, "B": 2}, {"A": 3, "B": 2}],
+            "S": [{"C": 2, "D": 9}, {"C": 5, "D": 9}],
+        },
+    )
+
+
+def _rows(relation):
+    return sorted(tuple(sorted(r.items())) for r in relation.rows)
+
+
+class TestConstruction:
+    def test_atom_must_rename_all_attributes(self, db):
+        with pytest.raises(ValueError):
+            SPCView("V", db, [RelationAtom("R", {"A": "x.A"})])
+
+    def test_atom_attribute_collision_rejected(self, db):
+        atoms = [
+            RelationAtom("R", {"A": "x", "B": "y"}),
+            RelationAtom("S", {"C": "x", "D": "z"}),
+        ]
+        with pytest.raises(ValueError):
+            SPCView("V", db, atoms)
+
+    def test_unknown_source_relation(self, db):
+        with pytest.raises(KeyError):
+            SPCView("V", db, [RelationAtom("Z", {"A": "x"})])
+
+    def test_selection_attribute_must_exist(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        with pytest.raises(KeyError):
+            SPCView("V", db, atoms, [ConstEq("z", 1)])
+
+    def test_projection_must_be_produced(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        with pytest.raises(KeyError):
+            SPCView("V", db, atoms, projection=["z"])
+
+    def test_constants_must_be_projected(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        with pytest.raises(ValueError):
+            SPCView("V", db, atoms, projection=["a"], constants={"CC": "44"})
+
+    def test_default_projection_covers_everything(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, constants={"CC": "44"})
+        assert set(view.projection) == {"a", "b", "CC"}
+
+    def test_dropped_attributes(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, projection=["a"])
+        assert view.dropped_attributes() == ["b"]
+
+
+class TestEvaluation:
+    def test_projection_and_constants(self, db, instance):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, projection=["a", "CC"], constants={"CC": "44"})
+        rows = view.evaluate(instance).rows
+        assert sorted(r["a"] for r in rows) == [1, 3]
+        assert all(r["CC"] == "44" for r in rows)
+
+    def test_join_via_selection(self, db, instance):
+        atoms = [
+            RelationAtom("R", {"A": "a", "B": "b"}),
+            RelationAtom("S", {"C": "c", "D": "d"}),
+        ]
+        view = SPCView("V", db, atoms, [AttrEq("b", "c")], ["a", "d"])
+        rows = view.evaluate(instance).rows
+        assert sorted(r["a"] for r in rows) == [1, 3]
+        assert all(r["d"] == 9 for r in rows)
+
+    def test_const_selection(self, db, instance):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, [ConstEq("a", 1)], ["a", "b"])
+        assert [r["a"] for r in view.evaluate(instance).rows] == [1]
+
+    def test_unsatisfiable_view_is_empty(self, db, instance):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, [], ["a"], unsatisfiable=True)
+        assert len(view.evaluate(instance)) == 0
+
+
+class TestNormalization:
+    def test_simple_projection(self, db, instance):
+        expr = Projection(RelationRef("R"), ["B"])
+        view = SPCView.from_expr(expr, db)
+        assert view.projection == ["B"]
+        assert _rows(view.evaluate(instance)) == _rows(evaluate(expr, instance, "V"))
+
+    def test_selection_projection_product(self, db, instance):
+        expr = Projection(
+            Selection(
+                Product(RelationRef("R"), RelationRef("S")),
+                [AttrEq("B", "C")],
+            ),
+            ["A", "D"],
+        )
+        view = SPCView.from_expr(expr, db)
+        assert _rows(view.evaluate(instance)) == _rows(evaluate(expr, instance, "V"))
+
+    def test_constant_relation_becomes_rc(self, db, instance):
+        expr = Product(ConstantRelation({"CC": "44"}), RelationRef("R"))
+        view = SPCView.from_expr(expr, db)
+        assert view.constants == {"CC": "44"}
+        assert _rows(view.evaluate(instance)) == _rows(evaluate(expr, instance, "V"))
+
+    def test_renaming_flows_through(self, db, instance):
+        expr = Projection(Renaming(RelationRef("R"), {"A": "X"}), ["X"])
+        view = SPCView.from_expr(expr, db)
+        assert view.projection == ["X"]
+        assert _rows(view.evaluate(instance)) == _rows(evaluate(expr, instance, "V"))
+
+    def test_selection_on_constant_column_folds(self, db, instance):
+        expr = Selection(
+            Product(ConstantRelation({"CC": "44"}), RelationRef("R")),
+            [ConstEq("CC", "44")],
+        )
+        view = SPCView.from_expr(expr, db)
+        assert not view.unsatisfiable
+        assert len(view.evaluate(instance)) == 2
+
+    def test_contradictory_constant_selection(self, db, instance):
+        expr = Selection(
+            Product(ConstantRelation({"CC": "44"}), RelationRef("R")),
+            [ConstEq("CC", "31")],
+        )
+        view = SPCView.from_expr(expr, db)
+        assert view.unsatisfiable
+        assert len(view.evaluate(instance)) == 0
+
+    def test_nested_projections_compose(self, db, instance):
+        expr = Projection(Projection(RelationRef("R"), ["A", "B"]), ["B"])
+        view = SPCView.from_expr(expr, db)
+        assert view.projection == ["B"]
+
+    def test_selection_between_column_and_literal(self, db, instance):
+        expr = Selection(
+            Product(ConstantRelation({"K": 2}), RelationRef("R")),
+            [AttrEq("B", "K")],
+        )
+        view = SPCView.from_expr(expr, db)
+        assert _rows(view.evaluate(instance)) == _rows(evaluate(expr, instance, "V"))
+
+    def test_union_rejected(self, db):
+        with pytest.raises(ValueError):
+            SPCView.from_expr(Union(RelationRef("R"), RelationRef("R")), db)
+
+    def test_as_expr_round_trip(self, db, instance):
+        atoms = [
+            RelationAtom("R", {"A": "a", "B": "b"}),
+            RelationAtom("S", {"C": "c", "D": "d"}),
+        ]
+        view = SPCView(
+            "V", db, atoms, [AttrEq("b", "c")], ["a", "d", "CC"], {"CC": "44"}
+        )
+        expr = view.as_expr()
+        assert _rows(view.evaluate(instance)) == _rows(evaluate(expr, instance, "V"))
+
+
+class TestSourceCFDRenaming:
+    def test_rename_per_atom(self, db):
+        atoms = [
+            RelationAtom("R", {"A": "x.A", "B": "x.B"}),
+            RelationAtom("R", {"A": "y.A", "B": "y.B"}),
+        ]
+        view = SPCView("V", db, atoms)
+        sigma = [CFD("R", {"A": "_"}, {"B": "_"})]
+        renamed = view.rename_source_cfds(sigma)
+        assert len(renamed) == 2
+        assert {tuple(phi.lhs_attrs) for phi in renamed} == {("x.A",), ("y.A",)}
+        assert all(phi.relation == "V" for phi in renamed)
+
+    def test_other_relations_skipped(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms)
+        assert view.rename_source_cfds([CFD("S", {"C": "_"}, {"D": "_"})]) == []

@@ -1,0 +1,97 @@
+"""SPCU normal form: union lifting and evaluation."""
+
+import pytest
+
+from repro.algebra.eval import evaluate
+from repro.algebra.instance import DatabaseInstance
+from repro.algebra.ops import (
+    ConstantRelation,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Union,
+    ConstEq,
+)
+from repro.algebra.spc import SPCView
+from repro.algebra.spcu import SPCUView, _lift_unions
+from repro.core.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema(
+        [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["A", "B"])]
+    )
+
+
+@pytest.fixture
+def instance(db):
+    return DatabaseInstance(
+        db,
+        {
+            "R": [{"A": 1, "B": 2}],
+            "S": [{"A": 3, "B": 4}, {"A": 1, "B": 2}],
+        },
+    )
+
+
+def _rows(relation):
+    return sorted(tuple(sorted(r.items())) for r in relation.rows)
+
+
+class TestLifting:
+    def test_union_of_relations(self, db):
+        expr = Union(RelationRef("R"), RelationRef("S"))
+        assert len(_lift_unions(expr)) == 2
+
+    def test_selection_distributes(self, db):
+        expr = Selection(Union(RelationRef("R"), RelationRef("S")), [ConstEq("A", 1)])
+        branches = _lift_unions(expr)
+        assert len(branches) == 2
+        assert all(isinstance(b, Selection) for b in branches)
+
+    def test_product_distributes_pairwise(self, db):
+        u = Union(RelationRef("R"), RelationRef("S"))
+        expr = Product(ConstantRelation({"CC": "x"}), u)
+        assert len(_lift_unions(expr)) == 2
+
+    def test_nested_unions_flatten(self, db):
+        expr = Union(Union(RelationRef("R"), RelationRef("S")), RelationRef("R"))
+        assert len(_lift_unions(expr)) == 3
+
+
+class TestSPCUView:
+    def test_union_compatibility_enforced(self, db):
+        v1 = SPCView.from_expr(Projection(RelationRef("R"), ["A"]), db)
+        v2 = SPCView.from_expr(Projection(RelationRef("S"), ["B"]), db)
+        with pytest.raises(ValueError):
+            SPCUView("V", [v1, v2])
+
+    def test_at_least_one_branch(self):
+        with pytest.raises(ValueError):
+            SPCUView("V", [])
+
+    def test_evaluation_removes_duplicates(self, db, instance):
+        expr = Union(RelationRef("R"), RelationRef("S"))
+        view = SPCUView.from_expr(expr, db)
+        assert len(view.evaluate(instance)) == 2  # (1,2) appears in both
+
+    def test_evaluation_matches_direct_eval(self, db, instance):
+        expr = Selection(
+            Union(RelationRef("R"), RelationRef("S")), [ConstEq("B", 2)]
+        )
+        view = SPCUView.from_expr(expr, db)
+        assert _rows(view.evaluate(instance)) == _rows(
+            evaluate(expr, instance, "V")
+        )
+
+    def test_from_spc_wraps_single_branch(self, db):
+        v = SPCView.from_expr(Projection(RelationRef("R"), ["A"]), db)
+        wrapped = SPCUView.from_spc(v)
+        assert len(wrapped.branches) == 1
+        assert wrapped.projection == ["A"]
+
+    def test_example_1_1_shape(self, customer_view):
+        assert len(customer_view.branches) == 3
+        assert "CC" in customer_view.projection

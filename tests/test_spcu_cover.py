@@ -1,0 +1,95 @@
+"""Propagation covers for SPCU views (the union extension)."""
+
+import pytest
+
+from repro import (
+    CFD,
+    DatabaseSchema,
+    FD,
+    RelationRef,
+    RelationSchema,
+    SPCUView,
+    Union,
+    implies,
+    propagates,
+)
+from repro.propagation import branch_guards, prop_cfd_spcu
+
+
+class TestExample11Cover:
+    def test_recovers_phi1_through_phi5(self, customer_sigma, customer_view):
+        cover = prop_cfd_spcu(customer_sigma, customer_view)
+        expected = [
+            CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"}),     # phi1
+            CFD("R", {"CC": "44", "AC": "_"}, {"city": "_"}),        # phi2
+            CFD("R", {"CC": "31", "AC": "_"}, {"city": "_"}),        # phi3
+            CFD("R", {"CC": "44", "AC": "20"}, {"city": "ldn"}),     # phi4
+            CFD("R", {"CC": "31", "AC": "20"}, {"city": "Amsterdam"}),  # phi5
+        ]
+        for phi in expected:
+            assert implies(cover, phi), f"{phi} not derivable from cover"
+
+    def test_does_not_overclaim(self, customer_sigma, customer_view):
+        cover = prop_cfd_spcu(customer_sigma, customer_view)
+        bad = [
+            CFD("R", {"zip": "_"}, {"street": "_"}),      # f1 unguarded
+            CFD("R", {"AC": "_"}, {"city": "_"}),         # cross-country
+            CFD("R", {"CC": "01", "zip": "_"}, {"street": "_"}),  # US zip
+        ]
+        for phi in bad:
+            assert not implies(cover, phi), f"{phi} wrongly derivable"
+
+    def test_cover_members_sound(self, customer_sigma, customer_view):
+        cover = prop_cfd_spcu(customer_sigma, customer_view)
+        for phi in cover:
+            assert propagates(customer_sigma, customer_view, phi)
+
+
+class TestBranchGuards:
+    def test_constant_tags_detected(self, customer_view):
+        guards = [branch_guards(b) for b in customer_view.branches]
+        assert {"CC": "44"} in guards
+        assert {"CC": "01"} in guards
+        assert {"CC": "31"} in guards
+
+    def test_unguarded_branch(self):
+        db = DatabaseSchema([RelationSchema("R", ["A", "B"])])
+        from repro.algebra.spc import RelationAtom, SPCView
+
+        view = SPCView("V", db, [RelationAtom("R", {"A": "A", "B": "B"})])
+        assert branch_guards(view) == {}
+
+
+class TestPlainUnions:
+    def test_same_relation_twice_keeps_dependency(self):
+        db = DatabaseSchema([RelationSchema("R", ["A", "B"])])
+        view = SPCUView.from_expr(
+            Union(RelationRef("R"), RelationRef("R")), db
+        )
+        cover = prop_cfd_spcu([FD("R", ("A",), ("B",))], view)
+        assert implies(cover, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_untagged_disjoint_relations_lose_dependency(self):
+        db = DatabaseSchema(
+            [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["A", "B"])]
+        )
+        view = SPCUView.from_expr(Union(RelationRef("R"), RelationRef("S")), db)
+        sigma = [FD("R", ("A",), ("B",)), FD("S", ("A",), ("B",))]
+        cover = prop_cfd_spcu(sigma, view)
+        # Without distinguishing tags the FD cannot be guarded back in.
+        assert not implies(cover, CFD("V", {"A": "_"}, {"B": "_"}))
+
+    def test_single_branch_matches_spc_cover(self):
+        from repro.propagation import prop_cfd_spc
+        from repro.core.implication import equivalent
+
+        db = DatabaseSchema([RelationSchema("R", ["A", "B", "C"])])
+        from repro.algebra.ops import Projection
+
+        spcu = SPCUView.from_expr(
+            Projection(RelationRef("R"), ["A", "C"]), db
+        )
+        sigma = [FD("R", ("A",), ("B",)), FD("R", ("B",), ("C",))]
+        union_cover = prop_cfd_spcu(sigma, spcu)
+        spc_cover = prop_cfd_spc(sigma, spcu.branches[0])
+        assert equivalent(union_cover, spc_cover)

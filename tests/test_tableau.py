@@ -1,0 +1,108 @@
+"""Tableau representations of SPC views."""
+
+import pytest
+
+from repro.algebra.ops import AttrEq, ConstEq
+from repro.algebra.spc import RelationAtom, SPCView
+from repro.core.chase import SymbolicInstance, SymVar, VarFactory
+from repro.core.schema import DatabaseSchema, RelationSchema
+from repro.tableau import Tableau, materialize_branch
+
+
+@pytest.fixture
+def db():
+    return DatabaseSchema(
+        [RelationSchema("R", ["A", "B"]), RelationSchema("S", ["C", "D"])]
+    )
+
+
+class TestMaterializeBranch:
+    def test_one_row_per_atom(self, db):
+        atoms = [
+            RelationAtom("R", {"A": "a", "B": "b"}),
+            RelationAtom("S", {"C": "c", "D": "d"}),
+        ]
+        view = SPCView("V", db, atoms)
+        instance = SymbolicInstance()
+        cells = materialize_branch(view, instance, VarFactory())
+        assert len(instance.rows("R")) == 1
+        assert len(instance.rows("S")) == 1
+        assert set(cells) == {"a", "b", "c", "d"}
+
+    def test_const_selection_binds_cell(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, [ConstEq("a", 7)])
+        instance = SymbolicInstance()
+        cells = materialize_branch(view, instance, VarFactory())
+        assert instance.resolve(cells["a"]) == 7
+
+    def test_attr_eq_unifies_cells(self, db):
+        atoms = [
+            RelationAtom("R", {"A": "a", "B": "b"}),
+            RelationAtom("S", {"C": "c", "D": "d"}),
+        ]
+        view = SPCView("V", db, atoms, [AttrEq("b", "c")])
+        instance = SymbolicInstance()
+        cells = materialize_branch(view, instance, VarFactory())
+        assert instance.resolve(cells["b"]) == instance.resolve(cells["c"])
+
+    def test_contradictory_selection_returns_none(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, [ConstEq("a", 1), ConstEq("a", 2)])
+        assert materialize_branch(view, SymbolicInstance(), VarFactory()) is None
+
+    def test_unsatisfiable_flag_returns_none(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, unsatisfiable=True)
+        assert materialize_branch(view, SymbolicInstance(), VarFactory()) is None
+
+    def test_constants_in_cells(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView(
+            "V", db, atoms, projection=["a", "CC"], constants={"CC": "44"}
+        )
+        instance = SymbolicInstance()
+        cells = materialize_branch(view, instance, VarFactory())
+        assert cells["CC"] == "44"
+
+    def test_same_relation_twice_gives_two_rows(self, db):
+        atoms = [
+            RelationAtom("R", {"A": "x.A", "B": "x.B"}),
+            RelationAtom("R", {"A": "y.A", "B": "y.B"}),
+        ]
+        view = SPCView("V", db, atoms)
+        instance = SymbolicInstance()
+        materialize_branch(view, instance, VarFactory())
+        assert len(instance.rows("R")) == 2
+
+    def test_finite_domains_flow_to_variables(self):
+        from repro.core.domains import BOOL
+        from repro.core.schema import Attribute
+
+        db = DatabaseSchema([RelationSchema("R", [Attribute("A", BOOL)])])
+        view = SPCView("V", db, [RelationAtom("R", {"A": "a"})])
+        instance = SymbolicInstance()
+        cells = materialize_branch(view, instance, VarFactory())
+        var = instance.resolve(cells["a"])
+        assert isinstance(var, SymVar) and var.domain.is_finite
+
+
+class TestTableau:
+    def test_of_view_summary_covers_projection(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, projection=["a"])
+        tableau = Tableau.of_view(view)
+        assert set(tableau.summary) == {"a"}
+        assert "R" in tableau.tables
+
+    def test_empty_view_tableau(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, [ConstEq("a", 1), ConstEq("a", 2)])
+        assert Tableau.of_view(view).is_empty_view
+
+    def test_distinguished_variable_appears_in_table(self, db):
+        atoms = [RelationAtom("R", {"A": "a", "B": "b"})]
+        view = SPCView("V", db, atoms, projection=["a"])
+        tableau = Tableau.of_view(view)
+        summary_value = tableau.summary["a"]
+        assert summary_value in tableau.tables["R"][0].values()

@@ -1,0 +1,139 @@
+"""Pattern-value algebra: the match relation, the order, the meet."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.values import (
+    Const,
+    SPECIAL,
+    WILDCARD,
+    const,
+    is_const,
+    is_special,
+    is_wildcard,
+    leq,
+    matches,
+    meet,
+    value_matches,
+)
+
+entries = st.one_of(
+    st.just(WILDCARD),
+    st.integers(min_value=0, max_value=5).map(const),
+)
+
+
+class TestPredicates:
+    def test_const_wraps_value(self):
+        assert const("a") == Const("a")
+        assert is_const(const("a"))
+
+    def test_wildcard_singleton_equality(self):
+        from repro.core.values import Wildcard
+
+        assert WILDCARD == Wildcard()
+        assert is_wildcard(WILDCARD)
+
+    def test_special_is_not_wildcard(self):
+        assert is_special(SPECIAL)
+        assert not is_wildcard(SPECIAL)
+        assert not is_const(SPECIAL)
+
+    def test_consts_with_distinct_values_differ(self):
+        assert const(1) != const(2)
+        assert const(1) != const("1")
+
+
+class TestMatches:
+    def test_equal_constants_match(self):
+        assert matches(const("a"), const("a"))
+
+    def test_distinct_constants_do_not_match(self):
+        assert not matches(const("a"), const("b"))
+
+    def test_wildcard_matches_everything(self):
+        assert matches(WILDCARD, const("a"))
+        assert matches(const("a"), WILDCARD)
+        assert matches(WILDCARD, WILDCARD)
+        assert matches(WILDCARD, SPECIAL)
+
+    def test_paper_example(self):
+        # (Portland, ldn) matches (_, ldn) but not (_, nyc).
+        assert matches(const("Portland"), WILDCARD) and matches(
+            const("ldn"), const("ldn")
+        )
+        assert not matches(const("ldn"), const("nyc"))
+
+    @given(entries, entries)
+    def test_matches_is_symmetric(self, a, b):
+        assert matches(a, b) == matches(b, a)
+
+
+class TestLeq:
+    def test_constant_below_wildcard(self):
+        assert leq(const("a"), WILDCARD)
+        assert not leq(WILDCARD, const("a"))
+
+    def test_constant_below_itself_only(self):
+        assert leq(const("a"), const("a"))
+        assert not leq(const("a"), const("b"))
+
+    @given(entries)
+    def test_reflexive(self, a):
+        assert leq(a, a)
+
+    @given(entries, entries)
+    def test_antisymmetric(self, a, b):
+        if leq(a, b) and leq(b, a):
+            assert a == b
+
+    @given(entries, entries, entries)
+    def test_transitive(self, a, b, c):
+        if leq(a, b) and leq(b, c):
+            assert leq(a, c)
+
+
+class TestMeet:
+    def test_meet_with_wildcard_is_other(self):
+        assert meet(WILDCARD, const("a")) == const("a")
+        assert meet(const("a"), WILDCARD) == const("a")
+        assert meet(WILDCARD, WILDCARD) == WILDCARD
+
+    def test_meet_of_distinct_constants_undefined(self):
+        assert meet(const("a"), const("b")) is None
+
+    def test_meet_of_equal_constants(self):
+        assert meet(const("a"), const("a")) == const("a")
+
+    @given(entries, entries)
+    def test_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    @given(entries)
+    def test_idempotent(self, a):
+        assert meet(a, a) == a
+
+    @given(entries, entries)
+    def test_meet_is_lower_bound(self, a, b):
+        m = meet(a, b)
+        if m is not None:
+            assert leq(m, a) and leq(m, b)
+
+    @given(entries, entries, entries)
+    def test_meet_is_greatest_lower_bound(self, a, b, c):
+        m = meet(a, b)
+        if leq(c, a) and leq(c, b):
+            assert m is not None
+            assert leq(c, m)
+
+
+class TestValueMatches:
+    def test_wildcard_matches_any_value(self):
+        assert value_matches("anything", WILDCARD)
+
+    def test_constant_requires_equality(self):
+        assert value_matches("a", const("a"))
+        assert not value_matches("b", const("a"))
+
+    def test_special_matches_any_value(self):
+        assert value_matches("x", SPECIAL)
