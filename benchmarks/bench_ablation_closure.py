@@ -5,6 +5,14 @@ projects; RBR avoids the closure.  On FD workloads with growing attribute
 counts the gap widens — this is the paper's motivation for adopting
 Gottlob's method and the reason ``PropCFD_SPC`` "behaves polynomially in
 many practical cases".
+
+Ablation A3 (same module, same workload family): the batch
+``PropagationEngine`` against the uncached single-query path on a
+*repeated-query* workload — every Example 4.1 candidate checked several
+times, as a monitoring or integration pipeline would.  The cached engine
+shares closures/chases/verdicts across the batch; the uncached engine
+re-derives everything, which is exactly the overhead the engine exists
+to remove.
 """
 
 import random
@@ -12,12 +20,20 @@ import random
 import pytest
 
 from repro import CFD, FD
-from repro.propagation.closure_baseline import closure_projection_cover
+from repro.algebra.spc import RelationAtom, SPCView
+from repro.core.schema import DatabaseSchema
+from repro.propagation.closure_baseline import (
+    closure_projection_cover,
+    exponential_family,
+)
+from repro.propagation.engine import PropagationEngine
 from repro.propagation.rbr import rbr
 
 from conftest import record_point
 
 SIZES = [6, 9, 12]
+ENGINE_SIZES = [4, 6]
+REPEATS = 3
 
 
 def _fd_workload(num_attrs: int, seed: int = 7):
@@ -65,4 +81,91 @@ def test_ablation_rbr(benchmark, num_attrs):
         "RBR",
         benchmark.stats.stats.mean,
         {"cover": len(cover)},
+    )
+
+
+def _batch_workload(n: int, defeat_fast_path: bool = False):
+    """The Example 4.1 projection view plus a repeated query batch.
+
+    Queries are all ``2^n`` eta-combination candidates ``eta_1..eta_n ->
+    D`` plus per-LHS variants concluding ``A1`` (distinct RHS, same LHS
+    shape), the whole batch repeated ``REPEATS`` times (the case the
+    verdict memo absorbs).
+
+    With ``defeat_fast_path=False`` the FD-only Sigma lets the cached
+    engine answer everything via memoized closures (the fast path) —
+    chases=0.  ``defeat_fast_path=True`` adds a constant-pattern CFD so
+    every verdict must chase, isolating what the *chased-skeleton* cache
+    buys: queries sharing an LHS shape share one chase.
+    """
+    schema, fds, projection = exponential_family(n)
+    if defeat_fast_path:
+        fds = fds + [CFD("R", {"A1": "1"}, {"D": "9"})]
+    view = SPCView(
+        "V",
+        DatabaseSchema([schema]),
+        [RelationAtom("R", {a: a for a in schema.attribute_names})],
+        projection=projection,
+    )
+    queries = []
+    for mask in range(2 ** n):
+        lhs = tuple(
+            (f"A{i + 1}" if mask & (1 << i) else f"B{i + 1}") for i in range(n)
+        )
+        queries.append(FD("V", lhs, ("D",)))
+        queries.append(FD("V", lhs, ("A1",)))
+    return fds, view, queries * REPEATS
+
+
+@pytest.mark.parametrize("n", ENGINE_SIZES)
+@pytest.mark.parametrize(
+    "cached,defeat_fast_path",
+    [(True, False), (True, True), (False, False)],
+    ids=["cached-fastpath", "cached-chase-sharing", "uncached"],
+)
+def test_ablation_engine_batch(benchmark, n, cached, defeat_fast_path):
+    fds, view, queries = _batch_workload(n, defeat_fast_path=defeat_fast_path)
+
+    def run():
+        engine = PropagationEngine(use_cache=cached)
+        return engine, engine.check_many(fds, view, queries)
+
+    engine, verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    if cached:
+        series = (
+            "engine (chase sharing)" if defeat_fast_path else "engine (fast path)"
+        )
+    else:
+        series = "uncached path"
+    record_point(
+        "Ablation A3 (batch engine)",
+        n,
+        series,
+        benchmark.stats.stats.mean,
+        {
+            "queries": len(queries),
+            "propagated": sum(verdicts),
+            "chases": engine.stats.chase_invocations,
+        },
+    )
+
+
+@pytest.mark.parametrize("n", ENGINE_SIZES)
+def test_ablation_engine_env_configured(benchmark, propagation_engine, n):
+    """The fixture-provided engine: ``REPRO_NO_CACHE=1`` flips this series
+    to the uncached baseline without touching the benchmark code."""
+    fds, view, queries = _batch_workload(n)
+    verdicts = benchmark.pedantic(
+        propagation_engine.check_many, args=(fds, view, queries), rounds=1, iterations=1
+    )
+    record_point(
+        "Ablation A3 (batch engine)",
+        n,
+        "engine (env)" if propagation_engine.use_cache else "engine (env, no-cache)",
+        benchmark.stats.stats.mean,
+        {
+            "queries": len(queries),
+            "propagated": sum(verdicts),
+            "chases": propagation_engine.stats.chase_invocations,
+        },
     )

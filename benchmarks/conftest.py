@@ -31,8 +31,15 @@ from collections import defaultdict
 import pytest
 
 from repro.generators import random_cfds, random_schema, random_spc_view
+from repro.propagation.engine import PropagationEngine
 
 SEED = 20080824
+
+#: ``REPRO_NO_CACHE=1`` routes the engine-backed benchmarks (the ones
+#: taking the ``propagation_engine`` fixture) through the uncached
+#: baseline — the ablation escape hatch mirroring the CLI's
+#: ``--no-cache`` flag.
+NO_CACHE = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
 
 #: Paper defaults (Section 5): |Y| = 25, |F| = 10, |Ec| = 4, LHS in 3..9.
 PAPER_Y = 25
@@ -73,6 +80,12 @@ EC_GRID = grid(
 SIGMA_FIXED = (
     100 if os.environ.get("REPRO_FAST") else PAPER_SIGMA
 )
+
+
+@pytest.fixture
+def propagation_engine():
+    """A fresh batch engine per benchmark (honors ``REPRO_NO_CACHE=1``)."""
+    return PropagationEngine(use_cache=not NO_CACHE)
 
 
 @pytest.fixture(scope="session")

@@ -59,11 +59,14 @@ from .core import (
     witness_tuple,
 )
 from .propagation import (
+    EngineStats,
+    PropagationEngine,
     ThreeSat,
     find_counterexample,
     nonempty_witness,
     prop_cfd_spc,
     prop_cfd_spc_report,
+    prop_cfd_spcu,
     propagates,
     propagates_ptime_chase,
     view_is_empty,
@@ -83,10 +86,12 @@ __all__ = [
     "DatabaseSchema",
     "Difference",
     "Domain",
+    "EngineStats",
     "FD",
     "INT",
     "Product",
     "Projection",
+    "PropagationEngine",
     "REAL",
     "Relation",
     "RelationAtom",
@@ -116,6 +121,7 @@ __all__ = [
     "operators",
     "prop_cfd_spc",
     "prop_cfd_spc_report",
+    "prop_cfd_spcu",
     "propagates",
     "propagates_ptime_chase",
     "view_is_empty",

@@ -3,10 +3,15 @@
 Drives the library from JSON files (formats in :mod:`repro.io`):
 
     repro check   --schema s.json --sigma deps.json --view v.json --phi target.json
+    repro propagate-batch --schema s.json --sigma deps.json --view v.json --phi targets.json
     repro cover   --schema s.json --sigma deps.json --view v.json [--out cover.json]
     repro empty   --schema s.json --sigma deps.json --view v.json
     repro validate --schema s.json --rules deps.json --data db.json
     repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
+
+``propagate-batch`` answers a *batch* of targets through the caching
+:class:`~repro.propagation.engine.PropagationEngine` (``--no-cache``
+gives the uncached ablation baseline, ``--stats`` prints cache counters).
 
 Exit codes: 0 on a "positive" analysis result (propagated / nonempty /
 clean), 1 on the negative one, 2 on usage or format errors — so shell
@@ -24,6 +29,7 @@ from . import io as repro_io
 from .algebra.spcu import SPCUView
 from .cleaning import detect, repair, summarize
 from .propagation import (
+    PropagationEngine,
     find_counterexample,
     prop_cfd_spc,
     prop_cfd_spcu,
@@ -39,13 +45,17 @@ def _load_common(args):
     return schema, sigma, view
 
 
+def _load_targets(path):
+    """The ``--phi`` file: one dependency or a list of them."""
+    doc = repro_io.load_json(path)
+    targets = doc if isinstance(doc, list) else [doc]
+    return [repro_io.dependency_from_json(item) for item in targets]
+
+
 def _cmd_check(args) -> int:
     _, sigma, view = _load_common(args)
-    phi_doc = repro_io.load_json(args.phi)
-    targets = phi_doc if isinstance(phi_doc, list) else [phi_doc]
     all_propagated = True
-    for doc in targets:
-        phi = repro_io.dependency_from_json(doc)
+    for phi in _load_targets(args.phi):
         verdict = propagates(sigma, view, phi)
         all_propagated &= verdict
         print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
@@ -54,6 +64,24 @@ def _cmd_check(args) -> int:
             assert witness is not None
             print(json.dumps(repro_io.instance_to_json(witness.database), indent=2))
     return 0 if all_propagated else 1
+
+
+def _cmd_propagate_batch(args) -> int:
+    _, sigma, view = _load_common(args)
+    phis = _load_targets(args.phi)
+    engine = PropagationEngine(use_cache=not args.no_cache)
+    verdicts = engine.check_many(sigma, view, phis)
+    for phi, verdict in zip(phis, verdicts):
+        print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
+    propagated = sum(verdicts)
+    print(f"# {propagated}/{len(verdicts)} propagated", file=sys.stderr)
+    if args.stats:
+        print(f"# {engine.stats}", file=sys.stderr)
+    if args.out:
+        cover = [phi for phi, verdict in zip(phis, verdicts) if verdict]
+        repro_io.dump_json(repro_io.dependencies_to_json(cover), args.out)
+        print(f"# wrote {len(cover)} propagated CFDs to {args.out}", file=sys.stderr)
+    return 0 if propagated == len(verdicts) else 1
 
 
 def _cmd_cover(args) -> int:
@@ -125,11 +153,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="decide Sigma |=_V phi")
     common(check)
-    check.add_argument("--phi", required=True, help="target dependency JSON")
+    check.add_argument(
+        "--phi", required=True, help="target dependency JSON (single or list)"
+    )
     check.add_argument(
         "--witness", action="store_true", help="print a counterexample database"
     )
     check.set_defaults(func=_cmd_check)
+
+    batch = sub.add_parser(
+        "propagate-batch",
+        help="decide Sigma |=_V phi for a batch of targets (cached engine)",
+    )
+    common(batch)
+    batch.add_argument(
+        "--phi", required=True, help="target dependency JSON (single or list)"
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the engine caches (ablation baseline)",
+    )
+    batch.add_argument(
+        "--stats", action="store_true", help="print engine cache counters to stderr"
+    )
+    batch.add_argument("--out", help="write the propagated targets to this JSON file")
+    batch.set_defaults(func=_cmd_propagate_batch)
 
     cover = sub.add_parser("cover", help="compute a propagation cover")
     common(cover)

@@ -30,6 +30,7 @@ from .values import (
     PatternValue,
     SPECIAL,
     WILDCARD,
+    const,
     is_const,
     is_special,
     is_wildcard,
@@ -46,7 +47,7 @@ def _coerce(entry: Any) -> PatternValue:
         return entry
     if entry == "_":
         return WILDCARD
-    return Const(entry)
+    return const(entry)
 
 
 def _as_items(pattern: Mapping[str, Any] | Iterable[tuple[str, Any]]) -> PatternItems:

@@ -88,15 +88,25 @@ class SymbolicInstance:
     # ------------------------------------------------------------------
 
     def add_tuple(self, relation: str, row: Mapping[str, Value]) -> dict[str, Value]:
+        """Store a tuple.  The stored dict must never be mutated afterwards
+        (all later refinement goes through the substitution environment);
+        :meth:`copy` relies on this to share rows between forks."""
         stored = dict(row)
         self.relations.setdefault(relation, []).append(stored)
         return stored
 
     def copy(self) -> "SymbolicInstance":
+        """A fork of this instance sharing the row storage.
+
+        Row dicts are immutable after :meth:`add_tuple` — every chase step
+        mutates only the substitution environment — so copies share them
+        structurally (hash-consed tuples) and fork only ``_env`` and the
+        per-relation row *lists*.  This turns the copy done before every
+        chase from O(cells) into O(rows + env), which is what makes the
+        batch engine's cached-skeleton reuse cheap.
+        """
         clone = SymbolicInstance()
-        clone.relations = {
-            rel: [dict(row) for row in rows] for rel, rows in self.relations.items()
-        }
+        clone.relations = {rel: list(rows) for rel, rows in self.relations.items()}
         clone._env = dict(self._env)
         return clone
 
@@ -411,6 +421,7 @@ def chase_with_instantiations(
     limit: int | None = None,
     positions: dict[str, set[str]] | None = None,
     extra_values: Sequence[Value] = (),
+    on_chase=None,
 ) -> Iterator[ChaseResult]:
     """Chase over every finite-domain instantiation, yielding survivors.
 
@@ -434,11 +445,15 @@ def chase_with_instantiations(
 
     ``limit`` caps the number of yielded results (the paper's heuristic
     escape hatch); exhaustive enumeration needs ``limit=None``.
+    ``on_chase`` (a zero-argument callable) is invoked once per internal
+    chase run — instrumentation for callers that meter chase work.
     """
     dependencies = list(dependencies)
     budget = [limit]
 
     def search(current: SymbolicInstance) -> Iterator[ChaseResult]:
+        if on_chase is not None:
+            on_chase()
         result = chase(current, dependencies)
         if result.status is ChaseStatus.UNDEFINED:
             return

@@ -13,6 +13,7 @@ cover, full closure) are needed independently:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import combinations
 from typing import AbstractSet, Iterable, Sequence
 
@@ -56,13 +57,44 @@ class FD:
         return f"{self.relation}({lhs} -> {rhs})"
 
 
-def attribute_closure(attrs: Iterable[str], fds: Iterable[FD]) -> frozenset[str]:
+def attribute_closure(
+    attrs: Iterable[str], fds: Iterable[FD], use_cache: bool = True
+) -> frozenset[str]:
     """The closure ``X+`` of an attribute set under a set of FDs.
 
     Linear-time fixpoint: repeatedly add the RHS of every FD whose LHS is
     already contained in the closure.  All FDs are assumed to live on the
     same relation; callers filter by relation name first.
+
+    Results are memoized keyed on the frozen LHS plus a fingerprint of the
+    FD set (the set itself, order-insensitive), so changing Sigma in any
+    way reaches a different cache line.  ``use_cache=False`` bypasses the
+    memo (the ablation escape hatch); generators of FDs are consumed
+    either way.
     """
+    if use_cache:
+        attrs = frozenset(attrs)
+        fingerprint = frozenset(fds)
+        return _closure_memo(attrs, fingerprint)
+    return _closure_fixpoint(attrs, fds)
+
+
+@lru_cache(maxsize=65536)
+def _closure_memo(attrs: frozenset[str], fds: frozenset[FD]) -> frozenset[str]:
+    return _closure_fixpoint(attrs, fds)
+
+
+def closure_cache_info():
+    """Hit/miss statistics of the attribute-closure memo (for tests/stats)."""
+    return _closure_memo.cache_info()
+
+
+def clear_closure_cache() -> None:
+    """Drop every memoized attribute closure."""
+    _closure_memo.cache_clear()
+
+
+def _closure_fixpoint(attrs: Iterable[str], fds: Iterable[FD]) -> frozenset[str]:
     closure = set(attrs)
     pending = list(fds)
     changed = True
@@ -142,7 +174,9 @@ def fd_closure(
     *attributes* (optionally capped at ``max_lhs`` attributes) and takes
     its attribute closure.  Kept deliberately naive — it is the baseline the
     paper's Example 4.1 and Section 4.1 discuss, and the ablation benchmark
-    measures its blow-up against RBR.
+    measures its blow-up against RBR.  The closure memo is bypassed here
+    for the same reason: a cached baseline would measure dict lookups, not
+    the method (and would flood the memo with 2^n throwaway lines).
     """
     fds = [f for f in fds if f.relation == relation]
     result: list[FD] = []
@@ -150,7 +184,7 @@ def fd_closure(
     top = len(attrs) if max_lhs is None else min(max_lhs, len(attrs))
     for size in range(top + 1):
         for lhs in combinations(attrs, size):
-            closed = attribute_closure(lhs, fds)
+            closed = attribute_closure(lhs, fds, use_cache=False)
             for b in sorted(closed - set(lhs)):
                 result.append(FD(relation, lhs, (b,)))
     return result

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from .cfd import CFD
+from .fd import FD
 from .chase import (
     ChaseStatus,
     SymbolicInstance,
@@ -134,12 +135,19 @@ def implies(
     is *sound for non-implication* (a found counterexample is real) but a
     ``True`` answer may be optimistic.  Without finite-domain attributes
     the single chase is both sound and complete (PTIME).
+
+    Plain FDs are accepted on either side (embedded as all-wildcard
+    CFDs), mirroring ``propagates``.
     """
+    if isinstance(phi, FD):
+        phi = CFD.from_fd(phi)
     sigma = [
         normal
         for dep in sigma
         if dep.relation == phi.relation
-        for normal in dep.normalize()
+        for normal in (
+            CFD.from_fd(dep) if isinstance(dep, FD) else dep
+        ).normalize()
     ]
     fast_paths = schema is None or not schema.has_finite_domain_attribute()
 

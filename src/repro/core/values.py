@@ -66,10 +66,32 @@ SPECIAL = SpecialVar()
 
 PatternValue = Union[Const, Wildcard, SpecialVar]
 
+#: Interning table for constant pattern entries (hash-consing).  Keys pair
+#: the value with its concrete type so entries for values that merely
+#: *compare* equal (``1``, ``1.0``, ``True``) never share an object —
+#: identity must be at least as fine as equality for soundness.  The table
+#: is capped: once full, new constants are simply allocated uncached.
+_CONST_INTERN: dict[tuple[type, Any], Const] = {}
+_CONST_INTERN_CAP = 1 << 16
+
 
 def const(value: Any) -> Const:
-    """Wrap a raw domain value as a constant pattern entry."""
-    return Const(value)
+    """Wrap a raw domain value as a constant pattern entry (interned).
+
+    Equal values of the same type share one :class:`Const` object, making
+    pattern-entry comparison an identity check on the hot paths.  Unhashable
+    values fall back to a fresh allocation.
+    """
+    try:
+        key = (type(value), value)
+        entry = _CONST_INTERN.get(key)
+    except TypeError:
+        return Const(value)
+    if entry is None:
+        entry = Const(value)
+        if len(_CONST_INTERN) < _CONST_INTERN_CAP:
+            _CONST_INTERN[key] = entry
+    return entry
 
 
 def is_const(entry: PatternValue) -> bool:

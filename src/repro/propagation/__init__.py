@@ -1,6 +1,7 @@
 """Dependency propagation: decision procedures and cover computation."""
 
 from .check import (
+    BranchPairCache,
     Counterexample,
     UnsupportedViewError,
     find_counterexample,
@@ -21,14 +22,19 @@ from .general import (
 )
 from .general_cover import prop_cfd_spc_general
 from .spcu_cover import branch_guards, prop_cfd_spcu
-from .rbr import a_resolvent, drop, rbr, resolvents
+from .rbr import RBRStats, a_resolvent, drop, rbr, resolvents
 from .reductions import PropagationEncoding, ThreeSat, encode
+from .engine import EngineStats, PropagationEngine
 
 __all__ = [
     "BottomEQ",
+    "BranchPairCache",
     "Counterexample",
     "CoverReport",
+    "EngineStats",
     "EquivalenceClasses",
+    "PropagationEngine",
+    "RBRStats",
     "PropagationEncoding",
     "ThreeSat",
     "UnsupportedViewError",

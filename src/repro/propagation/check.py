@@ -93,12 +93,156 @@ class Counterexample:
     branch_pair: tuple[int, int]
 
 
+class BranchPairCache:
+    """Shared tableau skeletons for every propagation query on one view.
+
+    Three layers of sharing across the queries of a batch, coarsest first:
+
+    1. *Base pairs* — the symbolic instance holding two materialized copies
+       of branches ``(i, j)`` (the ``rho1(T_V) U rho2(T_V)`` of the
+       Theorem 3.1 proof).  Depends only on the view, so it is built once
+       per ordered branch pair.
+    2. *Coupled skeletons* — a base pair with the two summaries coupled
+       through a view CFD's LHS.  The coupling reads nothing but the LHS
+       pattern items, so every ``phi`` with an equal LHS shape shares one
+       skeleton (cached per ``(i, j, lhs)``; ``None`` records that the
+       coupling is undefined).
+    3. *Chased results* — in the single-chase setting (no finite-domain
+       attribute anywhere in the view, or ``assume_infinite``) the chase
+       outcome depends only on the coupled skeleton and Sigma, not on the
+       RHS under test, so the chased instance is shared across every RHS
+       attribute (cached per ``(Sigma, i, j, lhs)``).
+
+    Instances handed out are *skeletons*: callers must ``copy()`` before
+    mutating (``chase``/``chase_with_instantiations`` already do).  With
+    ``enabled=False`` nothing is stored and every layer recomputes — the
+    ``--no-cache`` ablation baseline — but the counters still run.
+    """
+
+    def __init__(self, view: ViewLike, enabled: bool = True) -> None:
+        self.view = view
+        self.branches = _branches(view)
+        self.enabled = enabled
+        #: No finite-domain attribute can ever occur in a materialized
+        #: branch, so `chase_with_instantiations` degenerates to a single
+        #: chase and chased results are RHS-independent.
+        self.single_chase = not any(
+            branch.has_finite_domain_attribute() for branch in self.branches
+        )
+        self.chase_invocations = 0
+        self.coupled_hits = 0
+        self.coupled_misses = 0
+        self.chased_hits = 0
+        self.chased_misses = 0
+        self._base: dict[tuple[int, int], tuple | None] = {}
+        self._single: dict[int, tuple | None] = {}
+        self._coupled: dict[tuple, tuple | None] = {}
+        self._chased: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Layer 1: materialized branch pairs.
+    # ------------------------------------------------------------------
+
+    def base_pair(self, i: int, j: int):
+        """Two materialized copies of branches ``(i, j)`` in one instance.
+
+        Returns ``(instance, cells1, cells2)`` or ``None`` when either
+        branch has an unsatisfiable selection.
+        """
+        key = (i, j)
+        if self.enabled and key in self._base:
+            return self._base[key]
+        instance = SymbolicInstance()
+        factory = VarFactory()
+        cells1 = materialize_branch(self.branches[i], instance, factory)
+        cells2 = (
+            materialize_branch(self.branches[j], instance, factory)
+            if cells1 is not None
+            else None
+        )
+        prepared = None if cells1 is None or cells2 is None else (instance, cells1, cells2)
+        if self.enabled:
+            self._base[key] = prepared
+        return prepared
+
+    def base_single(self, i: int):
+        """One materialized copy of branch ``i`` (equality-form queries)."""
+        if self.enabled and i in self._single:
+            return self._single[i]
+        instance = SymbolicInstance()
+        cells = materialize_branch(self.branches[i], instance, VarFactory())
+        prepared = None if cells is None else (instance, cells)
+        if self.enabled:
+            self._single[i] = prepared
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Layer 2: coupled skeletons, shared across equal LHS shapes.
+    # ------------------------------------------------------------------
+
+    def coupled(self, i: int, j: int, phi: CFD):
+        """The base pair coupled through ``phi``'s LHS; ``None`` if undefined."""
+        key = (i, j, phi.lhs)
+        if self.enabled and key in self._coupled:
+            self.coupled_hits += 1
+            return self._coupled[key]
+        self.coupled_misses += 1
+        base = self.base_pair(i, j)
+        if base is None:
+            prepared = None
+        else:
+            instance, cells1, cells2 = base
+            coupled = instance.copy()
+            if _couple_premise(coupled, cells1, cells2, phi):
+                prepared = (coupled, cells1, cells2)
+            else:
+                prepared = None
+        if self.enabled:
+            self._coupled[key] = prepared
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Layer 3: chased results, shared across RHS attributes.
+    # ------------------------------------------------------------------
+
+    def can_share_chase(self, assume_infinite: bool, max_instantiations) -> bool:
+        return (self.single_chase or assume_infinite) and max_instantiations is None
+
+    def chased(
+        self,
+        sigma: list[CFD],
+        sigma_key: frozenset,
+        i: int,
+        j: int | None,
+        phi: CFD,
+        instance: SymbolicInstance,
+    ):
+        """The chase of a coupled skeleton under Sigma (single-chase setting).
+
+        ``j=None`` keys the one-copy (equality-form) variant; otherwise the
+        key is the pair plus ``phi``'s LHS shape, which the coupled
+        skeleton is a function of.  ``sigma_key`` is ``frozenset(sigma)``,
+        precomputed once per query.
+        """
+        key = (sigma_key, i, j, None if j is None else phi.lhs)
+        if self.enabled and key in self._chased:
+            self.chased_hits += 1
+            return self._chased[key]
+        self.chased_misses += 1
+        self.chase_invocations += 1
+        result = chase(instance.copy(), sigma)
+        if self.enabled:
+            self._chased[key] = result
+        return result
+
+
 def propagates(
     sigma: Iterable[DependencyLike],
     view: ViewLike,
     phi: DependencyLike,
     max_instantiations: int | None = None,
     assume_infinite: bool = False,
+    cache: BranchPairCache | None = None,
 ) -> bool:
     """Decide ``Sigma |=_V phi``.
 
@@ -113,6 +257,7 @@ def propagates(
             phi,
             max_instantiations=max_instantiations,
             assume_infinite=assume_infinite,
+            cache=cache,
         )
         is None
     )
@@ -124,16 +269,23 @@ def find_counterexample(
     phi: DependencyLike,
     max_instantiations: int | None = None,
     assume_infinite: bool = False,
+    cache: BranchPairCache | None = None,
 ) -> Counterexample | None:
     """Search for a source instance witnessing ``Sigma |/=_V phi``.
 
     Returns ``None`` when *phi* is propagated.  The witness database is
     concrete and can be validated by evaluation — the integration tests
     do exactly that.
+
+    *cache* shares materialized/coupled/chased tableaux across queries on
+    the same view (see :class:`BranchPairCache`); it must have been built
+    for *view*.
     """
     sigma_cfds = _as_cfds(sigma)
     if isinstance(phi, FD):
         phi = CFD.from_fd(phi)
+    if cache is not None and cache.view is not view:
+        raise ValueError("cache was built for a different view")
     branches = _branches(view)
     projection = set(branches[0].projection)
 
@@ -148,11 +300,21 @@ def find_counterexample(
             )
         if normal_phi.is_equality:
             witness = _equality_counterexample(
-                sigma_cfds, branches, normal_phi, max_instantiations, assume_infinite
+                sigma_cfds,
+                branches,
+                normal_phi,
+                max_instantiations,
+                assume_infinite,
+                cache,
             )
         else:
             witness = _pair_counterexample(
-                sigma_cfds, branches, normal_phi, max_instantiations, assume_infinite
+                sigma_cfds,
+                branches,
+                normal_phi,
+                max_instantiations,
+                assume_infinite,
+                cache,
             )
         if witness is not None:
             return witness
@@ -165,8 +327,14 @@ def _chase_runs(
     max_instantiations: int | None,
     assume_infinite: bool,
     extra_values: tuple[Value, ...],
+    cache: BranchPairCache | None,
 ):
+    def count_chase() -> None:
+        if cache is not None:
+            cache.chase_invocations += 1
+
     if assume_infinite:
+        count_chase()
         yield chase(instance.copy(), sigma)
         return
     yield from chase_with_instantiations(
@@ -175,6 +343,7 @@ def _chase_runs(
         limit=max_instantiations,
         positions=premise_positions(sigma),
         extra_values=extra_values,
+        on_chase=count_chase,
     )
 
 
@@ -184,27 +353,42 @@ def _pair_counterexample(
     phi: CFD,
     max_instantiations: int | None,
     assume_infinite: bool,
+    cache: BranchPairCache | None,
 ) -> Counterexample | None:
     rhs_attr = phi.rhs_attr
     rhs_entry = phi.rhs_entry
+    share_chase = cache is not None and cache.can_share_chase(
+        assume_infinite, max_instantiations
+    )
+    sigma_key = frozenset(sigma) if share_chase else None
 
     for i, left in enumerate(branches):
         for j, right in enumerate(branches):
-            instance = SymbolicInstance()
-            factory = VarFactory()
-            cells1 = materialize_branch(left, instance, factory)
-            if cells1 is None:
-                continue
-            cells2 = materialize_branch(right, instance, factory)
-            if cells2 is None:
-                continue
-            if not _couple_premise(instance, cells1, cells2, phi):
-                continue
+            if cache is not None:
+                prepared = cache.coupled(i, j, phi)
+                if prepared is None:
+                    continue
+                instance, cells1, cells2 = prepared
+            else:
+                instance = SymbolicInstance()
+                factory = VarFactory()
+                cells1 = materialize_branch(left, instance, factory)
+                if cells1 is None:
+                    continue
+                cells2 = materialize_branch(right, instance, factory)
+                if cells2 is None:
+                    continue
+                if not _couple_premise(instance, cells1, cells2, phi):
+                    continue
             y1 = cells1[rhs_attr]
             y2 = cells2[rhs_attr]
-            for result in _chase_runs(
-                instance, sigma, max_instantiations, assume_infinite, (y1, y2)
-            ):
+            if share_chase:
+                runs = [cache.chased(sigma, sigma_key, i, j, phi, instance)]
+            else:
+                runs = _chase_runs(
+                    instance, sigma, max_instantiations, assume_infinite, (y1, y2), cache
+                )
+            for result in runs:
                 if result.status is ChaseStatus.UNDEFINED:
                     continue
                 r1 = result.instance.resolve(y1)
@@ -247,22 +431,38 @@ def _equality_counterexample(
     phi: CFD,
     max_instantiations: int | None,
     assume_infinite: bool,
+    cache: BranchPairCache | None,
 ) -> Counterexample | None:
     a = phi.lhs[0][0]
     b = phi.rhs[0][0]
+    share_chase = cache is not None and cache.can_share_chase(
+        assume_infinite, max_instantiations
+    )
+    sigma_key = frozenset(sigma) if share_chase else None
     for i, branch in enumerate(branches):
-        instance = SymbolicInstance()
-        factory = VarFactory()
-        cells = materialize_branch(branch, instance, factory)
-        if cells is None:
-            continue
-        for result in _chase_runs(
-            instance,
-            sigma,
-            max_instantiations,
-            assume_infinite,
-            (cells[a], cells[b]),
-        ):
+        if cache is not None:
+            prepared = cache.base_single(i)
+            if prepared is None:
+                continue
+            instance, cells = prepared
+        else:
+            instance = SymbolicInstance()
+            factory = VarFactory()
+            cells = materialize_branch(branch, instance, factory)
+            if cells is None:
+                continue
+        if share_chase:
+            runs = [cache.chased(sigma, sigma_key, i, None, phi, instance)]
+        else:
+            runs = _chase_runs(
+                instance,
+                sigma,
+                max_instantiations,
+                assume_infinite,
+                (cells[a], cells[b]),
+                cache,
+            )
+        for result in runs:
             if result.status is ChaseStatus.UNDEFINED:
                 continue
             if result.instance.resolve(cells[a]) != result.instance.resolve(cells[b]):

@@ -44,7 +44,7 @@ from ..core.fd import FD
 from ..core.mincover import min_cover
 from ..core.values import is_const, is_wildcard
 from .eqclasses import BottomEQ, EquivalenceClasses, compute_eq, eq2cfd
-from .rbr import rbr
+from .rbr import RBRStats, rbr
 
 DependencyLike = Union[CFD, FD]
 
@@ -106,8 +106,14 @@ def prop_cfd_spc_report(
     partition_size: int | None = 40,
     final_min_cover: bool = True,
     minimize_input: bool = True,
+    rbr_stats: RBRStats | None = None,
 ) -> CoverReport:
-    """As :func:`prop_cfd_spc`, returning intermediate-size diagnostics."""
+    """As :func:`prop_cfd_spc`, returning intermediate-size diagnostics.
+
+    ``minimize_input=False`` also serves callers (the batch engine) that
+    pre-minimize Sigma once and share it across many views; *rbr_stats*
+    accumulates RBR work counters across calls.
+    """
     timer = time.perf_counter
 
     sigma_cfds: list[CFD] = []
@@ -145,7 +151,7 @@ def prop_cfd_spc_report(
     start = timer()
     dropped = view.dropped_attributes()
     report.dropped_attributes = len(dropped)
-    sigma_c = rbr(sigma_v, dropped, partition_size=partition_size)  # line 11
+    sigma_c = rbr(sigma_v, dropped, partition_size=partition_size, stats=rbr_stats)  # line 11
     report.after_rbr_size = len(sigma_c)
     report.seconds_rbr = timer() - start
 

@@ -1,0 +1,494 @@
+"""The batch propagation engine: memoized chase + closure caching.
+
+Every decision procedure in this package re-derives its symbolic tableaux
+and re-runs its chases from scratch on each ``Sigma |=_V phi`` query.
+That is fine for a single query; it is wasteful for the workloads the
+paper's evaluation (and any production deployment) actually runs —
+*batches* of queries against one view and one dependency set, where the
+``k^2`` branch combinations, the coupled instance skeletons and the
+attribute closures are shared structure.
+
+:class:`PropagationEngine` answers batches:
+
+- ``check_many(sigma, view, phis)`` / ``check(...)`` — batched
+  ``Sigma |=_V phi`` with three layers of sharing (see
+  :class:`~repro.propagation.check.BranchPairCache`): materialized branch
+  pairs per view, coupled skeletons per LHS shape, and chased results per
+  ``(Sigma, pair, LHS shape)`` in the single-chase setting.  Verdicts are
+  additionally memoized outright.
+- ``cover(sigma, view)`` / ``cover_many(sigma, views)`` — propagation
+  covers with the input ``MinCover(Sigma)`` computed once per Sigma and
+  shared across views, and SPCU candidate verification routed through the
+  cached checker.
+- A *closure fast path*: for all-FD dependencies over selection-free,
+  constant-free, infinite-domain views, ``Sigma |=_V (X -> B)`` reduces
+  to per-atom FD implication, decided by the memoized
+  :func:`repro.core.fd.attribute_closure` without any chase at all.
+
+``PropagationEngine(use_cache=False)`` disables every layer (including
+the fast path) and routes queries through the plain single-query
+procedures — the ``--no-cache`` ablation baseline.  Counters in
+:class:`EngineStats` stay live either way, which is what the
+perf-regression tests assert on.
+
+Cache keys are *structural*: Sigma is fingerprinted as the frozenset of
+its normalized CFDs and views by their normal form (atoms, selection,
+projection, constants), so logically equal inputs share cache lines and
+any change to Sigma or the view reaches a fresh one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..algebra.spc import SPCView
+from ..algebra.spcu import SPCUView
+from ..core.cfd import CFD
+from ..core.fd import FD, attribute_closure
+from ..core.mincover import min_cover
+from ..core.values import is_wildcard
+from .check import (
+    BranchPairCache,
+    Counterexample,
+    DependencyLike,
+    ViewLike,
+    _as_cfds,
+    find_counterexample,
+)
+from .cover import prop_cfd_spc_report
+from .rbr import RBRStats
+from .spcu_cover import prop_cfd_spcu
+
+__all__ = ["EngineStats", "PropagationEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Instrumentation counters for one :class:`PropagationEngine`.
+
+    ``chase_invocations`` counts chase runs *launched by check queries*
+    (cache hits launch none); the perf-regression tests bound it by the
+    number of unique closures/LHS shapes in a batch.
+    """
+
+    check_queries: int = 0
+    verdict_hits: int = 0
+    closure_fast_path: int = 0
+    chase_invocations: int = 0
+    coupled_hits: int = 0
+    coupled_misses: int = 0
+    chased_hits: int = 0
+    chased_misses: int = 0
+    cover_queries: int = 0
+    cover_hits: int = 0
+    rbr: RBRStats = field(default_factory=RBRStats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "EngineStats("
+            f"check_queries={self.check_queries}, "
+            f"verdict_hits={self.verdict_hits}, "
+            f"closure_fast_path={self.closure_fast_path}, "
+            f"chase_invocations={self.chase_invocations}, "
+            f"coupled={self.coupled_hits}h/{self.coupled_misses}m, "
+            f"chased={self.chased_hits}h/{self.chased_misses}m, "
+            f"cover_queries={self.cover_queries}, cover_hits={self.cover_hits})"
+        )
+
+
+def _view_fingerprint(view: ViewLike) -> tuple:
+    """A structural key for a view's normal form."""
+    if isinstance(view, SPCUView):
+        return ("U",) + tuple(_view_fingerprint(b) for b in view.branches)
+    return (
+        view.name,
+        tuple(view.atoms),
+        tuple(view.selection),
+        tuple(view.projection),
+        tuple(sorted(view.constants.items())),
+        view.unsatisfiable,
+    )
+
+
+def _all_wildcard(phi: CFD) -> bool:
+    return all(is_wildcard(e) for _, e in phi.lhs) and all(
+        is_wildcard(e) for _, e in phi.rhs
+    )
+
+
+class PropagationEngine:
+    """Answers batches of propagation queries with cross-query caching.
+
+    Parameters
+    ----------
+    use_cache:
+        ``False`` gives the uncached ablation baseline: every query runs
+        the plain single-query procedure (no tableau reuse, no verdict
+        memo, no closure fast path).  Verdicts are guaranteed identical
+        either way — the differential tests enforce it.
+    max_instantiations / assume_infinite:
+        Defaults forwarded to the underlying decision procedure (the
+        finite-domain enumeration cap and the deliberately incomplete
+        PTIME mode, respectively).
+    """
+
+    def __init__(
+        self,
+        use_cache: bool = True,
+        max_instantiations: int | None = None,
+        assume_infinite: bool = False,
+    ) -> None:
+        self.use_cache = use_cache
+        self.max_instantiations = max_instantiations
+        self.assume_infinite = assume_infinite
+        self.stats = EngineStats()
+        self._pair_caches: dict[tuple, BranchPairCache] = {}
+        self._verdicts: dict[tuple, bool] = {}
+        self._covers: dict[tuple, list[CFD]] = {}
+        self._min_sigma: dict[frozenset, list[CFD]] = {}
+        self._fast_contexts: dict[tuple, "_FastPathContext | None"] = {}
+        #: Counter totals of caches no longer tracked (retired by clear()
+        #: or by object turnover, plus the throwaway uncached-run caches).
+        self._retired = {
+            "chase_invocations": 0,
+            "coupled_hits": 0,
+            "coupled_misses": 0,
+            "chased_hits": 0,
+            "chased_misses": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Cache plumbing.
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached tableau, verdict and cover (stats survive)."""
+        for cache in self._pair_caches.values():
+            self._retire(cache)
+        self._pair_caches.clear()
+        self._verdicts.clear()
+        self._covers.clear()
+        self._min_sigma.clear()
+        self._fast_contexts.clear()
+
+    def _fast_context(
+        self,
+        view: ViewLike,
+        view_key: tuple,
+        sigma_cfds: list[CFD],
+        sigma_key: frozenset,
+    ) -> "_FastPathContext | None":
+        # Memoized per (Sigma, view): the SPCU cover path funnels every
+        # candidate through check(), which must not rebuild the context.
+        key = (sigma_key, view_key)
+        if key not in self._fast_contexts:
+            self._fast_contexts[key] = _FastPathContext.of(view, sigma_cfds)
+        return self._fast_contexts[key]
+
+    def _retire(self, cache: BranchPairCache) -> None:
+        self._retired["chase_invocations"] += cache.chase_invocations
+        self._retired["coupled_hits"] += cache.coupled_hits
+        self._retired["coupled_misses"] += cache.coupled_misses
+        self._retired["chased_hits"] += cache.chased_hits
+        self._retired["chased_misses"] += cache.chased_misses
+
+    def _pair_cache(self, view: ViewLike, view_key: tuple) -> BranchPairCache:
+        cache = self._pair_caches.get(view_key)
+        if cache is None or cache.view is not view:
+            # One tableau cache per view *object*: skeleton instances hold
+            # SymVars handed out by the view's materialization, so a
+            # structurally equal but distinct object gets a fresh cache
+            # (the verdict/cover memos still share across objects).
+            if cache is not None:
+                self._retire(cache)
+            cache = BranchPairCache(view, enabled=True)
+            self._pair_caches[view_key] = cache
+        return cache
+
+    def _sync_pair_stats(self) -> None:
+        live = list(self._pair_caches.values())
+        for name in self._retired:
+            self.stats.__setattr__(
+                name,
+                self._retired[name] + sum(getattr(c, name) for c in live),
+            )
+
+    # ------------------------------------------------------------------
+    # Batched checking.
+    # ------------------------------------------------------------------
+
+    def check(
+        self, sigma: Iterable[DependencyLike], view: ViewLike, phi: DependencyLike
+    ) -> bool:
+        """Decide ``Sigma |=_V phi`` (single query through the caches)."""
+        return self.check_many(sigma, view, [phi])[0]
+
+    def check_many(
+        self,
+        sigma: Iterable[DependencyLike],
+        view: ViewLike,
+        phis: Sequence[DependencyLike],
+    ) -> list[bool]:
+        """Decide ``Sigma |=_V phi`` for every *phi*, sharing work.
+
+        Verdicts are positionally aligned with *phis* and identical to
+        ``propagates(sigma, view, phi)`` on each query.
+        """
+        sigma = list(sigma)
+        if not self.use_cache:
+            self.stats.check_queries += len(phis)
+            cache = BranchPairCache(view, enabled=False)
+            verdicts = [
+                find_counterexample(
+                    sigma,
+                    view,
+                    phi,
+                    max_instantiations=self.max_instantiations,
+                    assume_infinite=self.assume_infinite,
+                    cache=cache,
+                )
+                is None
+                for phi in phis
+            ]
+            self._retire(cache)
+            self._sync_pair_stats()
+            return verdicts
+
+        sigma_cfds = _as_cfds(sigma)
+        sigma_key = frozenset(sigma_cfds)
+        view_key = _view_fingerprint(view)
+        fast = self._fast_context(view, view_key, sigma_cfds, sigma_key)
+        cache = self._pair_cache(view, view_key)
+
+        verdicts: list[bool] = []
+        for phi in phis:
+            self.stats.check_queries += 1
+            phi_cfd = CFD.from_fd(phi) if isinstance(phi, FD) else phi
+            memo_key = (
+                sigma_key,
+                view_key,
+                phi_cfd,
+                self.max_instantiations,
+                self.assume_infinite,
+            )
+            if memo_key in self._verdicts:
+                self.stats.verdict_hits += 1
+                verdicts.append(self._verdicts[memo_key])
+                continue
+            verdict = None
+            if fast is not None:
+                verdict = fast.decide(phi_cfd)
+                if verdict is not None:
+                    self.stats.closure_fast_path += 1
+            if verdict is None:
+                verdict = (
+                    find_counterexample(
+                        sigma_cfds,
+                        view,
+                        phi_cfd,
+                        max_instantiations=self.max_instantiations,
+                        assume_infinite=self.assume_infinite,
+                        cache=cache,
+                    )
+                    is None
+                )
+            self._verdicts[memo_key] = verdict
+            verdicts.append(verdict)
+        self._sync_pair_stats()
+        return verdicts
+
+    def find_counterexample(
+        self, sigma: Iterable[DependencyLike], view: ViewLike, phi: DependencyLike
+    ) -> Counterexample | None:
+        """As :func:`repro.propagation.find_counterexample`, cache-backed.
+
+        Witnesses are not memoized (each call may need a fresh concrete
+        database), but tableau materialization and chases are shared.
+        """
+        cache = None
+        if self.use_cache:
+            cache = self._pair_cache(view, _view_fingerprint(view))
+        witness = find_counterexample(
+            sigma,
+            view,
+            phi,
+            max_instantiations=self.max_instantiations,
+            assume_infinite=self.assume_infinite,
+            cache=cache,
+        )
+        if cache is not None:
+            self._sync_pair_stats()
+        return witness
+
+    # ------------------------------------------------------------------
+    # Batched covers.
+    # ------------------------------------------------------------------
+
+    def cover(
+        self, sigma: Iterable[DependencyLike], view: ViewLike
+    ) -> list[CFD]:
+        """A minimal propagation cover of *sigma* via *view*."""
+        return self.cover_many(sigma, [view])[0]
+
+    def cover_many(
+        self, sigma: Iterable[DependencyLike], views: Sequence[ViewLike]
+    ) -> list[list[CFD]]:
+        """Covers for many views over one Sigma, sharing the input MinCover.
+
+        ``PropCFD_SPC`` spends its view-independent prefix (Figure 2
+        line 1) minimizing Sigma; across a batch of views that cost is
+        paid once and memoized by Sigma fingerprint.  SPCU candidate
+        verification is routed through :meth:`check`, so the k^2 pair
+        tableaux are shared across all candidates of a union view.
+        """
+        sigma = list(sigma)
+        sigma_cfds = _as_cfds(sigma)
+        sigma_key = frozenset(sigma_cfds)
+        covers: list[list[CFD]] = []
+        for view in views:
+            self.stats.cover_queries += 1
+            view_key = _view_fingerprint(view)
+            memo_key = (sigma_key, view_key)
+            if self.use_cache and memo_key in self._covers:
+                self.stats.cover_hits += 1
+                covers.append(list(self._covers[memo_key]))
+                continue
+            cover = self._compute_cover(sigma, sigma_cfds, sigma_key, view)
+            if self.use_cache:
+                self._covers[memo_key] = cover
+            covers.append(list(cover))
+        return covers
+
+    def _minimized_sigma(self, sigma_cfds: list[CFD], sigma_key: frozenset) -> list[CFD]:
+        if not self.use_cache:
+            return min_cover(sigma_cfds)
+        minimized = self._min_sigma.get(sigma_key)
+        if minimized is None:
+            minimized = min_cover(sigma_cfds)
+            self._min_sigma[sigma_key] = minimized
+        return minimized
+
+    def _compute_cover(
+        self,
+        sigma: list[DependencyLike],
+        sigma_cfds: list[CFD],
+        sigma_key: frozenset,
+        view: ViewLike,
+    ) -> list[CFD]:
+        if isinstance(view, SPCUView):
+            if len(view.branches) == 1:
+                view = view.branches[0]
+            else:
+                # Candidate verification must honor this engine's settings
+                # in BOTH modes — cached and uncached covers are required
+                # to be identical, including under assume_infinite.
+                def check(sig, v, phi, max_instantiations=None):
+                    if max_instantiations not in (None, self.max_instantiations):
+                        return (
+                            find_counterexample(
+                                sig,
+                                v,
+                                phi,
+                                max_instantiations=max_instantiations,
+                                assume_infinite=self.assume_infinite,
+                            )
+                            is None
+                        )
+                    return self.check(sig, v, phi)
+
+                return prop_cfd_spcu(
+                    sigma,
+                    view,
+                    max_instantiations=self.max_instantiations,
+                    check=check,
+                )
+        minimized = self._minimized_sigma(sigma_cfds, sigma_key)
+        report = prop_cfd_spc_report(
+            minimized,
+            view,
+            minimize_input=False,
+            rbr_stats=self.stats.rbr,
+        )
+        return report.cover
+
+
+class _FastPathContext:
+    """The closure fast path for FD-only Sigma over projection-style views.
+
+    Applicability (checked once per batch): a single-branch view with no
+    selection condition, no constant relation and no finite-domain
+    attribute, and a Sigma consisting solely of all-wildcard CFDs (plain
+    FDs).  For such views a view tuple is an arbitrary combination of one
+    free tuple per atom, so ``Sigma |=_V (X -> B)`` holds iff the embedded
+    per-atom implication does: with ``B`` produced by atom ``j``,
+    ``X ∩ attrs(j) -> B`` must follow from Sigma on atom ``j``'s source —
+    attributes of other atoms never constrain ``B`` (two view tuples may
+    agree on them while drawing distinct source tuples).  That implication
+    is exactly ``B ∈ closure(X_j)``, served by the memoized
+    :func:`repro.core.fd.attribute_closure`.
+    """
+
+    def __init__(self, branch: SPCView, sigma_cfds: list[CFD]) -> None:
+        self._attr_to_atom: dict[str, int] = {}
+        self._to_source: list[dict[str, str]] = []
+        self._atom_fds: list[frozenset[FD]] = []
+        for index, atom in enumerate(branch.atoms):
+            inverse = {v: s for s, v in atom.mapping}
+            self._to_source.append(inverse)
+            for view_name in atom.view_attributes:
+                self._attr_to_atom[view_name] = index
+            self._atom_fds.append(
+                frozenset(
+                    phi.embedded_fd()
+                    for phi in sigma_cfds
+                    if phi.relation == atom.source
+                )
+            )
+        self._projection = set(branch.projection)
+
+    @classmethod
+    def of(cls, view: ViewLike, sigma_cfds: list[CFD]) -> "_FastPathContext | None":
+        branches = (
+            list(view.branches) if isinstance(view, SPCUView) else [view]
+        )
+        if len(branches) != 1:
+            return None
+        branch = branches[0]
+        if not isinstance(branch, SPCView):
+            return None
+        if branch.selection or branch.constants or branch.unsatisfiable:
+            return None
+        if branch.has_finite_domain_attribute():
+            return None
+        if not all(_all_wildcard(phi) for phi in sigma_cfds):
+            return None
+        return cls(branch, sigma_cfds)
+
+    def decide(self, phi: CFD) -> bool | None:
+        """The fast-path verdict, or ``None`` when *phi* is out of scope."""
+        if phi.is_equality or not _all_wildcard(phi):
+            return None
+        lhs = set(phi.lhs_attrs)
+        for normal in phi.normalize():
+            if normal.is_trivial():
+                continue
+            missing = normal.attributes - self._projection
+            if missing:
+                # Mirror the decision procedure's contract exactly: only a
+                # nontrivial conjunct referencing unprojected attributes
+                # is an error.
+                raise KeyError(
+                    f"view dependency references attributes {sorted(missing)} "
+                    "that the view does not project"
+                )
+            rhs_attr = normal.rhs_attr
+            if rhs_attr in lhs:
+                continue
+            atom_index = self._attr_to_atom[rhs_attr]
+            inverse = self._to_source[atom_index]
+            source_lhs = frozenset(inverse[a] for a in lhs if a in inverse)
+            closure = attribute_closure(source_lhs, self._atom_fds[atom_index])
+            if inverse[rhs_attr] not in closure:
+                return False
+        return True

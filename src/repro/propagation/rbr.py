@@ -33,11 +33,29 @@ Faithfulness notes:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..core.cfd import CFD
 from ..core.mincover import partitioned_min_cover
 from ..core.values import leq, meet
+
+
+@dataclass
+class RBRStats:
+    """Counters for RBR work, threaded in by the batch engine.
+
+    ``resolvent_pairs`` counts producer x consumer combinations examined,
+    ``resolvents_kept`` the nontrivial novel resolvents, ``drops`` the
+    attributes eliminated and ``mincover_passes`` the intermediate
+    partitioned-MinCover runs — the quantities the ablation benchmarks
+    compare across engine configurations.
+    """
+
+    resolvent_pairs: int = 0
+    resolvents_kept: int = 0
+    drops: int = 0
+    mincover_passes: int = 0
 
 
 def a_resolvent(phi1: CFD, phi2: CFD, attribute: str) -> CFD | None:
@@ -72,7 +90,9 @@ def a_resolvent(phi1: CFD, phi2: CFD, attribute: str) -> CFD | None:
     ).simplified()
 
 
-def resolvents(gamma: Sequence[CFD], attribute: str) -> list[CFD]:
+def resolvents(
+    gamma: Sequence[CFD], attribute: str, stats: RBRStats | None = None
+) -> list[CFD]:
     """``Res(Gamma, A)``: all nontrivial A-resolvents over *gamma*."""
     producers = [
         phi
@@ -88,6 +108,8 @@ def resolvents(gamma: Sequence[CFD], attribute: str) -> list[CFD]:
     ]
     found: list[CFD] = []
     seen: set[CFD] = set()
+    if stats is not None:
+        stats.resolvent_pairs += len(producers) * len(consumers)
     for phi1 in producers:
         for phi2 in consumers:
             resolvent = a_resolvent(phi1, phi2, attribute)
@@ -96,25 +118,33 @@ def resolvents(gamma: Sequence[CFD], attribute: str) -> list[CFD]:
             if resolvent not in seen:
                 seen.add(resolvent)
                 found.append(resolvent)
+    if stats is not None:
+        stats.resolvents_kept += len(found)
     return found
 
 
-def drop(gamma: Sequence[CFD], attribute: str) -> list[CFD]:
+def drop(
+    gamma: Sequence[CFD], attribute: str, stats: RBRStats | None = None
+) -> list[CFD]:
     """``Drop(Gamma, A) = Res(Gamma, A) ∪ Gamma[U - {A}]`` (one attribute)."""
     kept = [phi for phi in gamma if attribute not in phi.attributes]
-    return kept + resolvents(gamma, attribute)
+    if stats is not None:
+        stats.drops += 1
+    return kept + resolvents(gamma, attribute, stats=stats)
 
 
 def rbr(
     sigma: Iterable[CFD],
     drop_attributes: Iterable[str],
     partition_size: int | None = 40,
+    stats: RBRStats | None = None,
 ) -> list[CFD]:
     """``RBR(Sigma, U - Y)``: drop every attribute outside the projection.
 
     *partition_size* enables the intermediate partitioned MinCover pass
     after each drop (Section 4.3's optimization); ``None`` disables it.
-    Attributes are dropped in sorted order for determinism.
+    Attributes are dropped in sorted order for determinism.  *stats*
+    accumulates work counters (used by the batch engine's ablations).
     """
     gamma: list[CFD] = []
     seen: set[CFD] = set()
@@ -131,13 +161,15 @@ def rbr(
     # it only when Gamma grew beyond the last minimized size.
     last_size = len(gamma)
     for attribute in sorted(set(drop_attributes)):
-        gamma = drop(gamma, attribute)
+        gamma = drop(gamma, attribute, stats=stats)
         if (
             partition_size is not None
             and len(gamma) > partition_size
             and len(gamma) > 1.2 * last_size
         ):
             gamma = partitioned_min_cover(gamma, partition_size)
+            if stats is not None:
+                stats.mincover_passes += 1
             last_size = len(gamma)
         else:
             last_size = min(last_size, len(gamma))

@@ -82,13 +82,21 @@ def prop_cfd_spcu(
     view: SPCUView,
     partition_size: int | None = 40,
     max_instantiations: int | None = None,
+    check=None,
 ) -> list[CFD]:
     """A propagation cover of *sigma* via the SPCU view *view*.
 
     Sound: every returned CFD satisfies ``Sigma |=_V phi`` (verified with
     the exact checker).  See the module docstring for the completeness
     caveat.
+
+    *check* substitutes the candidate-verification predicate (signature of
+    :func:`repro.propagation.check.propagates`); the batch engine injects
+    its cached checker here so all candidates of one union view share the
+    k^2 pair tableaux.
     """
+    if check is None:
+        check = propagates
     branches = list(view.branches)
     per_branch_covers = [
         prop_cfd_spc(
@@ -125,6 +133,6 @@ def prop_cfd_spcu(
     survivors = [
         phi
         for phi in candidates
-        if propagates(sigma, view, phi, max_instantiations=max_instantiations)
+        if check(sigma, view, phi, max_instantiations=max_instantiations)
     ]
     return min_cover(survivors)

@@ -122,6 +122,67 @@ class TestCheck:
         assert code == 1  # one of the two fails
 
 
+class TestPropagateBatch:
+    TARGETS = [
+        {
+            "kind": "cfd",
+            "relation": "R",
+            "lhs": {"CC": "44", "zip": "_"},
+            "rhs": {"street": "_"},
+        },
+        {
+            "kind": "cfd",
+            "relation": "R",
+            "lhs": {"zip": "_"},
+            "rhs": {"street": "_"},
+        },
+        {
+            "kind": "cfd",
+            "relation": "R",
+            "lhs": {"CC": "44", "AC": "_"},
+            "rhs": {"city": "_"},
+        },
+    ]
+
+    def _run(self, workspace, phi_doc, *extra):
+        phi = _write(workspace["dir"], "batch.json", phi_doc)
+        return main(
+            ["propagate-batch", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi,
+             *extra]
+        )
+
+    def test_batch_verdicts_and_exit_code(self, workspace, capsys):
+        code = self._run(workspace, self.TARGETS)
+        assert code == 1  # the unconditioned FD fails
+        out, err = capsys.readouterr()
+        lines = [l for l in out.splitlines() if l]
+        assert len(lines) == 3
+        assert lines[0].startswith("PROPAGATED")
+        assert lines[1].startswith("not propagated")
+        assert lines[2].startswith("PROPAGATED")
+        assert "2/3 propagated" in err
+
+    def test_all_propagated_exit_zero_with_stats(self, workspace, capsys):
+        code = self._run(workspace, [self.TARGETS[0]], "--stats")
+        assert code == 0
+        assert "EngineStats" in capsys.readouterr().err
+
+    def test_no_cache_matches_cached(self, workspace, capsys):
+        cached = self._run(workspace, self.TARGETS)
+        out_cached = capsys.readouterr().out
+        uncached = self._run(workspace, self.TARGETS, "--no-cache")
+        out_uncached = capsys.readouterr().out
+        assert cached == uncached
+        assert out_cached == out_uncached
+
+    def test_out_file_keeps_propagated_targets(self, workspace, capsys):
+        out_path = workspace["dir"] / "survivors.json"
+        self._run(workspace, self.TARGETS, "--out", str(out_path))
+        survivors = json.loads(out_path.read_text())
+        assert len(survivors) == 2
+
+
 class TestCover:
     def test_cover_written_to_file(self, workspace, capsys):
         out_path = workspace["dir"] / "cover.json"

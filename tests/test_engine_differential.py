@@ -1,0 +1,238 @@
+"""Differential tests: the batch engine against the single-query paths.
+
+The engine's contract is *verdict-for-verdict equivalence* with the
+uncached procedures on every workload — the caches and the closure fast
+path are pure optimizations.  Three oracles:
+
+- ``propagates`` / ``find_counterexample`` (the plain chase path),
+- the engine with ``use_cache=False`` (the ablation baseline),
+- ``closure_projection_cover`` + ``core.fd.equivalent`` on FD-over-
+  projection workloads (the textbook method, exact on that fragment).
+
+Workloads come from the Section 5 generators (``repro.generators``) with
+fixed seeds, so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CFD, FD
+from repro.algebra.spc import RelationAtom, SPCView
+from repro.core.fd import equivalent
+from repro.core.schema import DatabaseSchema, RelationSchema
+from repro.core.values import WILDCARD, is_wildcard
+from repro.generators import random_cfds, random_schema, random_spc_view
+from repro.propagation import propagates
+from repro.propagation.closure_baseline import closure_projection_cover
+from repro.propagation.engine import PropagationEngine
+
+SEEDS = [0, 1, 2, 3]
+
+
+def _random_view_cfds(rng: random.Random, view: SPCView, sigma, count: int):
+    """Candidate view CFDs over the projection, biased toward interaction.
+
+    Pattern constants are drawn from the constants occurring in the view's
+    selection and in Sigma (plus fresh ones), so couplings, keyed classes
+    and constant-RHS rules all get exercised.
+    """
+    pool = [str(v) for v in range(1, 5)]
+    for phi in sigma:
+        for _, entry in phi.lhs + phi.rhs:
+            if not is_wildcard(entry):
+                pool.append(entry.value)
+    projection = list(view.projection)
+    out = []
+    for _ in range(count):
+        lhs_size = rng.randint(1, min(2, len(projection) - 1))
+        chosen = rng.sample(projection, lhs_size + 1)
+        lhs_attrs, rhs_attr = chosen[:-1], chosen[-1]
+
+        def entry():
+            return WILDCARD if rng.random() < 0.6 else rng.choice(pool)
+
+        out.append(
+            CFD(
+                view.name,
+                {a: entry() for a in lhs_attrs},
+                {rhs_attr: entry()},
+            )
+        )
+    return out
+
+
+def _workload(seed: int):
+    rng = random.Random(8008 + seed)
+    schema = random_schema(rng, num_relations=3, min_attributes=4, max_attributes=6)
+    sigma = random_cfds(rng, schema, 9, max_lhs=2, min_lhs=1, var_pct=0.5)
+    view = random_spc_view(
+        rng, schema, num_projected=5, num_selections=2, num_atoms=2
+    )
+    phis = _random_view_cfds(rng, view, sigma, 10)
+    return sigma, view, phis
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_check_many_matches_single_query_path(seed):
+    sigma, view, phis = _workload(seed)
+    expected = [propagates(sigma, view, phi) for phi in phis]
+
+    engine = PropagationEngine()
+    assert engine.check_many(sigma, view, phis) == expected
+    # A second pass is served from the verdict memo — still identical.
+    assert engine.check_many(sigma, view, phis) == expected
+    assert engine.stats.verdict_hits >= len(phis)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cached_and_uncached_engines_agree(seed):
+    sigma, view, phis = _workload(seed)
+    cached = PropagationEngine(use_cache=True)
+    uncached = PropagationEngine(use_cache=False)
+    assert cached.check_many(sigma, view, phis) == uncached.check_many(
+        sigma, view, phis
+    )
+    assert uncached.stats.closure_fast_path == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_counterexamples_are_genuine(seed):
+    """Engine witnesses satisfy Sigma while the view violates phi."""
+    sigma, view, phis = _workload(seed)
+    engine = PropagationEngine()
+    verdicts = engine.check_many(sigma, view, phis)
+    refuted = [phi for phi, ok in zip(phis, verdicts) if not ok]
+    for phi in refuted[:3]:
+        witness = engine.find_counterexample(sigma, view, phi)
+        assert witness is not None
+        for dep in sigma:
+            target = dep if isinstance(dep, CFD) else CFD.from_fd(dep)
+            assert target.holds_on(
+                witness.database.relation(target.relation).rows
+            )
+        assert not view.evaluate(witness.database).satisfies(phi)
+
+
+def test_check_many_on_the_running_example(customer_sigma, customer_view):
+    """The Example 1.1 union view: engine == plain path on phi1-phi5."""
+    phis = [
+        CFD("R", {"zip": "_"}, {"street": "_"}),
+        CFD("R", {"CC": "44", "zip": "_"}, {"street": "_"}),
+        CFD("R", {"CC": "44", "AC": "_"}, {"city": "_"}),
+        CFD("R", {"CC": "31", "AC": "_"}, {"city": "_"}),
+        CFD("R", {"CC": "44", "AC": "20"}, {"city": "ldn"}),
+        CFD("R", {"CC": "01", "AC": "_"}, {"city": "_"}),
+        FD("R", ("CC", "AC", "phn"), ("street", "city", "zip")),
+    ]
+    expected = [propagates(customer_sigma, customer_view, phi) for phi in phis]
+    assert expected == [False, True, True, True, True, False, False]
+    for use_cache in (True, False):
+        engine = PropagationEngine(use_cache=use_cache)
+        assert engine.check_many(customer_sigma, customer_view, phis) == expected
+
+
+# ----------------------------------------------------------------------
+# Cover differential on the FD-over-projection fragment.
+# ----------------------------------------------------------------------
+
+
+def _fd_projection_workload(seed: int):
+    rng = random.Random(4242 + seed)
+    num_attrs = rng.randint(5, 7)
+    attrs = [f"A{i}" for i in range(num_attrs)]
+    fds = []
+    for _ in range(num_attrs):
+        lhs = rng.sample(attrs, rng.randint(1, 2))
+        rhs = rng.choice([a for a in attrs if a not in lhs])
+        fds.append(FD("R", lhs, (rhs,)))
+    projection = sorted(rng.sample(attrs, num_attrs - 2))
+    schema = DatabaseSchema([RelationSchema("R", attrs)])
+    view = SPCView(
+        "V",
+        schema,
+        [RelationAtom("R", {a: a for a in attrs})],
+        projection=projection,
+    )
+    return attrs, fds, projection, view
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cover_equivalent_to_closure_baseline(seed):
+    """``engine.cover`` == textbook closure-and-project, as FD theories."""
+    attrs, fds, projection, view = _fd_projection_workload(seed)
+    engine = PropagationEngine()
+    cover = engine.cover(fds, view)
+
+    assert all(
+        all(is_wildcard(e) for _, e in phi.lhs + phi.rhs) for phi in cover
+    ), "FD sources through a projection view must yield plain-FD covers"
+    engine_fds = [FD("V", phi.lhs_attrs, phi.rhs_attrs) for phi in cover]
+
+    baseline = closure_projection_cover(fds, "R", attrs, projection)
+    baseline_fds = [FD("V", f.lhs, f.rhs) for f in baseline]
+    assert equivalent(engine_fds, baseline_fds)
+
+    # And every cover member is individually propagated per the checker.
+    for phi in cover:
+        assert propagates(fds, view, phi)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cover_many_shares_and_agrees(seed):
+    """``cover_many`` equals per-view covers; repeats hit the memo."""
+    attrs, fds, projection, view = _fd_projection_workload(seed)
+    rng = random.Random(99 + seed)
+    other_projection = sorted(rng.sample(attrs, len(attrs) - 1))
+    schema = DatabaseSchema([RelationSchema("R", attrs)])
+    other = SPCView(
+        "V",
+        schema,
+        [RelationAtom("R", {a: a for a in attrs})],
+        projection=other_projection,
+    )
+
+    engine = PropagationEngine()
+    covers = engine.cover_many(fds, [view, other, view])
+    assert [sorted(map(repr, c)) for c in covers[:2]] == [
+        sorted(map(repr, engine.cover(fds, v))) for v in (view, other)
+    ]
+    assert sorted(map(repr, covers[2])) == sorted(map(repr, covers[0]))
+    assert engine.stats.cover_hits >= 2  # the repeat + the re-queries
+
+
+def test_spcu_cover_parity_under_assume_infinite(customer_sigma, customer_view):
+    """Cached and uncached covers agree even with non-default settings.
+
+    The SPCU candidate-verification checker must honor the engine's
+    ``assume_infinite``/``max_instantiations`` in both modes — a cached
+    engine silently verifying with different semantics than the uncached
+    one would break every ablation comparison.
+    """
+    for assume_infinite in (False, True):
+        covers = [
+            PropagationEngine(
+                use_cache=use_cache, assume_infinite=assume_infinite
+            ).cover(customer_sigma, customer_view)
+            for use_cache in (True, False)
+        ]
+        assert sorted(map(repr, covers[0])) == sorted(map(repr, covers[1]))
+
+
+def test_fast_path_verdicts_match_chase(seed=7):
+    """Force both routes on one workload: fast path vs raw chase."""
+    attrs, fds, projection, view = _fd_projection_workload(seed)
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(20):
+        lhs = tuple(rng.sample(projection, rng.randint(1, 2)))
+        rhs = rng.choice(projection)
+        queries.append(FD("V", lhs, (rhs,)))
+
+    engine = PropagationEngine()
+    verdicts = engine.check_many(fds, view, queries)
+    assert engine.stats.closure_fast_path > 0
+    assert engine.stats.chase_invocations == 0
+    assert verdicts == [propagates(fds, view, q) for q in queries]

@@ -31,6 +31,12 @@ def test_quickstart_block_executes():
     assert namespace["cx"] is not None
 
 
+def test_every_python_block_executes():
+    """Not just the quickstart: all README python blocks must run."""
+    for index, block in enumerate(_python_blocks(README)):
+        exec(compile(block, f"<README block {index}>", "exec"), {})
+
+
 def test_cover_block_names_exist():
     """The second block references prop_cfd_spc and implies; both exist."""
     import repro
