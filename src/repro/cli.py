@@ -9,9 +9,16 @@ Drives the library from JSON files (formats in :mod:`repro.io`):
     repro validate --schema s.json --rules deps.json --data db.json
     repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
 
-``propagate-batch`` answers a *batch* of targets through the caching
-:class:`~repro.propagation.engine.PropagationEngine` (``--no-cache``
-gives the uncached ablation baseline, ``--stats`` prints cache counters).
+``propagate-batch`` and ``cover`` answer through the caching
+:class:`~repro.propagation.engine.PropagationEngine`:
+
+- ``--no-cache`` gives the uncached ablation baseline;
+- ``--stats`` prints the engine's cache counters to stderr;
+- ``--cache-dir DIR`` persists verdicts/covers in a schema-versioned
+  sqlite store under ``DIR``, shared across processes (warm restarts);
+- ``--cache-size N`` bounds each in-memory memo tier to an N-entry LRU;
+- ``--jobs N`` fans cache-miss queries out across N workers
+  (``--pool thread|process`` picks the executor).
 
 Exit codes: 0 on a "positive" analysis result (propagated / nonempty /
 clean), 1 on the negative one, 2 on usage or format errors — so shell
@@ -26,13 +33,10 @@ import sys
 from typing import Sequence
 
 from . import io as repro_io
-from .algebra.spcu import SPCUView
 from .cleaning import detect, repair, summarize
 from .propagation import (
     PropagationEngine,
     find_counterexample,
-    prop_cfd_spc,
-    prop_cfd_spcu,
     propagates,
     view_is_empty,
 )
@@ -66,17 +70,28 @@ def _cmd_check(args) -> int:
     return 0 if all_propagated else 1
 
 
+def _build_engine(args) -> PropagationEngine:
+    """The engine configured by the shared cache/parallelism options."""
+    return PropagationEngine(
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        cache_size=args.cache_size,
+        jobs=args.jobs,
+        pool=args.pool,
+    )
+
+
 def _cmd_propagate_batch(args) -> int:
     _, sigma, view = _load_common(args)
     phis = _load_targets(args.phi)
-    engine = PropagationEngine(use_cache=not args.no_cache)
-    verdicts = engine.check_many(sigma, view, phis)
-    for phi, verdict in zip(phis, verdicts):
-        print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
-    propagated = sum(verdicts)
-    print(f"# {propagated}/{len(verdicts)} propagated", file=sys.stderr)
-    if args.stats:
-        print(f"# {engine.stats}", file=sys.stderr)
+    with _build_engine(args) as engine:
+        verdicts = engine.check_many(sigma, view, phis)
+        for phi, verdict in zip(phis, verdicts):
+            print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
+        propagated = sum(verdicts)
+        print(f"# {propagated}/{len(verdicts)} propagated", file=sys.stderr)
+        if args.stats:
+            print(f"# {engine.stats}", file=sys.stderr)
     if args.out:
         cover = [phi for phi, verdict in zip(phis, verdicts) if verdict]
         repro_io.dump_json(repro_io.dependencies_to_json(cover), args.out)
@@ -86,10 +101,10 @@ def _cmd_propagate_batch(args) -> int:
 
 def _cmd_cover(args) -> int:
     _, sigma, view = _load_common(args)
-    if isinstance(view, SPCUView):
-        cover = prop_cfd_spcu(sigma, view)
-    else:
-        cover = prop_cfd_spc(sigma, view)
+    with _build_engine(args) as engine:
+        cover = engine.cover(sigma, view)
+        if args.stats:
+            print(f"# {engine.stats}", file=sys.stderr)
     for phi in cover:
         print(phi)
     if args.out:
@@ -151,6 +166,43 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sigma", required=True, help="source dependencies JSON")
         p.add_argument("--view", required=True, help="view JSON file")
 
+    def engine_options(p):
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the engine caches (ablation baseline; also "
+            "disables --cache-dir and --jobs)",
+        )
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine cache counters to stderr",
+        )
+        p.add_argument(
+            "--cache-dir",
+            help="persist verdicts/covers in a sqlite store under this "
+            "directory (shared across processes; survives restarts)",
+        )
+        p.add_argument(
+            "--cache-size",
+            type=int,
+            help="LRU capacity of each in-memory memo tier (default unbounded)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="fan cache misses out across this many workers "
+            "(propagate-batch targets; SPCU candidate verification in "
+            "cover — a single-SPC cover has no batch to fan out)",
+        )
+        p.add_argument(
+            "--pool",
+            choices=("thread", "process"),
+            default="thread",
+            help="executor kind for --jobs > 1 (default: thread)",
+        )
+
     check = sub.add_parser("check", help="decide Sigma |=_V phi")
     common(check)
     check.add_argument(
@@ -169,19 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--phi", required=True, help="target dependency JSON (single or list)"
     )
-    batch.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the engine caches (ablation baseline)",
-    )
-    batch.add_argument(
-        "--stats", action="store_true", help="print engine cache counters to stderr"
-    )
+    engine_options(batch)
     batch.add_argument("--out", help="write the propagated targets to this JSON file")
     batch.set_defaults(func=_cmd_propagate_batch)
 
-    cover = sub.add_parser("cover", help="compute a propagation cover")
+    cover = sub.add_parser(
+        "cover", help="compute a propagation cover (cached engine)"
+    )
     common(cover)
+    engine_options(cover)
     cover.add_argument("--out", help="write the cover to this JSON file")
     cover.set_defaults(func=_cmd_cover)
 

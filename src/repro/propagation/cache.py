@@ -1,0 +1,282 @@
+"""Bounded, tiered caching for the propagation engine.
+
+PR 1's :class:`~repro.propagation.engine.PropagationEngine` memoized
+verdicts and covers in plain per-process dicts: unbounded, and gone on
+restart.  This module is the cache made a first-class subsystem, in two
+tiers:
+
+1. :class:`LRUCache` — the in-memory tier.  A capacity-bounded
+   least-recently-used map with hit/miss/eviction counters; the engine
+   folds those counters into
+   :class:`~repro.propagation.engine.EngineStats`.  ``capacity=None``
+   keeps PR 1's unbounded behavior.
+2. :class:`TieredCache` — the in-memory tier backed by an optional
+   persistent :class:`~repro.propagation.store.SqliteStore`.  A memory
+   miss falls through to the store; a persistent hit is decoded,
+   *promoted* into the memory tier and served.  Writes go through both
+   tiers, so warm lines survive restarts and are shared across worker
+   processes pointing at one ``--cache-dir``.
+
+Keys come in two flavors:
+
+- *Structural* keys (tuples of interned/frozen objects) index the memory
+  tier — cheap to build, but they embed Python objects and per-process
+  ``hash()`` randomization, so they never leave the process.
+- *Stable fingerprints* (:func:`stable_digest` over canonical JSON of the
+  :mod:`repro.io` wire format) index the persistent tier.  Two processes
+  — or two runs of one process — derive byte-identical keys for logically
+  equal ``(Sigma, view, phi, settings)``, because the canonical encoding
+  sorts map keys, normalizes Sigma to its normal-form CFD set and sorts
+  it, and contains no addresses, hashes or ordering artifacts.
+
+The stability guarantee is exactly as strong as the wire format's:
+anything :func:`repro.io.dependency_to_json` / :func:`repro.io.view_to_json`
+round-trips canonically is a stable cache key.  Change the encoding and
+you must bump :data:`repro.propagation.store.SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Callable, Iterable
+
+from ..algebra.spcu import SPCUView
+from ..core.cfd import CFD
+from ..io import domain_to_json, dependency_to_json, spc_view_to_json
+from .store import SqliteStore
+
+__all__ = [
+    "LRUCache",
+    "TieredCache",
+    "stable_digest",
+    "sigma_fingerprint",
+    "view_fingerprint",
+    "dependency_fingerprint",
+    "verdict_persist_key",
+    "cover_persist_key",
+]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A least-recently-used map with telemetry counters.
+
+    ``capacity=None`` means unbounded (no eviction ever).  ``get`` bumps
+    recency and counts a hit or miss; ``put`` inserts or refreshes and
+    evicts the least recently used entry once the capacity is exceeded,
+    counting each eviction.  ``__contains__`` and ``clear`` touch neither
+    recency nor counters — counters describe *lookup traffic*, and they
+    survive ``clear`` the same way engine stats survive
+    :meth:`~repro.propagation.engine.PropagationEngine.clear`.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"LRU capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if key in self._data:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            return
+        self._data[key] = value
+        if self.capacity is not None and len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self):
+        """Keys from least to most recently used (eviction order)."""
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.capacity is None else self.capacity
+        return (
+            f"LRUCache(len={len(self._data)}/{cap}, "
+            f"{self.hits}h/{self.misses}m, evictions={self.evictions})"
+        )
+
+
+class TieredCache:
+    """An :class:`LRUCache` backed by an optional persistent store table.
+
+    ``get``/``put`` take two keys: the process-local structural key for
+    the memory tier and (when a store is attached) the stable fingerprint
+    for the persistent tier.  ``get`` returns ``(value, layer)`` with
+    ``layer`` one of ``"memory"``, ``"persistent"`` or ``None`` (miss);
+    a persistent hit is promoted into the memory tier.  Payloads cross
+    the store boundary through the injected ``encode``/``decode`` pair.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        capacity: int | None = None,
+        store: SqliteStore | None = None,
+        encode: Callable[[Any], str] = str,
+        decode: Callable[[str], Any] = str,
+    ) -> None:
+        self.table = table
+        self.memory = LRUCache(capacity)
+        self.store = store
+        self._encode = encode
+        self._decode = decode
+        self.persistent_hits = 0
+        self.persistent_misses = 0
+        self.persistent_writes = 0
+
+    def get(self, key: Any, persist_key: str | None = None) -> tuple[Any, str | None]:
+        value = self.memory.get(key, _MISSING)
+        if value is not _MISSING:
+            return value, "memory"
+        if self.store is not None and persist_key is not None:
+            payload = self.store.get(self.table, persist_key)
+            if payload is not None:
+                self.persistent_hits += 1
+                value = self._decode(payload)
+                self.memory.put(key, value)
+                return value, "persistent"
+            self.persistent_misses += 1
+        return None, None
+
+    def put(self, key: Any, value: Any, persist_key: str | None = None) -> None:
+        self.memory.put(key, value)
+        if self.store is not None and persist_key is not None:
+            self.store.put(self.table, persist_key, self._encode(value))
+            self.persistent_writes += 1
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier; the persistent store is untouched."""
+        self.memory.clear()
+
+
+# ----------------------------------------------------------------------
+# Stable fingerprints (persistent-tier keys).
+# ----------------------------------------------------------------------
+
+
+def _canonical(doc: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr fallback."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def stable_digest(doc: Any) -> str:
+    """A short hex digest of the canonical JSON encoding of *doc*.
+
+    Stable across processes and Python invocations (no ``hash()``
+    randomization), which is what lets one sqlite store serve many
+    workers.
+    """
+    return hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
+
+
+def dependency_fingerprint(phi: CFD) -> str:
+    """The stable fingerprint of one dependency (wire-format canonical)."""
+    return stable_digest(dependency_to_json(phi))
+
+
+def sigma_fingerprint(sigma_cfds: Iterable[CFD]) -> str:
+    """The stable fingerprint of a dependency set.
+
+    *sigma_cfds* must already be the normal-form CFD set the engine keys
+    on (:func:`repro.propagation.check._as_cfds` output), so an FD and
+    its all-wildcard CFD embedding — and any input ordering or duplicate
+    multiplicity — share one fingerprint, mirroring the in-memory
+    ``frozenset`` key exactly.
+    """
+    return stable_digest(
+        sorted({_canonical(dependency_to_json(phi)) for phi in sigma_cfds})
+    )
+
+
+def _view_doc(view: Any) -> Any:
+    """The canonical document behind a view fingerprint.
+
+    The :func:`repro.io.view_to_json` wire format plus the attribute
+    *domains* of the view's extended schema — verdicts depend on finite
+    domains (the chase enumerates their values), so views that differ
+    only in domains must never share a persistent line.
+    """
+    if isinstance(view, SPCUView):
+        return {"name": view.name, "branches": [_view_doc(b) for b in view.branches]}
+    return {
+        "view": spc_view_to_json(view),
+        "domains": sorted(
+            (attr, domain_to_json(domain))
+            for attr, domain in view.extended_attributes().items()
+        ),
+    }
+
+
+def view_fingerprint(view: Any) -> str:
+    """The stable fingerprint of a view's normal form (domains included)."""
+    return stable_digest(_view_doc(view))
+
+
+def verdict_persist_key(
+    sigma_fp: str,
+    view_fp: str,
+    phi: CFD,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> str:
+    """The persistent key of one ``Sigma |=_V phi`` verdict.
+
+    Engine settings are part of the key: a capped or assume-infinite run
+    may legitimately answer differently, and must never share a line with
+    the exact procedure.
+    """
+    return stable_digest(
+        {
+            "kind": "verdict",
+            "sigma": sigma_fp,
+            "view": view_fp,
+            "phi": dependency_to_json(phi),
+            "max_instantiations": max_instantiations,
+            "assume_infinite": bool(assume_infinite),
+        }
+    )
+
+
+def cover_persist_key(
+    sigma_fp: str,
+    view_fp: str,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> str:
+    """The persistent key of one propagation cover."""
+    return stable_digest(
+        {
+            "kind": "cover",
+            "sigma": sigma_fp,
+            "view": view_fp,
+            "max_instantiations": max_instantiations,
+            "assume_infinite": bool(assume_infinite),
+        }
+    )

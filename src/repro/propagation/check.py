@@ -26,6 +26,15 @@ no finite-domain attributes a single chase runs and the whole test is
 polynomial.  ``assume_infinite=True`` forces the single-chase PTIME
 procedure even in the presence of finite domains — deliberately incomplete,
 used to demonstrate why the general setting costs more (Theorem 3.2).
+
+In the cache stack (``docs/architecture.md``), :class:`BranchPairCache`
+is the *working-state* layer below the engine's verdict/cover memo
+tiers (:mod:`repro.propagation.cache`): it shares materialized, coupled
+and chased tableau skeletons across the queries of one view within one
+process, while the tiers above it memoize finished answers — bounded by
+an LRU and optionally persisted to sqlite across processes.  Skeletons
+hold process-local ``SymVar`` objects, so this layer is never
+serialized; only verdicts and covers cross the persistence boundary.
 """
 
 from __future__ import annotations

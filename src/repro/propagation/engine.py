@@ -1,4 +1,4 @@
-"""The batch propagation engine: memoized chase + closure caching.
+"""The batch propagation engine: memoized chase, tiered caches, fan-out.
 
 Every decision procedure in this package re-derives its symbolic tableaux
 and re-runs its chases from scratch on each ``Sigma |=_V phi`` query.
@@ -11,11 +11,10 @@ attribute closures are shared structure.
 :class:`PropagationEngine` answers batches:
 
 - ``check_many(sigma, view, phis)`` / ``check(...)`` — batched
-  ``Sigma |=_V phi`` with three layers of sharing (see
+  ``Sigma |=_V phi`` with three layers of tableau sharing (see
   :class:`~repro.propagation.check.BranchPairCache`): materialized branch
   pairs per view, coupled skeletons per LHS shape, and chased results per
-  ``(Sigma, pair, LHS shape)`` in the single-chase setting.  Verdicts are
-  additionally memoized outright.
+  ``(Sigma, pair, LHS shape)`` in the single-chase setting.
 - ``cover(sigma, view)`` / ``cover_many(sigma, views)`` — propagation
   covers with the input ``MinCover(Sigma)`` computed once per Sigma and
   shared across views, and SPCU candidate verification routed through the
@@ -25,20 +24,41 @@ attribute closures are shared structure.
   to per-atom FD implication, decided by the memoized
   :func:`repro.core.fd.attribute_closure` without any chase at all.
 
+Verdicts and covers are memoized in *tiered caches*
+(:mod:`repro.propagation.cache`): an LRU-bounded in-memory tier
+(``cache_size``; unbounded by default) optionally backed by a
+schema-versioned sqlite store (``cache_dir``;
+:mod:`repro.propagation.store`) keyed on stable ``(Sigma fingerprint,
+view fingerprint, phi, settings)`` digests — so warm lines survive
+restarts and are shared across worker processes pointing at one cache
+directory.
+
+Each batch is partitioned into *hits* (answered inline from the memory
+tier, the persistent tier, or the closure fast path) and *misses*.  With
+``jobs > 1`` the misses fan out across a ``concurrent.futures`` pool
+(``pool="thread"`` or ``"process"``) and the results are written back
+through both tiers; with the default ``jobs=1`` misses resolve
+sequentially through the shared tableau caches exactly as in the
+single-process design.
+
 ``PropagationEngine(use_cache=False)`` disables every layer (including
-the fast path) and routes queries through the plain single-query
-procedures — the ``--no-cache`` ablation baseline.  Counters in
-:class:`EngineStats` stay live either way, which is what the
-perf-regression tests assert on.
+the fast path, the persistent store and the fan-out) and routes queries
+through the plain single-query procedures — the ``--no-cache`` ablation
+baseline.  Counters in :class:`EngineStats` stay live either way, which
+is what the perf-regression tests assert on.
 
 Cache keys are *structural*: Sigma is fingerprinted as the frozenset of
 its normalized CFDs and views by their normal form (atoms, selection,
 projection, constants), so logically equal inputs share cache lines and
-any change to Sigma or the view reaches a fresh one.
+any change to Sigma or the view reaches a fresh one.  The persistent
+tier mirrors the same equivalence with process-stable sha256 digests of
+the :mod:`repro.io` wire format (see ``docs/caching.md``).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -48,6 +68,14 @@ from ..core.cfd import CFD
 from ..core.fd import FD, attribute_closure
 from ..core.mincover import min_cover
 from ..core.values import is_wildcard
+from ..io import dependencies_to_json, dependency_from_json
+from .cache import (
+    TieredCache,
+    cover_persist_key,
+    sigma_fingerprint,
+    verdict_persist_key,
+    view_fingerprint,
+)
 from .check import (
     BranchPairCache,
     Counterexample,
@@ -59,6 +87,7 @@ from .check import (
 from .cover import prop_cfd_spc_report
 from .rbr import RBRStats
 from .spcu_cover import prop_cfd_spcu
+from .store import SqliteStore
 
 __all__ = ["EngineStats", "PropagationEngine"]
 
@@ -68,8 +97,14 @@ class EngineStats:
     """Instrumentation counters for one :class:`PropagationEngine`.
 
     ``chase_invocations`` counts chase runs *launched by check queries*
-    (cache hits launch none); the perf-regression tests bound it by the
-    number of unique closures/LHS shapes in a batch.
+    (cache hits launch none), including chases run by fan-out workers;
+    with ``jobs=1`` the perf-regression tests bound it by the number of
+    unique closures/LHS shapes in a batch (fan-out groups misses by LHS
+    shape before chunking, so chunk boundaries can add at most
+    ``jobs - 1`` duplicate chases per shape).  ``verdict_hits``/``cover_hits``
+    count memory-tier hits; the ``persistent_*`` counters and
+    ``evictions`` mirror the tiered caches; ``parallel_tasks`` counts
+    pool tasks dispatched for miss fan-out.
     """
 
     check_queries: int = 0
@@ -82,6 +117,11 @@ class EngineStats:
     chased_misses: int = 0
     cover_queries: int = 0
     cover_hits: int = 0
+    persistent_hits: int = 0
+    persistent_misses: int = 0
+    persistent_writes: int = 0
+    evictions: int = 0
+    parallel_tasks: int = 0
     rbr: RBRStats = field(default_factory=RBRStats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -93,14 +133,27 @@ class EngineStats:
             f"chase_invocations={self.chase_invocations}, "
             f"coupled={self.coupled_hits}h/{self.coupled_misses}m, "
             f"chased={self.chased_hits}h/{self.chased_misses}m, "
-            f"cover_queries={self.cover_queries}, cover_hits={self.cover_hits})"
+            f"cover_queries={self.cover_queries}, cover_hits={self.cover_hits}, "
+            f"persistent={self.persistent_hits}h/{self.persistent_misses}m/"
+            f"{self.persistent_writes}w, "
+            f"evictions={self.evictions}, "
+            f"parallel_tasks={self.parallel_tasks})"
         )
 
 
 def _view_fingerprint(view: ViewLike) -> tuple:
-    """A structural key for a view's normal form."""
+    """A structural key for a view's normal form (process-local tier).
+
+    Attribute *domains* are part of the key: verdicts depend on finite
+    domains (the chase enumerates their values), so structurally equal
+    views over schemas that differ only in domains must never share a
+    cache line.
+    """
     if isinstance(view, SPCUView):
-        return ("U",) + tuple(_view_fingerprint(b) for b in view.branches)
+        # The union's own name is part of the key: covers embed it in
+        # every returned CFD, so same-branch unions with different names
+        # must not share a line.
+        return ("U", view.name) + tuple(_view_fingerprint(b) for b in view.branches)
     return (
         view.name,
         tuple(view.atoms),
@@ -108,6 +161,12 @@ def _view_fingerprint(view: ViewLike) -> tuple:
         tuple(view.projection),
         tuple(sorted(view.constants.items())),
         view.unsatisfiable,
+        tuple(
+            sorted(
+                (attr, domain.name, domain.values)
+                for attr, domain in view.extended_attributes().items()
+            )
+        ),
     )
 
 
@@ -115,6 +174,74 @@ def _all_wildcard(phi: CFD) -> bool:
     return all(is_wildcard(e) for _, e in phi.lhs) and all(
         is_wildcard(e) for _, e in phi.rhs
     )
+
+
+def _encode_cover(cover: list[CFD]) -> str:
+    return json.dumps(dependencies_to_json(cover), sort_keys=True)
+
+
+def _decode_cover(payload: str) -> list[CFD]:
+    return [dependency_from_json(doc) for doc in json.loads(payload)]
+
+
+def _chunks(items: list, n: int) -> list[list]:
+    """Split *items* into at most *n* contiguous, near-even chunks."""
+    n = max(1, min(n, len(items)))
+    size, extra = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        if start < end:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+#: Tableau-cache counters a fan-out worker reports back for merging.
+_WORKER_STAT_FIELDS = (
+    "chase_invocations",
+    "coupled_hits",
+    "coupled_misses",
+    "chased_hits",
+    "chased_misses",
+)
+_WORKER_RBR_FIELDS = ("resolvent_pairs", "resolvents_kept", "drops", "mincover_passes")
+
+
+def _worker_stats(stats: "EngineStats") -> dict:
+    out = {name: getattr(stats, name) for name in _WORKER_STAT_FIELDS}
+    out["rbr"] = {name: getattr(stats.rbr, name) for name in _WORKER_RBR_FIELDS}
+    return out
+
+
+def _check_chunk_worker(payload) -> tuple[list[bool], dict]:
+    """Decide one chunk of cache-miss queries in a fresh engine.
+
+    Module-level (and with plain-data payloads) so it pickles into a
+    process pool; a thread pool calls it directly.  The fresh engine
+    shares tableaux *within* the chunk and its counters are merged back
+    into the dispatching engine's stats.
+    """
+    sigma, view, phis, max_instantiations, assume_infinite = payload
+    engine = PropagationEngine(
+        use_cache=True,
+        max_instantiations=max_instantiations,
+        assume_infinite=assume_infinite,
+    )
+    verdicts = engine.check_many(sigma, view, phis)
+    return verdicts, _worker_stats(engine.stats)
+
+
+def _cover_chunk_worker(payload) -> tuple[list[list[CFD]], dict]:
+    """Compute one chunk of cache-miss covers in a fresh engine."""
+    sigma, views, max_instantiations, assume_infinite = payload
+    engine = PropagationEngine(
+        use_cache=True,
+        max_instantiations=max_instantiations,
+        assume_infinite=assume_infinite,
+    )
+    covers = engine.cover_many(sigma, views)
+    return covers, _worker_stats(engine.stats)
 
 
 class PropagationEngine:
@@ -125,12 +252,33 @@ class PropagationEngine:
     use_cache:
         ``False`` gives the uncached ablation baseline: every query runs
         the plain single-query procedure (no tableau reuse, no verdict
-        memo, no closure fast path).  Verdicts are guaranteed identical
-        either way — the differential tests enforce it.
+        memo, no closure fast path, no persistent store, no fan-out).
+        Verdicts are guaranteed identical either way — the differential
+        tests enforce it.
     max_instantiations / assume_infinite:
         Defaults forwarded to the underlying decision procedure (the
         finite-domain enumeration cap and the deliberately incomplete
-        PTIME mode, respectively).
+        PTIME mode, respectively).  Both are part of every cache key.
+    cache_dir:
+        When set (and ``use_cache`` is on), verdicts and covers are
+        additionally written to — and served from — a schema-versioned
+        sqlite store under this directory, shared across processes.
+    cache_size:
+        LRU capacity of each in-memory memo tier (verdicts and covers
+        separately); ``None`` keeps them unbounded.  Evictions are
+        counted in :attr:`EngineStats.evictions`.
+    jobs:
+        With ``jobs > 1``, cache-miss queries in a batch fan out across
+        a ``concurrent.futures`` pool of at most this many workers.
+        ``jobs=1`` resolves misses sequentially through the shared
+        tableau caches.
+    pool:
+        ``"thread"`` (default; zero-copy, safe everywhere — but the
+        chase is pure CPU-bound Python, so under the GIL threads mostly
+        buy overlap with the sqlite/store I/O, not chase speedup) or
+        ``"process"`` (true CPU parallelism; inputs are pickled, and
+        the pool is spawned once per engine and reused, so its startup
+        cost amortizes across batches).
     """
 
     def __init__(
@@ -138,18 +286,49 @@ class PropagationEngine:
         use_cache: bool = True,
         max_instantiations: int | None = None,
         assume_infinite: bool = False,
+        *,
+        cache_dir: str | None = None,
+        cache_size: int | None = None,
+        jobs: int = 1,
+        pool: str = "thread",
     ) -> None:
+        if pool not in ("thread", "process"):
+            raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive, got {jobs}")
         self.use_cache = use_cache
         self.max_instantiations = max_instantiations
         self.assume_infinite = assume_infinite
+        self.jobs = jobs
+        self.pool = pool
         self.stats = EngineStats()
+        self._executor: concurrent.futures.Executor | None = None
+        self._store: SqliteStore | None = None
+        if use_cache and cache_dir is not None:
+            self._store = SqliteStore.open_dir(cache_dir)
+        self._verdict_tier = TieredCache(
+            "verdicts",
+            capacity=cache_size,
+            store=self._store,
+            encode=lambda v: "1" if v else "0",
+            decode=lambda payload: payload == "1",
+        )
+        self._cover_tier = TieredCache(
+            "covers",
+            capacity=cache_size,
+            store=self._store,
+            encode=_encode_cover,
+            decode=_decode_cover,
+        )
         self._pair_caches: dict[tuple, BranchPairCache] = {}
-        self._verdicts: dict[tuple, bool] = {}
-        self._covers: dict[tuple, list[CFD]] = {}
         self._min_sigma: dict[frozenset, list[CFD]] = {}
         self._fast_contexts: dict[tuple, "_FastPathContext | None"] = {}
+        # Stable-fingerprint memos (pure functions of their keys).
+        self._sigma_fps: dict[frozenset, str] = {}
+        self._view_fps: dict[tuple, str] = {}
         #: Counter totals of caches no longer tracked (retired by clear()
-        #: or by object turnover, plus the throwaway uncached-run caches).
+        #: or by object turnover, the throwaway uncached-run caches, and
+        #: the merged counters of fan-out workers).
         self._retired = {
             "chase_invocations": 0,
             "coupled_hits": 0,
@@ -163,14 +342,51 @@ class PropagationEngine:
     # ------------------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop every cached tableau, verdict and cover (stats survive)."""
+        """Drop every in-memory tableau, verdict and cover memo.
+
+        Stats survive, and so does the persistent store: a cleared engine
+        re-fills its memory tier from sqlite on the next queries.
+        """
         for cache in self._pair_caches.values():
             self._retire(cache)
         self._pair_caches.clear()
-        self._verdicts.clear()
-        self._covers.clear()
+        self._verdict_tier.clear_memory()
+        self._cover_tier.clear_memory()
         self._min_sigma.clear()
         self._fast_contexts.clear()
+
+    def close(self) -> None:
+        """Close the persistent store and worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+            self._verdict_tier.store = None
+            self._cover_tier.store = None
+
+    def __enter__(self) -> "PropagationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _persist_fps(
+        self, sigma_key: frozenset, sigma_cfds: list[CFD], view_key: tuple, view: ViewLike
+    ) -> tuple[str, str] | None:
+        """Stable (Sigma, view) fingerprints, or ``None`` without a store."""
+        if self._store is None:
+            return None
+        sigma_fp = self._sigma_fps.get(sigma_key)
+        if sigma_fp is None:
+            sigma_fp = sigma_fingerprint(sigma_cfds)
+            self._sigma_fps[sigma_key] = sigma_fp
+        view_fp = self._view_fps.get(view_key)
+        if view_fp is None:
+            view_fp = view_fingerprint(view)
+            self._view_fps[view_key] = view_fp
+        return sigma_fp, view_fp
 
     def _fast_context(
         self,
@@ -214,6 +430,41 @@ class PropagationEngine:
                 self._retired[name] + sum(getattr(c, name) for c in live),
             )
 
+    def _sync_tier_stats(self) -> None:
+        tiers = (self._verdict_tier, self._cover_tier)
+        self.stats.persistent_hits = sum(t.persistent_hits for t in tiers)
+        self.stats.persistent_misses = sum(t.persistent_misses for t in tiers)
+        self.stats.persistent_writes = sum(t.persistent_writes for t in tiers)
+        self.stats.evictions = sum(t.memory.evictions for t in tiers)
+
+    def _merge_worker_stats(self, worker_stats: dict) -> None:
+        for name in _WORKER_STAT_FIELDS:
+            self._retired[name] += worker_stats[name]
+        for name, value in worker_stats["rbr"].items():
+            setattr(self.stats.rbr, name, getattr(self.stats.rbr, name) + value)
+
+    def _fan_out(self, worker, payloads: list) -> list:
+        """Run *payloads* through the engine's pool, merging stats.
+
+        The executor is created lazily on the first fan-out and reused
+        for the engine's lifetime (a per-batch pool spawn — especially a
+        process pool's — would dwarf small batches), then shut down by
+        :meth:`close`.
+        """
+        if self._executor is None:
+            if self.pool == "process":
+                executor_cls = concurrent.futures.ProcessPoolExecutor
+            else:
+                executor_cls = concurrent.futures.ThreadPoolExecutor
+            self._executor = executor_cls(max_workers=self.jobs)
+        self.stats.parallel_tasks += len(payloads)
+        outcomes = list(self._executor.map(worker, payloads))
+        results = []
+        for result, worker_stats in outcomes:
+            self._merge_worker_stats(worker_stats)
+            results.append(result)
+        return results
+
     # ------------------------------------------------------------------
     # Batched checking.
     # ------------------------------------------------------------------
@@ -233,7 +484,11 @@ class PropagationEngine:
         """Decide ``Sigma |=_V phi`` for every *phi*, sharing work.
 
         Verdicts are positionally aligned with *phis* and identical to
-        ``propagates(sigma, view, phi)`` on each query.
+        ``propagates(sigma, view, phi)`` on each query.  The batch is
+        partitioned into hits (memory tier, persistent tier, closure
+        fast path — answered inline) and misses; with ``jobs > 1`` the
+        misses fan out across the worker pool and are written back
+        through both cache tiers.
         """
         sigma = list(sigma)
         if not self.use_cache:
@@ -260,29 +515,64 @@ class PropagationEngine:
         view_key = _view_fingerprint(view)
         fast = self._fast_context(view, view_key, sigma_cfds, sigma_key)
         cache = self._pair_cache(view, view_key)
+        fps = self._persist_fps(sigma_key, sigma_cfds, view_key, view)
+        settings = (self.max_instantiations, self.assume_infinite)
 
-        verdicts: list[bool] = []
-        for phi in phis:
+        def persist_key(phi_cfd: CFD) -> str | None:
+            if fps is None:
+                return None
+            return verdict_persist_key(fps[0], fps[1], phi_cfd, *settings)
+
+        verdicts: list[bool | None] = [None] * len(phis)
+        # Misses, deduplicated: memo key -> (phi, persist key, indices).
+        pending: dict[tuple, tuple[CFD, str | None, list[int]]] = {}
+        for idx, phi in enumerate(phis):
             self.stats.check_queries += 1
             phi_cfd = CFD.from_fd(phi) if isinstance(phi, FD) else phi
-            memo_key = (
-                sigma_key,
-                view_key,
-                phi_cfd,
-                self.max_instantiations,
-                self.assume_infinite,
-            )
-            if memo_key in self._verdicts:
+            memo_key = (sigma_key, view_key, phi_cfd, *settings)
+            if memo_key in pending:
+                # Duplicate of an in-flight miss: answered from the memo
+                # once the first occurrence resolves.
                 self.stats.verdict_hits += 1
-                verdicts.append(self._verdicts[memo_key])
+                pending[memo_key][2].append(idx)
                 continue
-            verdict = None
+            pkey = persist_key(phi_cfd)
+            value, layer = self._verdict_tier.get(memo_key, pkey)
+            if layer is not None:
+                if layer == "memory":
+                    self.stats.verdict_hits += 1
+                verdicts[idx] = value
+                continue
             if fast is not None:
                 verdict = fast.decide(phi_cfd)
                 if verdict is not None:
                     self.stats.closure_fast_path += 1
-            if verdict is None:
-                verdict = (
+                    self._verdict_tier.put(memo_key, verdict, pkey)
+                    verdicts[idx] = verdict
+                    continue
+            pending[memo_key] = (phi_cfd, pkey, [idx])
+
+        if pending:
+            keys = list(pending)
+            miss_phis = [pending[k][0] for k in keys]
+            if self.jobs > 1 and len(miss_phis) > 1:
+                # Group misses by LHS shape before chunking: queries
+                # sharing a coupled skeleton/chase land in one worker's
+                # chunk, so chunking costs (almost) no tableau sharing.
+                order = sorted(
+                    range(len(keys)), key=lambda i: repr(miss_phis[i].lhs)
+                )
+                keys = [keys[i] for i in order]
+                miss_phis = [miss_phis[i] for i in order]
+                chunks = _chunks(miss_phis, self.jobs)
+                payloads = [
+                    (sigma_cfds, view, chunk, *settings) for chunk in chunks
+                ]
+                resolved = [
+                    v for vs in self._fan_out(_check_chunk_worker, payloads) for v in vs
+                ]
+            else:
+                resolved = [
                     find_counterexample(
                         sigma_cfds,
                         view,
@@ -292,10 +582,16 @@ class PropagationEngine:
                         cache=cache,
                     )
                     is None
-                )
-            self._verdicts[memo_key] = verdict
-            verdicts.append(verdict)
+                    for phi_cfd in miss_phis
+                ]
+            for memo_key, verdict in zip(keys, resolved):
+                _, pkey, indices = pending[memo_key]
+                self._verdict_tier.put(memo_key, verdict, pkey)
+                for idx in indices:
+                    verdicts[idx] = verdict
+
         self._sync_pair_stats()
+        self._sync_tier_stats()
         return verdicts
 
     def find_counterexample(
@@ -340,24 +636,60 @@ class PropagationEngine:
         line 1) minimizing Sigma; across a batch of views that cost is
         paid once and memoized by Sigma fingerprint.  SPCU candidate
         verification is routed through :meth:`check`, so the k^2 pair
-        tableaux are shared across all candidates of a union view.
+        tableaux are shared across all candidates of a union view.  Like
+        :meth:`check_many`, the batch partitions into tier hits and
+        misses, and misses fan out across the pool when ``jobs > 1``.
         """
         sigma = list(sigma)
         sigma_cfds = _as_cfds(sigma)
         sigma_key = frozenset(sigma_cfds)
-        covers: list[list[CFD]] = []
-        for view in views:
+        settings = (self.max_instantiations, self.assume_infinite)
+        covers: list[list[CFD] | None] = [None] * len(views)
+        # Misses, deduplicated: memo key -> (view, persist key, indices).
+        pending: dict[tuple, tuple[ViewLike, str | None, list[int]]] = {}
+        for idx, view in enumerate(views):
             self.stats.cover_queries += 1
+            if not self.use_cache:
+                covers[idx] = self._compute_cover(sigma, sigma_cfds, sigma_key, view)
+                continue
             view_key = _view_fingerprint(view)
             memo_key = (sigma_key, view_key)
-            if self.use_cache and memo_key in self._covers:
+            if memo_key in pending:
                 self.stats.cover_hits += 1
-                covers.append(list(self._covers[memo_key]))
+                pending[memo_key][2].append(idx)
                 continue
-            cover = self._compute_cover(sigma, sigma_cfds, sigma_key, view)
-            if self.use_cache:
-                self._covers[memo_key] = cover
-            covers.append(list(cover))
+            fps = self._persist_fps(sigma_key, sigma_cfds, view_key, view)
+            pkey = None if fps is None else cover_persist_key(fps[0], fps[1], *settings)
+            value, layer = self._cover_tier.get(memo_key, pkey)
+            if layer is not None:
+                if layer == "memory":
+                    self.stats.cover_hits += 1
+                covers[idx] = list(value)
+                continue
+            pending[memo_key] = (view, pkey, [idx])
+
+        if pending:
+            keys = list(pending)
+            miss_views = [pending[k][0] for k in keys]
+            if self.jobs > 1 and len(miss_views) > 1:
+                chunks = _chunks(miss_views, self.jobs)
+                payloads = [(sigma, chunk, *settings) for chunk in chunks]
+                resolved = [
+                    c for cs in self._fan_out(_cover_chunk_worker, payloads) for c in cs
+                ]
+            else:
+                resolved = [
+                    self._compute_cover(sigma, sigma_cfds, sigma_key, v)
+                    for v in miss_views
+                ]
+            for memo_key, cover in zip(keys, resolved):
+                _, pkey, indices = pending[memo_key]
+                self._cover_tier.put(memo_key, cover, pkey)
+                for idx in indices:
+                    covers[idx] = list(cover)
+
+        self._sync_pair_stats()  # fold merged fan-out worker counters in
+        self._sync_tier_stats()
         return covers
 
     def _minimized_sigma(self, sigma_cfds: list[CFD], sigma_key: frozenset) -> list[CFD]:
@@ -382,26 +714,15 @@ class PropagationEngine:
             else:
                 # Candidate verification must honor this engine's settings
                 # in BOTH modes — cached and uncached covers are required
-                # to be identical, including under assume_infinite.
-                def check(sig, v, phi, max_instantiations=None):
-                    if max_instantiations not in (None, self.max_instantiations):
-                        return (
-                            find_counterexample(
-                                sig,
-                                v,
-                                phi,
-                                max_instantiations=max_instantiations,
-                                assume_infinite=self.assume_infinite,
-                            )
-                            is None
-                        )
-                    return self.check(sig, v, phi)
-
+                # to be identical, including under assume_infinite.  The
+                # batched verifier shares Sigma normalization and the k^2
+                # pair tableaux across all candidates, and fans cache
+                # misses out across the pool when jobs > 1.
                 return prop_cfd_spcu(
                     sigma,
                     view,
                     max_instantiations=self.max_instantiations,
-                    check=check,
+                    check_many=self.check_many,
                 )
         minimized = self._minimized_sigma(sigma_cfds, sigma_key)
         report = prop_cfd_spc_report(
@@ -491,4 +812,5 @@ class _FastPathContext:
             closure = attribute_closure(source_lhs, self._atom_fds[atom_index])
             if inverse[rhs_attr] not in closure:
                 return False
+
         return True

@@ -83,6 +83,7 @@ def prop_cfd_spcu(
     partition_size: int | None = 40,
     max_instantiations: int | None = None,
     check=None,
+    check_many=None,
 ) -> list[CFD]:
     """A propagation cover of *sigma* via the SPCU view *view*.
 
@@ -91,9 +92,13 @@ def prop_cfd_spcu(
     caveat.
 
     *check* substitutes the candidate-verification predicate (signature of
-    :func:`repro.propagation.check.propagates`); the batch engine injects
-    its cached checker here so all candidates of one union view share the
-    k^2 pair tableaux.
+    :func:`repro.propagation.check.propagates`).  *check_many* substitutes
+    a batched verifier ``(sigma, view, phis) -> list[bool]`` and takes
+    precedence over *check*: the batch engine injects
+    :meth:`~repro.propagation.engine.PropagationEngine.check_many` here so
+    all candidates of one union view are verified as a single batch —
+    sharing the k^2 pair tableaux, Sigma normalization and fingerprints,
+    and fanning cache misses out across the engine's worker pool.
     """
     if check is None:
         check = propagates
@@ -130,9 +135,12 @@ def prop_cfd_spcu(
                     add(_guarded(phi, guard, view.name))
                 add(_guarded(phi, guards[i], view.name))
 
-    survivors = [
-        phi
-        for phi in candidates
-        if check(sigma, view, phi, max_instantiations=max_instantiations)
-    ]
+    if check_many is not None:
+        verdicts = check_many(sigma, view, candidates)
+    else:
+        verdicts = [
+            check(sigma, view, phi, max_instantiations=max_instantiations)
+            for phi in candidates
+        ]
+    survivors = [phi for phi, verdict in zip(candidates, verdicts) if verdict]
     return min_cover(survivors)

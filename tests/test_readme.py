@@ -1,4 +1,8 @@
-"""The README's code blocks must actually run (docs-honesty check)."""
+"""The README's code blocks must actually run (docs-honesty check).
+
+:func:`_python_blocks` is the shared markdown-block harness —
+``test_docs.py`` imports it to run the same check over ``docs/*.md``.
+"""
 
 import pathlib
 import re
@@ -9,6 +13,7 @@ README = (pathlib.Path(__file__).parent.parent / "README.md").read_text()
 
 
 def _python_blocks(text: str) -> list[str]:
+    """Every ```python fence in *text*, ready for ``exec``."""
     return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
 
 
