@@ -1,0 +1,132 @@
+"""Server-mode throughput: one warm ``repro serve`` across many batches.
+
+The acceptance experiment for server mode (PR 3): a single
+``repro serve`` subprocess (stdio transport, the real CLI) answers the
+Example 4.1 batch repeatedly.  The first batch is cold (chases > 0);
+every subsequent batch must be answered purely from the warm engine —
+**zero chases** — and the benchmark records the cold/warm latency gap
+and the warm-leg request throughput.
+
+Honors the shared env knobs (``docs/caching.md``):
+
+- ``REPRO_JOBS``   — forwarded as ``--jobs`` (miss fan-out width);
+- ``REPRO_CACHE_DIR`` — forwarded as ``--cache-dir`` (persistent tier).
+
+Series recorded per ``n`` (the Example 4.1 parameter; one batch is the
+``2^n`` eta-combination queries):
+
+- ``cold batch``  — first request: chases > 0.
+- ``warm batch``  — mean over the remaining requests: chases = 0,
+  with requests/second in the extras.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import io as repro_io
+from repro.propagation.closure_baseline import (
+    example_41_workload,
+    exponential_family_schema,
+)
+
+from conftest import record_point
+
+SIZES = [3, 4]
+WARM_BATCHES = 10
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def _serve_args(n: int, workdir: Path) -> tuple[list[str], list[dict]]:
+    """Write the shared Example 4.1 workload; returns (args, phi docs)."""
+    view, sigma, queries = example_41_workload(n, defeat_fast_path=True)
+    paths = {
+        "schema": workdir / "schema.json",
+        "sigma": workdir / "sigma.json",
+        "view": workdir / "view.json",
+    }
+    repro_io.dump_json(
+        repro_io.schema_to_json(exponential_family_schema(n)), paths["schema"]
+    )
+    repro_io.dump_json(repro_io.dependencies_to_json(sigma), paths["sigma"])
+    repro_io.dump_json(repro_io.spc_view_to_json(view), paths["view"])
+    args = [
+        "--schema", str(paths["schema"]),
+        "--sigma", str(paths["sigma"]),
+        "--view", str(paths["view"]),
+        "--jobs", str(JOBS),
+    ]
+    if CACHE_DIR:
+        args += ["--cache-dir", CACHE_DIR]
+    return args, repro_io.dependencies_to_json(queries)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_server_throughput(n, tmp_path):
+    args, phis = _serve_args(n, tmp_path)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *args],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    batch = json.dumps({"op": "check", "view": "V", "phis": phis})
+    try:
+        timings = []
+        replies = []
+        for _ in range(1 + WARM_BATCHES):
+            started = time.perf_counter()
+            proc.stdin.write(batch + "\n")
+            proc.stdin.flush()
+            reply = json.loads(proc.stdout.readline())
+            timings.append(time.perf_counter() - started)
+            assert reply["ok"], reply
+            replies.append(reply["result"])
+        proc.stdin.write(json.dumps({"op": "shutdown"}) + "\n")
+        proc.stdin.flush()
+    finally:
+        proc.stdin.close()
+        assert proc.wait(timeout=60) == 0
+
+    cold, warm = replies[0], replies[1:]
+    assert cold["stats"]["chases"] > 0 or CACHE_DIR  # cold unless pre-warmed
+    for result in warm:
+        assert result["propagated"] == cold["propagated"]
+        assert result["stats"]["chases"] == 0  # every warm leg is chase-free
+
+    warm_mean = sum(timings[1:]) / WARM_BATCHES
+    record_point(
+        "server throughput",
+        2**n,
+        "cold batch",
+        timings[0],
+        {"chases": cold["stats"]["chases"], "jobs": JOBS},
+    )
+    record_point(
+        "server throughput",
+        2**n,
+        "warm batch",
+        warm_mean,
+        {
+            "chases": 0,
+            "req_per_s": round(1.0 / warm_mean, 1),
+            "queries_per_s": round(len(phis) / warm_mean, 1),
+            "jobs": JOBS,
+        },
+    )

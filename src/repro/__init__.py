@@ -11,7 +11,15 @@ Public API highlights:
 - :func:`repro.propagates`, :func:`repro.find_counterexample`,
   :func:`repro.view_is_empty` — propagation decision procedures.
 - :func:`repro.prop_cfd_spc` — the PropCFD_SPC minimal-cover algorithm.
+- :mod:`repro.api` — the unified service API: :class:`repro.Workspace`,
+  :class:`repro.PropagationService`, typed requests
+  (:class:`repro.CheckRequest`, :class:`repro.CoverRequest`, ...) with
+  capability routing, the :class:`repro.ApiError` taxonomy, and the
+  ``repro serve`` asyncio server (see ``docs/api.md``).
 - :mod:`repro.generators` — the Section 5 workload generators.
+
+The free functions :func:`repro.propagates`, :func:`repro.prop_cfd_spc`
+and :func:`repro.prop_cfd_spcu` are deprecation shims over the service.
 """
 
 from .algebra import (
@@ -71,14 +79,36 @@ from .propagation import (
     propagates_ptime_chase,
     view_is_empty,
 )
+from .api import (
+    ApiError,
+    BatchRequest,
+    CheckRequest,
+    CoverRequest,
+    CoverResult,
+    EmptinessRequest,
+    EmptinessResult,
+    PropagationService,
+    Verdict,
+    Workspace,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApiError",
     "AttrEq",
     "Attribute",
     "BOOL",
+    "BatchRequest",
     "CFD",
+    "CheckRequest",
+    "CoverRequest",
+    "CoverResult",
+    "EmptinessRequest",
+    "EmptinessResult",
+    "PropagationService",
+    "Verdict",
+    "Workspace",
     "Const",
     "ConstEq",
     "ConstantRelation",

@@ -1,0 +1,68 @@
+"""The service API: typed requests, capability routing, server mode.
+
+This package is the single entry point for every propagation query
+class.  Register inputs once in a :class:`Workspace`, hand requests to a
+:class:`PropagationService`, and get typed responses with per-request
+stats back; ``repro serve`` (:mod:`repro.api.server`) exposes the same
+service over NDJSON for long-lived warm-cache deployments.
+
+    >>> from repro.api import CheckRequest, PropagationService
+    >>> service = PropagationService()
+    >>> # service.workspace.add_schema / add_sigma / add_view, then:
+    >>> # verdict = service.submit(CheckRequest(view="V", targets=[phi]))
+
+See ``docs/api.md`` for the request/response schema, the routing table
+and the error taxonomy.
+"""
+
+from .errors import (
+    ApiError,
+    EXIT_CODES,
+    EXIT_NEGATIVE,
+    EXIT_OK,
+    KINDS,
+    to_api_error,
+)
+from .requests import (
+    BatchRequest,
+    BatchResult,
+    CheckRequest,
+    CoverRequest,
+    CoverResult,
+    EmptinessRequest,
+    EmptinessResult,
+    RequestStats,
+    Verdict,
+)
+from .server import PropagationServer, serve_stdio, serve_tcp
+from .service import PropagationService, default_service
+from .wire import handle_request, request_from_json, response_to_json
+from .workspace import DEFAULT_NAME, Workspace
+
+__all__ = [
+    "ApiError",
+    "BatchRequest",
+    "BatchResult",
+    "CheckRequest",
+    "CoverRequest",
+    "CoverResult",
+    "DEFAULT_NAME",
+    "EXIT_CODES",
+    "EXIT_NEGATIVE",
+    "EXIT_OK",
+    "EmptinessRequest",
+    "EmptinessResult",
+    "KINDS",
+    "PropagationServer",
+    "PropagationService",
+    "RequestStats",
+    "Verdict",
+    "Workspace",
+    "default_service",
+    "handle_request",
+    "request_from_json",
+    "response_to_json",
+    "serve_stdio",
+    "serve_tcp",
+    "to_api_error",
+]

@@ -1,0 +1,112 @@
+"""The stable error taxonomy of the service API.
+
+Every failure that crosses the :class:`~repro.api.PropagationService`
+boundary — in-process call, CLI subcommand or server request — is an
+:class:`ApiError` with one of the :data:`KINDS` below.  The taxonomy is
+part of the wire format: clients branch on ``error.kind``, shell
+pipelines branch on the exit code, and both are stable across releases.
+
+==================  =========  ==================================================
+kind                exit code  wraps / raised for
+==================  =========  ==================================================
+``format``          2          :class:`repro.io.FormatError` — malformed JSON
+                               documents (schemas, dependencies, views, data)
+``not-found``       2          missing input files; unresolved workspace names
+``bad-request``     2          everything else wrong with the *request*: unknown
+                               ops, dependencies referencing unprojected view
+                               attributes, invalid option combinations
+``unsupported-view``3          :class:`repro.propagation.UnsupportedViewError` —
+                               view languages with no decision procedure
+``internal``        4          unexpected failures inside the service
+==================  =========  ==================================================
+
+``EXIT_OK`` (0) and ``EXIT_NEGATIVE`` (1) are not errors: they encode the
+analysis verdict itself (propagated / nonempty / clean versus their
+negations), as the CLI always has.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..io import FormatError
+from ..propagation.check import UnsupportedViewError
+
+__all__ = [
+    "ApiError",
+    "EXIT_CODES",
+    "EXIT_NEGATIVE",
+    "EXIT_OK",
+    "KINDS",
+    "api_errors",
+    "to_api_error",
+]
+
+#: Exit code for a positive analysis verdict (propagated / nonempty / clean).
+EXIT_OK = 0
+#: Exit code for the negative verdict (not propagated / empty / dirty).
+EXIT_NEGATIVE = 1
+
+#: ``kind -> process exit code``; the single source of truth the CLI maps
+#: through (documented in ``docs/api.md``).
+EXIT_CODES = {
+    "format": 2,
+    "not-found": 2,
+    "bad-request": 2,
+    "unsupported-view": 3,
+    "internal": 4,
+}
+
+#: The closed set of error kinds.
+KINDS = frozenset(EXIT_CODES)
+
+
+class ApiError(Exception):
+    """A service-level failure with a stable machine-readable *kind*."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown ApiError kind {kind!r}; kinds are {sorted(KINDS)}")
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CODES[self.kind]
+
+    def to_json(self) -> dict:
+        """The wire shape of an error (the ``error`` response member)."""
+        return {"kind": self.kind, "message": self.message}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ApiError({self.kind!r}, {self.message!r})"
+
+
+def to_api_error(exc: BaseException) -> ApiError:
+    """Normalize *exc* into the taxonomy (identity on :class:`ApiError`)."""
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, FormatError):
+        return ApiError("format", str(exc))
+    if isinstance(exc, UnsupportedViewError):
+        return ApiError("unsupported-view", str(exc))
+    if isinstance(exc, FileNotFoundError):
+        name = getattr(exc, "filename", None) or str(exc)
+        return ApiError("not-found", f"no such file: {name}")
+    if isinstance(exc, KeyError):
+        # Decision procedures signal dependencies over unprojected
+        # attributes (and similar lookup failures) with KeyError.
+        return ApiError("bad-request", str(exc.args[0]) if exc.args else str(exc))
+    if isinstance(exc, (TypeError, ValueError)):
+        return ApiError("bad-request", str(exc))
+    return ApiError("internal", f"{type(exc).__name__}: {exc}")
+
+
+@contextmanager
+def api_errors():
+    """Re-raise anything escaping the block as a normalized ApiError."""
+    try:
+        yield
+    except Exception as exc:  # noqa: BLE001 - the normalization boundary
+        raise to_api_error(exc) from exc

@@ -1,0 +1,163 @@
+"""Typed request and response objects of the propagation service.
+
+Requests name *what* to decide; the service decides *how* (capability
+routing — see :mod:`repro.api.service`).  A request references its view
+and Sigma either directly (the objects) or by the name they were
+registered under in the service's :class:`~repro.api.Workspace`; ``None``
+for Sigma means the workspace's ``"default"`` registration.
+
+Per-request knobs (``use_cache``, ``max_instantiations``,
+``assume_infinite``) default to ``None`` = "inherit the service's
+settings"; a non-``None`` value routes the request to a warm engine
+dedicated to that settings combination, so differently-parameterized
+requests never share a cache line (the settings are part of every cache
+key anyway).
+
+Every response carries the route that served it and a
+:class:`RequestStats` delta — elapsed time plus the engine counters this
+request moved, which is what the server surfaces per request and the
+warm-cache smoke tests assert on (``chases == 0`` on a warm leg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Sequence, Union
+
+from ..algebra.instance import DatabaseInstance
+from ..core.cfd import CFD
+from ..propagation.check import DependencyLike, ViewLike
+
+__all__ = [
+    "BatchRequest",
+    "BatchResult",
+    "CheckRequest",
+    "CoverRequest",
+    "CoverResult",
+    "EmptinessRequest",
+    "EmptinessResult",
+    "Request",
+    "RequestStats",
+    "Response",
+    "Verdict",
+]
+
+#: A view reference: a registered name or the view object itself.
+ViewRef = Union[str, ViewLike]
+#: A Sigma reference: a registered name, the dependency list itself, or
+#: ``None`` for the workspace default.
+SigmaRef = Union[str, Sequence[DependencyLike], None]
+
+
+@dataclass
+class _Settings:
+    """The per-request engine-setting overrides (``None`` = inherit)."""
+
+    use_cache: bool | None = None
+    max_instantiations: int | None = None
+    assume_infinite: bool | None = None
+
+
+@dataclass
+class CheckRequest(_Settings):
+    """Decide ``Sigma |=_V phi`` for each target dependency.
+
+    ``witness=True`` additionally asks for a counterexample database per
+    non-propagated target (positionally aligned, ``None`` elsewhere).
+    """
+
+    view: ViewRef = "default"
+    targets: Sequence[DependencyLike] = ()
+    sigma: SigmaRef = None
+    witness: bool = False
+
+
+@dataclass
+class CoverRequest(_Settings):
+    """Compute a minimal propagation cover of Sigma via the view."""
+
+    view: ViewRef = "default"
+    sigma: SigmaRef = None
+
+
+@dataclass
+class EmptinessRequest(_Settings):
+    """Is the view empty under every database satisfying Sigma?"""
+
+    view: ViewRef = "default"
+    sigma: SigmaRef = None
+    witness: bool = False
+
+
+@dataclass
+class BatchRequest:
+    """A sequence of requests answered by one warm service, in order.
+
+    Fail-fast: the first sub-request raising an ApiError aborts the
+    batch (the server reports the error for the whole request).
+    """
+
+    requests: Sequence["Request"] = ()
+
+
+Request = Union[CheckRequest, CoverRequest, EmptinessRequest, BatchRequest]
+
+
+@dataclass
+class RequestStats:
+    """What one request cost: wall time plus engine-counter deltas."""
+
+    elapsed_ms: float = 0.0
+    queries: int = 0
+    chases: int = 0
+    memo_hits: int = 0
+    persistent_hits: int = 0
+    closure_fast_path: int = 0
+    parallel_tasks: int = 0
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class Verdict:
+    """The response to a :class:`CheckRequest`."""
+
+    propagated: list[bool]
+    route: str
+    stats: RequestStats
+    witnesses: list[DatabaseInstance | None] | None = None
+
+    @property
+    def all_propagated(self) -> bool:
+        return all(self.propagated)
+
+
+@dataclass
+class CoverResult:
+    """The response to a :class:`CoverRequest`."""
+
+    cover: list[CFD]
+    route: str
+    stats: RequestStats
+
+
+@dataclass
+class EmptinessResult:
+    """The response to an :class:`EmptinessRequest`."""
+
+    empty: bool
+    route: str
+    stats: RequestStats
+    witness: DatabaseInstance | None = None
+
+
+@dataclass
+class BatchResult:
+    """The response to a :class:`BatchRequest`: sub-results, in order."""
+
+    results: list["Response"] = field(default_factory=list)
+    stats: RequestStats = field(default_factory=RequestStats)
+
+
+Response = Union[Verdict, CoverResult, EmptinessResult, BatchResult]

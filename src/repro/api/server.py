@@ -1,0 +1,109 @@
+"""``repro serve`` — the asyncio front end over one warm service.
+
+A single long-lived :class:`~repro.api.PropagationService` (one engine
+pool, one shared persistent store) answers NDJSON requests (see
+:mod:`repro.api.wire`) over either transport:
+
+- **stdio** (default): line-delimited JSON on stdin, responses on
+  stdout — the pipe-friendly mode the smoke tests and benchmarks drive.
+- **TCP** (``--port``, ``--host``): many concurrent connections into the
+  same warm service; ``--port 0`` picks an ephemeral port, announced on
+  stderr as ``listening on HOST:PORT``.
+
+The event loop stays async while the CPU-bound decision procedures run
+on a worker thread; a lock serializes engine access (the engine's own
+``jobs``/``pool`` knobs provide intra-batch parallelism), so concurrent
+connections interleave at request granularity and every request still
+sees one consistent warm cache.  A ``shutdown`` op stops the server
+after its response is written.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import TextIO
+
+from .service import PropagationService
+from .wire import handle_request
+
+__all__ = ["PropagationServer", "serve_stdio", "serve_tcp"]
+
+
+class PropagationServer:
+    """Wraps one service with the NDJSON request loop."""
+
+    def __init__(self, service: PropagationService) -> None:
+        self.service = service
+        self._lock = asyncio.Lock()
+        self._shutdown = asyncio.Event()
+
+    async def respond_line(self, line: str) -> dict:
+        """Answer one request line (the transport-independent core)."""
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {
+                "ok": False,
+                "error": {"kind": "bad-request", "message": f"invalid JSON: {exc}"},
+            }
+        async with self._lock:
+            response = await asyncio.get_running_loop().run_in_executor(
+                None, handle_request, doc, self.service
+            )
+        if response.get("op") == "shutdown" and response.get("ok"):
+            self._shutdown.set()
+        return response
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One TCP client: requests in, responses out, in order."""
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.respond_line(line.decode())
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Listen until a ``shutdown`` op (or cancellation)."""
+        server = await asyncio.start_server(self.handle_connection, host, port)
+        bound = server.sockets[0].getsockname()
+        print(f"listening on {bound[0]}:{bound[1]}", file=sys.stderr, flush=True)
+        async with server:
+            await self._shutdown.wait()
+
+    async def serve_stdio(
+        self, stdin: TextIO | None = None, stdout: TextIO | None = None
+    ) -> None:
+        """The pipe transport: one request line in, one response line out."""
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        loop = asyncio.get_running_loop()
+        while not self._shutdown.is_set():
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            response = await self.respond_line(line)
+            stdout.write(json.dumps(response) + "\n")
+            stdout.flush()
+
+
+def serve_stdio(service: PropagationService) -> None:
+    """Run the stdio server to completion (the CLI's default transport)."""
+    asyncio.run(PropagationServer(service).serve_stdio())
+
+
+def serve_tcp(service: PropagationService, host: str, port: int) -> None:
+    """Run the TCP server until shutdown (the CLI's ``--port`` transport)."""
+    asyncio.run(PropagationServer(service).serve_tcp(host, port))

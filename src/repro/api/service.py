@@ -1,0 +1,355 @@
+"""The unified propagation service: one entry point for every query class.
+
+:class:`PropagationService` is the layer the CLI, the server and library
+callers all talk to.  It owns
+
+- a :class:`~repro.api.Workspace` (named schemas / Sigmas / views,
+  registered once),
+- a pool of warm :class:`~repro.propagation.engine.PropagationEngine`
+  instances, one per engine-settings combination (``use_cache``,
+  ``max_instantiations``, ``assume_infinite``), all sharing the service's
+  cache configuration (``cache_dir`` / ``cache_size`` / ``jobs`` /
+  ``pool``), and
+- *capability routing*: each request is classified by the shape of its
+  inputs and dispatched to the procedure family that decides it.
+
+Routing table (mirrored in ``docs/api.md``; the route label is returned
+in every response)::
+
+    check     assume_infinite              -> "ptime-chase"  (single-chase, incomplete)
+              finite-domain attribute      -> "general"      (coNP enumeration)
+              FD-only Sigma over a plain
+              projection view              -> "closure"      (attribute_closure, no chase)
+              union view, > 1 branch       -> "spcu"         (k^2 branch pairs)
+              otherwise                    -> "spc"
+    cover     union view, > 1 branch       -> "spcu"         (PropCFD_SPCU)
+              otherwise                    -> "spc"          (PropCFD_SPC / RBR)
+    empty     always                       -> "emptiness"    (per-branch chase)
+
+The labels classify which family *answers a miss*; hits short-circuit in
+the engine's memo tiers regardless of route, and the per-request
+:class:`~repro.api.requests.RequestStats` delta records what actually
+ran.  Emptiness verdicts are memoized service-side (they bypass the
+engine), keyed structurally like the engine's own memo keys.
+
+Errors are normalized at this boundary: anything a procedure raises
+reaches the caller as an :class:`~repro.api.ApiError` from the stable
+taxonomy in :mod:`repro.api.errors`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..algebra.spcu import SPCUView
+from ..core.cfd import CFD
+from ..core.fd import FD
+from ..propagation.cache import LRUCache
+from ..propagation.check import DependencyLike, ViewLike, _as_cfds, _branches
+from ..propagation.emptiness import nonempty_witness
+from ..propagation.engine import (
+    EngineStats,
+    PropagationEngine,
+    _all_wildcard,
+    _FastPathContext,
+    _view_fingerprint,
+)
+from .errors import ApiError, api_errors
+from .requests import (
+    BatchRequest,
+    BatchResult,
+    CheckRequest,
+    CoverRequest,
+    CoverResult,
+    EmptinessRequest,
+    EmptinessResult,
+    Request,
+    RequestStats,
+    Response,
+    Verdict,
+)
+from .workspace import Workspace
+
+__all__ = ["PropagationService", "default_service"]
+
+
+@dataclass(frozen=True)
+class _Effective:
+    """A request's engine settings after falling back to service defaults."""
+
+    use_cache: bool
+    max_instantiations: int | None
+    assume_infinite: bool
+
+
+def _snapshot(stats: EngineStats) -> tuple:
+    return (
+        stats.check_queries + stats.cover_queries,
+        stats.chase_invocations,
+        stats.verdict_hits + stats.cover_hits,
+        stats.persistent_hits,
+        stats.closure_fast_path,
+        stats.parallel_tasks,
+    )
+
+
+class PropagationService:
+    """Routes typed propagation requests over warm, cached engines."""
+
+    def __init__(
+        self,
+        workspace: Workspace | None = None,
+        *,
+        use_cache: bool = True,
+        max_instantiations: int | None = None,
+        assume_infinite: bool = False,
+        cache_dir: str | None = None,
+        cache_size: int | None = None,
+        jobs: int = 1,
+        pool: str = "thread",
+    ) -> None:
+        self.workspace = workspace if workspace is not None else Workspace()
+        self._defaults = _Effective(use_cache, max_instantiations, assume_infinite)
+        self._engine_opts = dict(
+            cache_dir=cache_dir, cache_size=cache_size, jobs=jobs, pool=pool
+        )
+        self._engines: dict[_Effective, PropagationEngine] = {}
+        # Service-side memos, LRU-bounded by the same knob as the engine
+        # tiers: emptiness verdicts (they bypass the engine) and the
+        # route-classification capabilities per (Sigma, view).
+        self._empty_memo = LRUCache(capacity=cache_size)
+        self._route_memo = LRUCache(capacity=cache_size)
+
+    # ------------------------------------------------------------------
+    # Engine pool.
+    # ------------------------------------------------------------------
+
+    def _effective(self, request) -> _Effective:
+        d = self._defaults
+        return _Effective(
+            d.use_cache if request.use_cache is None else request.use_cache,
+            d.max_instantiations
+            if request.max_instantiations is None
+            else request.max_instantiations,
+            d.assume_infinite
+            if request.assume_infinite is None
+            else request.assume_infinite,
+        )
+
+    def _engine(self, settings: _Effective) -> PropagationEngine:
+        engine = self._engines.get(settings)
+        if engine is None:
+            engine = PropagationEngine(
+                use_cache=settings.use_cache,
+                max_instantiations=settings.max_instantiations,
+                assume_infinite=settings.assume_infinite,
+                **self._engine_opts,
+            )
+            self._engines[settings] = engine
+        return engine
+
+    @property
+    def engine(self) -> PropagationEngine:
+        """The default-settings engine (created on first use)."""
+        return self._engine(self._defaults)
+
+    @property
+    def stats(self) -> EngineStats:
+        """The default-settings engine's counters (the CLI's ``--stats``)."""
+        return self.engine.stats
+
+    def close(self) -> None:
+        """Close every pooled engine (stores, worker pools); idempotent."""
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+
+    def __enter__(self) -> "PropagationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Capability routing.
+    # ------------------------------------------------------------------
+
+    def route_check(
+        self,
+        sigma: Iterable[DependencyLike],
+        view: ViewLike,
+        targets: Iterable[DependencyLike],
+        settings: _Effective,
+    ) -> str:
+        """Classify which procedure family decides this check request.
+
+        The (Sigma, view) capabilities — finite domains present, closure
+        fast path applicable — are memoized structurally, so a warm
+        server classifies repeated requests without rebuilding the fast
+        path context or rescanning Sigma.
+        """
+        branches = _branches(view)  # validates the view language
+        if settings.assume_infinite:
+            return "ptime-chase"
+        sigma_cfds = _as_cfds(sigma)
+        memo_key = (frozenset(sigma_cfds), _view_fingerprint(view))
+        capabilities = self._route_memo.get(memo_key)
+        if capabilities is None:
+            capabilities = (
+                any(b.has_finite_domain_attribute() for b in branches),
+                _FastPathContext.of(view, sigma_cfds) is not None,
+            )
+            self._route_memo.put(memo_key, capabilities)
+        has_finite_domain, fast_path_capable = capabilities
+        if has_finite_domain:
+            return "general"
+        if settings.use_cache and fast_path_capable:
+            targets = list(targets)
+            if targets and all(
+                isinstance(phi, FD)
+                or (isinstance(phi, CFD) and not phi.is_equality and _all_wildcard(phi))
+                for phi in targets
+            ):
+                return "closure"
+        if isinstance(view, SPCUView) and len(view.branches) > 1:
+            return "spcu"
+        return "spc"
+
+    @staticmethod
+    def route_cover(view: ViewLike) -> str:
+        _branches(view)
+        if isinstance(view, SPCUView) and len(view.branches) > 1:
+            return "spcu"
+        return "spc"
+
+    # ------------------------------------------------------------------
+    # Request dispatch.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: Request) -> Response:
+        """Answer any request type (the single front door)."""
+        if isinstance(request, CheckRequest):
+            return self.check(request)
+        if isinstance(request, CoverRequest):
+            return self.cover(request)
+        if isinstance(request, EmptinessRequest):
+            return self.emptiness(request)
+        if isinstance(request, BatchRequest):
+            return self.batch(request)
+        raise ApiError(
+            "bad-request", f"unknown request type {type(request).__name__}"
+        )
+
+    def check(self, request: CheckRequest) -> Verdict:
+        with api_errors():
+            view = self.workspace.view(request.view)
+            sigma = self.workspace.sigma(request.sigma)
+            targets = list(request.targets)
+            settings = self._effective(request)
+            route = self.route_check(sigma, view, targets, settings)
+            engine = self._engine(settings)
+            before, started = _snapshot(engine.stats), time.perf_counter()
+            verdicts = engine.check_many(sigma, view, targets)
+            witnesses = None
+            if request.witness:
+                witnesses = [
+                    None
+                    if verdict
+                    else engine.find_counterexample(sigma, view, phi).database
+                    for phi, verdict in zip(targets, verdicts)
+                ]
+            stats = self._delta(engine, before, started)
+            return Verdict(verdicts, route, stats, witnesses)
+
+    def cover(self, request: CoverRequest) -> CoverResult:
+        with api_errors():
+            view = self.workspace.view(request.view)
+            sigma = self.workspace.sigma(request.sigma)
+            settings = self._effective(request)
+            route = self.route_cover(view)
+            engine = self._engine(settings)
+            before, started = _snapshot(engine.stats), time.perf_counter()
+            cover = engine.cover(sigma, view)
+            return CoverResult(cover, route, self._delta(engine, before, started))
+
+    def emptiness(self, request: EmptinessRequest) -> EmptinessResult:
+        with api_errors():
+            view = self.workspace.view(request.view)
+            sigma = self.workspace.sigma(request.sigma)
+            settings = self._effective(request)
+            started = time.perf_counter()
+            _branches(view)  # same validation as every other route
+            memo_key = None
+            line = None
+            if settings.use_cache:
+                memo_key = (
+                    frozenset(_as_cfds(sigma)),
+                    _view_fingerprint(view),
+                    settings.max_instantiations,
+                )
+                line = self._empty_memo.get(memo_key)
+            if line is None:
+                witness = nonempty_witness(
+                    sigma, view, max_instantiations=settings.max_instantiations
+                )
+                line = (witness is None, witness)
+                if memo_key is not None:
+                    self._empty_memo.put(memo_key, line)
+            empty, witness = line
+            stats = RequestStats(
+                elapsed_ms=(time.perf_counter() - started) * 1000.0, queries=1
+            )
+            return EmptinessResult(
+                empty, "emptiness", stats, witness if request.witness else None
+            )
+
+    def batch(self, request: BatchRequest) -> BatchResult:
+        started = time.perf_counter()
+        results = [self.submit(sub) for sub in request.requests]
+        stats = RequestStats(
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            queries=sum(r.stats.queries for r in results),
+            chases=sum(r.stats.chases for r in results),
+            memo_hits=sum(r.stats.memo_hits for r in results),
+            persistent_hits=sum(r.stats.persistent_hits for r in results),
+            closure_fast_path=sum(r.stats.closure_fast_path for r in results),
+            parallel_tasks=sum(r.stats.parallel_tasks for r in results),
+        )
+        return BatchResult(results, stats)
+
+    @staticmethod
+    def _delta(
+        engine: PropagationEngine, before: tuple, started: float
+    ) -> RequestStats:
+        after = _snapshot(engine.stats)
+        queries, chases, memo, persistent, closure, tasks = (
+            now - then for now, then in zip(after, before)
+        )
+        return RequestStats(
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+            queries=queries,
+            chases=chases,
+            memo_hits=memo,
+            persistent_hits=persistent,
+            closure_fast_path=closure,
+            parallel_tasks=tasks,
+        )
+
+
+_DEFAULT_SERVICE: PropagationService | None = None
+
+
+def default_service() -> PropagationService:
+    """The process-wide service behind the deprecated free functions.
+
+    Lazily created with default settings (in-memory caches only); the
+    deprecation shims in :mod:`repro.propagation` send *uncached*
+    requests through it, preserving the plain procedures' behavior
+    exactly while funneling every entry point through one API.
+    """
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = PropagationService()
+    return _DEFAULT_SERVICE

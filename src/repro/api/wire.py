@@ -1,0 +1,205 @@
+"""The NDJSON wire protocol: request/response documents <-> typed objects.
+
+One request per line, one response per line, in order.  Requests are
+objects with an ``op`` and an optional client-chosen ``id`` echoed back
+verbatim::
+
+    {"id": 1, "op": "register", "kind": "schema", "name": "s", "doc": {...}}
+    {"id": 2, "op": "register", "kind": "sigma",  "name": "deps", "doc": [...]}
+    {"id": 3, "op": "register", "kind": "view",   "name": "V", "doc": {...},
+     "schema": "s"}
+    {"id": 4, "op": "check", "view": "V", "sigma": "deps", "phis": [...],
+     "witness": false}
+    {"id": 5, "op": "cover", "view": "V", "sigma": "deps"}
+    {"id": 6, "op": "empty", "view": "V", "sigma": "deps"}
+    {"id": 7, "op": "batch", "requests": [{"op": "check", ...}, ...]}
+    {"id": 8, "op": "stats"}
+    {"id": 9, "op": "ping"}
+    {"id": 10, "op": "shutdown"}
+
+``view`` is a registered name or an inline view document (parsed against
+``"schema"``, default ``"default"``); ``sigma`` is a registered name, an
+inline dependency list, or absent for the ``"default"`` registration.
+``phis`` entries are :mod:`repro.io` dependency documents.  The query ops
+accept the per-request knobs ``use_cache`` / ``max_instantiations`` /
+``assume_infinite``.
+
+Responses::
+
+    {"id": 4, "ok": true,  "op": "check",
+     "result": {"propagated": [...], "route": "spc", "stats": {...}}}
+    {"id": 4, "ok": false, "op": "check",
+     "error": {"kind": "format", "message": "..."}}
+
+``stats`` in every query result is the per-request engine delta
+(:class:`~repro.api.requests.RequestStats`); the error ``kind`` comes
+from the stable taxonomy of :mod:`repro.api.errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from .. import io as repro_io
+from .errors import ApiError, to_api_error
+from .requests import (
+    BatchRequest,
+    BatchResult,
+    CheckRequest,
+    CoverRequest,
+    CoverResult,
+    EmptinessRequest,
+    EmptinessResult,
+    Request,
+    Response,
+    Verdict,
+)
+from .service import PropagationService
+
+__all__ = ["handle_request", "request_from_json", "response_to_json"]
+
+_QUERY_OPS = {"check", "cover", "empty", "batch"}
+_SETTING_FIELDS = ("use_cache", "max_instantiations", "assume_infinite")
+
+
+def _settings(doc: Mapping[str, Any]) -> dict:
+    return {name: doc.get(name) for name in _SETTING_FIELDS}
+
+
+def _view_ref(doc: Mapping[str, Any], service: PropagationService):
+    ref = doc.get("view", "default")
+    if isinstance(ref, Mapping):
+        schema = service.workspace.schema(doc.get("schema", "default"))
+        return repro_io.view_from_json(ref, schema)
+    return ref
+
+
+def _sigma_ref(doc: Mapping[str, Any]):
+    ref = doc.get("sigma")
+    if isinstance(ref, (list, tuple)):
+        return repro_io.dependencies_from_json(ref)
+    return ref
+
+
+def request_from_json(
+    doc: Mapping[str, Any], service: PropagationService
+) -> Request:
+    """Parse one query document into its typed request."""
+    op = doc.get("op")
+    if op == "check":
+        return CheckRequest(
+            view=_view_ref(doc, service),
+            targets=repro_io.dependencies_from_json(doc.get("phis", [])),
+            sigma=_sigma_ref(doc),
+            witness=bool(doc.get("witness", False)),
+            **_settings(doc),
+        )
+    if op == "cover":
+        return CoverRequest(
+            view=_view_ref(doc, service), sigma=_sigma_ref(doc), **_settings(doc)
+        )
+    if op == "empty":
+        return EmptinessRequest(
+            view=_view_ref(doc, service),
+            sigma=_sigma_ref(doc),
+            witness=bool(doc.get("witness", False)),
+            **_settings(doc),
+        )
+    if op == "batch":
+        return BatchRequest(
+            [request_from_json(sub, service) for sub in doc.get("requests", [])]
+        )
+    raise ApiError("bad-request", f"unknown op {op!r}")
+
+
+def response_to_json(response: Response) -> dict:
+    """Serialize a typed response into its ``result`` document."""
+    if isinstance(response, Verdict):
+        out: dict[str, Any] = {
+            "propagated": list(response.propagated),
+            "all_propagated": response.all_propagated,
+            "route": response.route,
+            "stats": response.stats.to_json(),
+        }
+        if response.witnesses is not None:
+            out["witnesses"] = [
+                None if w is None else repro_io.instance_to_json(w)
+                for w in response.witnesses
+            ]
+        return out
+    if isinstance(response, CoverResult):
+        return {
+            "cover": repro_io.dependencies_to_json(response.cover),
+            "route": response.route,
+            "stats": response.stats.to_json(),
+        }
+    if isinstance(response, EmptinessResult):
+        out = {
+            "empty": response.empty,
+            "route": response.route,
+            "stats": response.stats.to_json(),
+        }
+        if response.witness is not None:
+            out["witness"] = repro_io.instance_to_json(response.witness)
+        return out
+    if isinstance(response, BatchResult):
+        return {
+            "results": [response_to_json(sub) for sub in response.results],
+            "stats": response.stats.to_json(),
+        }
+    raise ApiError("internal", f"unserializable response {type(response).__name__}")
+
+
+def _handle_register(doc: Mapping[str, Any], service: PropagationService) -> dict:
+    kind, name = doc.get("kind"), doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise ApiError("bad-request", "register needs a non-empty string 'name'")
+    if kind == "schema":
+        service.workspace.add_schema(name, doc["doc"])
+    elif kind == "sigma":
+        service.workspace.add_sigma(name, doc["doc"])
+    elif kind == "view":
+        service.workspace.add_view(name, doc["doc"], doc.get("schema", "default"))
+    else:
+        raise ApiError(
+            "bad-request",
+            f"unknown register kind {kind!r}; kinds are schema, sigma, view",
+        )
+    return {"registered": {"kind": kind, "name": name}}
+
+
+def handle_request(doc: Any, service: PropagationService) -> dict:
+    """Answer one wire document; never raises (errors become documents)."""
+    envelope: dict[str, Any] = {}
+    if isinstance(doc, Mapping) and "id" in doc:
+        envelope["id"] = doc["id"]
+    try:
+        if not isinstance(doc, Mapping):
+            raise ApiError("bad-request", "request must be a JSON object")
+        op = doc.get("op")
+        envelope["op"] = op if isinstance(op, str) else None
+        if op in _QUERY_OPS:
+            result = response_to_json(service.submit(request_from_json(doc, service)))
+        elif op == "register":
+            result = _handle_register(doc, service)
+        elif op == "stats":
+            result = {
+                "engine": repr(service.stats),
+                "counters": {
+                    name: value
+                    for name, value in asdict(service.stats).items()
+                    if not isinstance(value, dict)
+                },
+                "workspace": service.workspace.names(),
+            }
+        elif op == "ping":
+            result = {"pong": True}
+        elif op == "shutdown":
+            result = {"stopping": True}
+        else:
+            raise ApiError("bad-request", f"unknown op {op!r}")
+    except Exception as exc:  # noqa: BLE001 - the wire boundary
+        error = to_api_error(exc)
+        return {**envelope, "ok": False, "error": error.to_json()}
+    return {**envelope, "ok": True, "result": result}

@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface: a thin client of the propagation service.
 
 Drives the library from JSON files (formats in :mod:`repro.io`):
 
@@ -6,11 +6,20 @@ Drives the library from JSON files (formats in :mod:`repro.io`):
     repro propagate-batch --schema s.json --sigma deps.json --view v.json --phi targets.json
     repro cover   --schema s.json --sigma deps.json --view v.json [--out cover.json]
     repro empty   --schema s.json --sigma deps.json --view v.json
+    repro serve   [--schema ... --sigma ... --view ...] [--port N]
     repro validate --schema s.json --rules deps.json --data db.json
     repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
 
-``propagate-batch`` and ``cover`` answer through the caching
-:class:`~repro.propagation.engine.PropagationEngine`:
+Every analysis subcommand routes through one
+:class:`repro.api.PropagationService`: the files load into a
+:class:`repro.api.Workspace` once, a typed request is submitted, and the
+service capability-routes it to the right procedure over the warm cached
+engine.  ``repro serve`` keeps that service alive across requests — an
+asyncio front end speaking line-delimited JSON on stdin (default) or TCP
+(``--port``), with per-request stats in every response
+(:mod:`repro.api.server`).
+
+Engine knobs (shared by check / propagate-batch / cover / empty / serve):
 
 - ``--no-cache`` gives the uncached ablation baseline;
 - ``--stats`` prints the engine's cache counters to stderr;
@@ -20,9 +29,11 @@ Drives the library from JSON files (formats in :mod:`repro.io`):
 - ``--jobs N`` fans cache-miss queries out across N workers
   (``--pool thread|process`` picks the executor).
 
-Exit codes: 0 on a "positive" analysis result (propagated / nonempty /
-clean), 1 on the negative one, 2 on usage or format errors — so shell
-pipelines can branch on the verdict.
+Exit codes follow the stable taxonomy of :mod:`repro.api.errors`:
+0 on a "positive" analysis result (propagated / nonempty / clean), 1 on
+the negative one, 2 for format / not-found / bad-request errors, 3 for
+unsupported view languages, 4 for internal failures — so shell pipelines
+can branch on the verdict and on the failure class.
 """
 
 from __future__ import annotations
@@ -33,20 +44,36 @@ import sys
 from typing import Sequence
 
 from . import io as repro_io
-from .cleaning import detect, repair, summarize
-from .propagation import (
-    PropagationEngine,
-    find_counterexample,
-    propagates,
-    view_is_empty,
+from .api import (
+    CheckRequest,
+    CoverRequest,
+    EXIT_NEGATIVE,
+    EXIT_OK,
+    EmptinessRequest,
+    PropagationService,
+    Workspace,
+    serve_stdio,
+    serve_tcp,
+    to_api_error,
 )
+from .cleaning import detect, repair, summarize
 
 
-def _load_common(args):
-    schema = repro_io.schema_from_json(repro_io.load_json(args.schema))
-    sigma = repro_io.dependencies_from_json(repro_io.load_json(args.sigma))
-    view = repro_io.view_from_json(repro_io.load_json(args.view), schema)
-    return schema, sigma, view
+def _service(args) -> PropagationService:
+    """The per-invocation service over the files' workspace."""
+    workspace = Workspace.from_files(
+        schema=getattr(args, "schema", None),
+        sigma=getattr(args, "sigma", None),
+        view=getattr(args, "view", None),
+    )
+    return PropagationService(
+        workspace,
+        use_cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+        cache_size=getattr(args, "cache_size", None),
+        jobs=getattr(args, "jobs", 1),
+        pool=getattr(args, "pool", "thread"),
+    )
 
 
 def _load_targets(path):
@@ -56,68 +83,77 @@ def _load_targets(path):
     return [repro_io.dependency_from_json(item) for item in targets]
 
 
+def _print_stats(service: PropagationService, args) -> None:
+    if getattr(args, "stats", False):
+        print(f"# {service.stats}", file=sys.stderr)
+
+
 def _cmd_check(args) -> int:
-    _, sigma, view = _load_common(args)
-    all_propagated = True
-    for phi in _load_targets(args.phi):
-        verdict = propagates(sigma, view, phi)
-        all_propagated &= verdict
-        print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
-        if not verdict and args.witness:
-            witness = find_counterexample(sigma, view, phi)
-            assert witness is not None
-            print(json.dumps(repro_io.instance_to_json(witness.database), indent=2))
-    return 0 if all_propagated else 1
-
-
-def _build_engine(args) -> PropagationEngine:
-    """The engine configured by the shared cache/parallelism options."""
-    return PropagationEngine(
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        cache_size=args.cache_size,
-        jobs=args.jobs,
-        pool=args.pool,
-    )
+    phis = _load_targets(args.phi)
+    with _service(args) as service:
+        result = service.check(CheckRequest(targets=phis, witness=args.witness))
+        for index, (phi, verdict) in enumerate(zip(phis, result.propagated)):
+            print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
+            if not verdict and result.witnesses is not None:
+                witness = result.witnesses[index]
+                print(json.dumps(repro_io.instance_to_json(witness), indent=2))
+        _print_stats(service, args)
+    return EXIT_OK if result.all_propagated else EXIT_NEGATIVE
 
 
 def _cmd_propagate_batch(args) -> int:
-    _, sigma, view = _load_common(args)
     phis = _load_targets(args.phi)
-    with _build_engine(args) as engine:
-        verdicts = engine.check_many(sigma, view, phis)
-        for phi, verdict in zip(phis, verdicts):
+    with _service(args) as service:
+        result = service.check(CheckRequest(targets=phis))
+        for phi, verdict in zip(phis, result.propagated):
             print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
-        propagated = sum(verdicts)
-        print(f"# {propagated}/{len(verdicts)} propagated", file=sys.stderr)
-        if args.stats:
-            print(f"# {engine.stats}", file=sys.stderr)
+        propagated = sum(result.propagated)
+        print(f"# {propagated}/{len(result.propagated)} propagated", file=sys.stderr)
+        _print_stats(service, args)
     if args.out:
-        cover = [phi for phi, verdict in zip(phis, verdicts) if verdict]
-        repro_io.dump_json(repro_io.dependencies_to_json(cover), args.out)
-        print(f"# wrote {len(cover)} propagated CFDs to {args.out}", file=sys.stderr)
-    return 0 if propagated == len(verdicts) else 1
+        survivors = [
+            phi for phi, verdict in zip(phis, result.propagated) if verdict
+        ]
+        repro_io.dump_json(repro_io.dependencies_to_json(survivors), args.out)
+        print(
+            f"# wrote {len(survivors)} propagated CFDs to {args.out}",
+            file=sys.stderr,
+        )
+    return EXIT_OK if result.all_propagated else EXIT_NEGATIVE
 
 
 def _cmd_cover(args) -> int:
-    _, sigma, view = _load_common(args)
-    with _build_engine(args) as engine:
-        cover = engine.cover(sigma, view)
-        if args.stats:
-            print(f"# {engine.stats}", file=sys.stderr)
-    for phi in cover:
+    with _service(args) as service:
+        result = service.cover(CoverRequest())
+        _print_stats(service, args)
+    for phi in result.cover:
         print(phi)
     if args.out:
-        repro_io.dump_json(repro_io.dependencies_to_json(cover), args.out)
-        print(f"# wrote {len(cover)} CFDs to {args.out}", file=sys.stderr)
-    return 0
+        repro_io.dump_json(repro_io.dependencies_to_json(result.cover), args.out)
+        print(f"# wrote {len(result.cover)} CFDs to {args.out}", file=sys.stderr)
+    return EXIT_OK
 
 
 def _cmd_empty(args) -> int:
-    _, sigma, view = _load_common(args)
-    empty = view_is_empty(sigma, view)
-    print("EMPTY" if empty else "NONEMPTY")
-    return 1 if empty else 0
+    with _service(args) as service:
+        result = service.emptiness(EmptinessRequest())
+        _print_stats(service, args)
+    print("EMPTY" if result.empty else "NONEMPTY")
+    return EXIT_NEGATIVE if result.empty else EXIT_OK
+
+
+def _cmd_serve(args) -> int:
+    service = _service(args)
+    try:
+        if args.port is not None:
+            serve_tcp(service, args.host, args.port)
+        else:
+            serve_stdio(service)
+    except KeyboardInterrupt:  # pragma: no cover - interactive escape
+        pass
+    finally:
+        service.close()
+    return EXIT_OK
 
 
 def _cmd_validate(args) -> int:
@@ -127,13 +163,13 @@ def _cmd_validate(args) -> int:
     violations = detect(rules, database)
     if not violations:
         print("clean: no violations")
-        return 0
+        return EXIT_OK
     for summary in summarize(violations):
         print(
             f"{summary.total} violation(s), {summary.dirty_tuples} dirty "
             f"tuple(s): {summary.rule}"
         )
-    return 1
+    return EXIT_NEGATIVE
 
 
 def _cmd_repair(args) -> int:
@@ -150,7 +186,7 @@ def _cmd_repair(args) -> int:
     if args.out:
         repro_io.dump_json(repro_io.instance_to_json(fixed), args.out)
         print(f"# wrote repaired instance to {args.out}", file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,10 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("--schema", required=True, help="schema JSON file")
-        p.add_argument("--sigma", required=True, help="source dependencies JSON")
-        p.add_argument("--view", required=True, help="view JSON file")
+    def common(p, required=True):
+        p.add_argument(
+            "--schema", required=required, help="schema JSON file"
+        )
+        p.add_argument(
+            "--sigma", required=required, help="source dependencies JSON"
+        )
+        p.add_argument("--view", required=required, help="view JSON file")
 
     def engine_options(p):
         p.add_argument(
@@ -211,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--witness", action="store_true", help="print a counterexample database"
     )
+    engine_options(check)
     check.set_defaults(func=_cmd_check)
 
     batch = sub.add_parser(
@@ -235,7 +276,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     empty = sub.add_parser("empty", help="is the view always empty?")
     common(empty)
+    engine_options(empty)
     empty.set_defaults(func=_cmd_empty)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived NDJSON server over one warm service "
+        "(stdin by default, TCP with --port)",
+    )
+    common(serve, required=False)
+    engine_options(serve)
+    serve.add_argument(
+        "--port",
+        type=int,
+        help="listen on TCP instead of stdin (0 picks an ephemeral port, "
+        "announced on stderr)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind address (default loopback)"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser("validate", help="detect CFD violations in data")
     validate.add_argument("--schema", required=True)
@@ -253,14 +313,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every failure is normalized through the :class:`repro.api.ApiError`
+    taxonomy: one ``error[kind]: message`` line on stderr and the kind's
+    stable exit code (see :data:`repro.api.EXIT_CODES`).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (repro_io.FormatError, FileNotFoundError, KeyError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    except Exception as exc:  # noqa: BLE001 - the process boundary
+        error = to_api_error(exc)
+        print(f"error[{error.kind}]: {error.message}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

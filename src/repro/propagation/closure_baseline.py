@@ -69,3 +69,42 @@ def exponential_family_schema(n: int) -> DatabaseSchema:
     """The Example 4.1 schema wrapped as a one-relation database schema."""
     schema, _, _ = exponential_family(n)
     return DatabaseSchema([schema])
+
+
+def example_41_workload(n: int, defeat_fast_path: bool = False):
+    """The Example 4.1 *batch* workload the acceptance experiments share.
+
+    The :func:`exponential_family` sources wrapped as a projection view
+    ``V`` plus the ``2^n`` eta-combination queries ``eta_1...eta_n -> D``
+    (one per ``Ai``/``Bi`` mask) — the workload the server smoke tests
+    and the cache/server benchmarks all replay, defined once so they
+    provably replay the *same* batch.
+
+    ``defeat_fast_path=True`` spikes Sigma with a CFD so the engine's
+    closure fast path does not trivialize chase-count assertions (the
+    cold leg must actually chase for "warm = zero chases" to mean
+    anything).
+
+    Returns ``(view, sigma, queries)``; callers needing the wire format
+    serialize with :mod:`repro.io`.
+    """
+    from ..algebra.spc import RelationAtom, SPCView
+    from ..core.cfd import CFD
+
+    schema, fds, projection = exponential_family(n)
+    view = SPCView(
+        "V",
+        DatabaseSchema([schema]),
+        [RelationAtom("R", {attr: attr for attr in schema.attribute_names})],
+        projection=projection,
+    )
+    sigma: list = list(fds)
+    if defeat_fast_path:
+        sigma.append(CFD("R", {"A1": "1"}, {"D": "9"}))
+    queries = []
+    for mask in range(2**n):
+        lhs = tuple(
+            (f"A{i + 1}" if mask & (1 << i) else f"B{i + 1}") for i in range(n)
+        )
+        queries.append(FD("V", lhs, ("D",)))
+    return view, sigma, queries

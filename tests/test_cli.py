@@ -253,10 +253,83 @@ class TestValidateAndRepair:
 
 
 class TestErrors:
+    """Exit codes follow the stable ApiError taxonomy (docs/api.md)."""
+
     def test_missing_file_exit_two(self, workspace, capsys):
         code = main(
             ["empty", "--schema", "/nonexistent.json", "--sigma",
              workspace["sigma"], "--view", workspace["view"]]
         )
         assert code == 2
-        assert "error" in capsys.readouterr().err
+        assert "error[not-found]" in capsys.readouterr().err
+
+    def test_malformed_document_exit_two_with_format_kind(
+        self, workspace, capsys
+    ):
+        bad_sigma = _write(
+            workspace["dir"], "bad.json", [{"kind": "who-knows"}]
+        )
+        code = main(
+            ["empty", "--schema", workspace["schema"], "--sigma", bad_sigma,
+             "--view", workspace["view"]]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error[format]" in err
+        assert len(err.strip().splitlines()) == 1  # one-line message
+
+    def test_unprojected_target_exit_two_with_bad_request_kind(
+        self, workspace, capsys
+    ):
+        phi = _write(
+            workspace["dir"],
+            "phi.json",
+            {"kind": "cfd", "relation": "R", "lhs": {"zip": "_"},
+             "rhs": {"nonexistent": "_"}},
+        )
+        code = main(
+            ["check", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi]
+        )
+        assert code == 2
+        assert "error[bad-request]" in capsys.readouterr().err
+
+    def test_every_analysis_subcommand_reports_one_line_errors(
+        self, workspace, capsys
+    ):
+        for command, extra in [
+            ("check", ["--phi", workspace["sigma"]]),
+            ("propagate-batch", ["--phi", workspace["sigma"]]),
+            ("cover", []),
+            ("empty", []),
+        ]:
+            code = main(
+                [command, "--schema", "/nonexistent.json", "--sigma",
+                 workspace["sigma"], "--view", workspace["view"], *extra]
+            )
+            assert code == 2, command
+            err = capsys.readouterr().err
+            assert err.startswith("error[not-found]"), (command, err)
+            assert len(err.strip().splitlines()) == 1, command
+
+
+class TestServeParser:
+    def test_serve_subcommand_exists_with_optional_files(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.schema is None and args.port == 0
+
+    def test_no_direct_procedure_imports_left_in_cli(self):
+        """cli.py is a thin client: every query routes via repro.api."""
+        import inspect
+
+        import repro.cli as cli
+
+        source = inspect.getsource(cli)
+        assert "from .propagation" not in source
+        assert "propagates(" not in source
+        assert "find_counterexample" not in source
+        assert "view_is_empty" not in source
+        assert "PropagationEngine" not in source

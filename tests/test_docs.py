@@ -18,14 +18,15 @@ DOC_PAGES = sorted(DOCS_DIR.glob("*.md"))
 
 def test_docs_directory_has_the_expected_pages():
     names = {page.name for page in DOC_PAGES}
-    assert {"architecture.md", "caching.md", "paper-map.md"} <= names
+    assert {"api.md", "architecture.md", "caching.md", "paper-map.md"} <= names
 
 
 def test_docs_have_executable_examples():
-    """At least the architecture and caching pages carry live code."""
+    """At least the architecture, caching and api pages carry live code."""
     by_name = {page.name: page.read_text() for page in DOC_PAGES}
     assert len(_python_blocks(by_name["architecture.md"])) >= 1
     assert len(_python_blocks(by_name["caching.md"])) >= 3
+    assert len(_python_blocks(by_name["api.md"])) >= 3
 
 
 @pytest.mark.parametrize("page", DOC_PAGES, ids=lambda p: p.name)
