@@ -1,0 +1,394 @@
+"""Incremental-propagation benchmark: delta invalidation + sharded chase.
+
+The acceptance experiment for PR 4's provenance-scoped keyspace
+(``docs/incremental.md``): a *multi-relation* workspace is warmed, Sigma
+is then edited on **one** relation, and the queries over every other
+relation must keep answering with **zero chases** — from the in-memory
+tiers on a warm service (the ``delta_sigma`` leg) and from the sqlite
+store across real CLI processes (the two-process leg; nothing is shared
+but the cache directory).  Under the pre-PR 4 whole-Sigma keys both legs
+were full cold starts.
+
+Series recorded per ``n`` (the Example 4.1 parameter; each relation
+carries its own ``2^n``-query eta batch):
+
+- ``cold process``        — fresh store, original Sigma: chases > 0.
+- ``warm after delta``    — second process, Sigma edited on R1, querying
+                            the *other* relation: chases = 0, persistent
+                            hits > 0.
+- ``edited relation``     — third process querying the edited relation:
+                            recomputes (no stale reuse).
+- ``delta_sigma (svc)``   — in-process service: warm, diff, re-ask — the
+                            unaffected batch answers purely from memory.
+- ``sharded k^2``         — the union-view check with ``shards = 1`` vs
+                            the ``REPRO_SHARDS`` (default 4) plan:
+                            identical verdicts, shard tasks dispatched.
+
+Run ``python benchmarks/bench_incremental.py --smoke`` for the CI smoke
+mode: the delta and sharding assertions on a tiny grid, no pytest
+required (exit 0 = pass).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro import io as repro_io
+from repro.algebra.spc import RelationAtom, SPCView
+from repro.algebra.spcu import SPCUView
+from repro.api import (
+    CheckRequest,
+    PropagationService,
+    UpdateSigmaRequest,
+    Workspace,
+)
+from repro.core.cfd import CFD
+from repro.core.fd import FD
+from repro.core.schema import DatabaseSchema, RelationSchema
+from repro.propagation.closure_baseline import exponential_family
+from repro.propagation.engine import PropagationEngine
+
+SIZES = [3, 4]
+RELATIONS = ("R1", "R2")
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+SHARDS = int(os.environ.get("REPRO_SHARDS", "4") or "4")
+
+
+def _workload(n: int):
+    """Example 4.1 cloned onto each relation of a multi-relation schema.
+
+    Returns ``(schema, sigma, views, batches)`` with one projection view
+    and one ``2^n``-query eta batch per relation; Sigma carries each
+    relation's FDs plus a constant CFD (so nothing trivializes into the
+    closure fast path).
+    """
+    base, fds, projection = exponential_family(n)
+    relations = [RelationSchema(rel, base.attribute_names) for rel in RELATIONS]
+    schema = DatabaseSchema(relations)
+    sigma: list = []
+    views: dict[str, SPCView] = {}
+    batches: dict[str, list[FD]] = {}
+    for rel in RELATIONS:
+        sigma.extend(FD(rel, fd.lhs, fd.rhs) for fd in fds)
+        sigma.append(CFD(rel, {"A1": "1"}, {"D": "9"}))
+        views[rel] = SPCView(
+            f"V{rel}",
+            schema,
+            [RelationAtom(rel, {attr: attr for attr in base.attribute_names})],
+            projection=projection,
+        )
+        batch = []
+        for mask in range(2**n):
+            lhs = tuple(
+                (f"A{i + 1}" if mask & (1 << i) else f"B{i + 1}")
+                for i in range(n)
+            )
+            batch.append(FD(f"V{rel}", lhs, ("D",)))
+        batches[rel] = batch
+    return schema, sigma, views, batches
+
+
+def _edit_r1(sigma: list) -> list:
+    """The delta: retire R1's constant CFD, strengthen one R1 FD."""
+    edited = [
+        dep
+        for dep in sigma
+        if not (dep.relation == "R1" and isinstance(dep, CFD))
+    ]
+    edited.append(CFD("R1", {"B1": "2"}, {"D": "9"}))
+    return edited
+
+
+def _write_files(workdir: Path, schema, sigma, view, batch) -> dict[str, Path]:
+    paths = {
+        "schema": workdir / "schema.json",
+        "sigma": workdir / "sigma.json",
+        "view": workdir / f"{view.name}.json",
+        "phi": workdir / f"{view.name}-phi.json",
+    }
+    repro_io.dump_json(repro_io.schema_to_json(schema), paths["schema"])
+    repro_io.dump_json(repro_io.dependencies_to_json(sigma), paths["sigma"])
+    repro_io.dump_json(repro_io.spc_view_to_json(view), paths["view"])
+    repro_io.dump_json(repro_io.dependencies_to_json(batch), paths["phi"])
+    return paths
+
+
+def _run_cli_process(paths: dict[str, Path], cache_dir: Path) -> dict:
+    """One ``propagate-batch`` engine process; returns its stats counters."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    started = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "propagate-batch",
+            "--schema",
+            str(paths["schema"]),
+            "--sigma",
+            str(paths["sigma"]),
+            "--view",
+            str(paths["view"]),
+            "--phi",
+            str(paths["phi"]),
+            "--cache-dir",
+            str(cache_dir),
+            "--stats",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    elapsed = time.perf_counter() - started
+    assert proc.returncode in (0, 1), proc.stderr
+    stats_line = next(
+        line for line in proc.stderr.splitlines() if "EngineStats(" in line
+    )
+    counters = {
+        key: int(value)
+        for key, value in re.findall(r"(\w+)=(\d+)[,)]", stats_line)
+    }
+    persistent = re.search(r"persistent=(\d+)h/(\d+)m/(\d+)w", stats_line)
+    counters["persistent_hits"] = int(persistent.group(1))
+    counters["persistent_writes"] = int(persistent.group(3))
+    counters["elapsed"] = elapsed
+    return counters
+
+
+# ----------------------------------------------------------------------
+# Leg 1: two-process delta via the shared store.
+# ----------------------------------------------------------------------
+
+
+def _two_process_delta(tmp_path: Path, n: int, record=None) -> None:
+    schema, sigma, views, batches = _workload(n)
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    cache_dir = tmp_path / "store"
+
+    warm_paths = {
+        rel: _write_files(tmp_path, schema, sigma, views[rel], batches[rel])
+        for rel in RELATIONS
+    }
+    cold = {rel: _run_cli_process(warm_paths[rel], cache_dir) for rel in RELATIONS}
+    assert cold["R2"]["chase_invocations"] > 0
+    assert cold["R2"]["persistent_writes"] > 0
+
+    # Edit Sigma on R1; re-serialize; a fresh process asks the R2 batch.
+    edited = _edit_r1(sigma)
+    edited_dir = tmp_path / "edited"
+    edited_dir.mkdir()
+    edited_paths = {
+        rel: _write_files(edited_dir, schema, edited, views[rel], batches[rel])
+        for rel in RELATIONS
+    }
+    warm = _run_cli_process(edited_paths["R2"], cache_dir)
+    assert warm["chase_invocations"] == 0, "R2 must stay warm across the delta"
+    assert warm["persistent_hits"] > 0
+
+    # The edited relation really recomputes (no stale reuse).
+    recomputed = _run_cli_process(edited_paths["R1"], cache_dir)
+    assert recomputed["chase_invocations"] > 0
+
+    if record is not None:
+        record(
+            "Incremental delta (two processes)",
+            n,
+            "cold process",
+            cold["R2"]["elapsed"],
+            {"chases": cold["R2"]["chase_invocations"]},
+        )
+        record(
+            "Incremental delta (two processes)",
+            n,
+            "warm after delta",
+            warm["elapsed"],
+            {"chases": 0, "persistent_hits": warm["persistent_hits"]},
+        )
+        record(
+            "Incremental delta (two processes)",
+            n,
+            "edited relation",
+            recomputed["elapsed"],
+            {"chases": recomputed["chase_invocations"]},
+        )
+
+
+def test_two_process_delta_keeps_unaffected_relations_warm(tmp_path):
+    from conftest import record_point
+
+    for n in SIZES:
+        _two_process_delta(tmp_path / str(n), n, record_point)
+
+
+# ----------------------------------------------------------------------
+# Leg 2: in-process delta_sigma through the service.
+# ----------------------------------------------------------------------
+
+
+def _service_delta(n: int, record=None) -> None:
+    schema, sigma, views, batches = _workload(n)
+    workspace = Workspace()
+    workspace.add_schema("default", schema)
+    workspace.add_sigma("default", sigma)
+    for rel, view in views.items():
+        workspace.add_view(view.name, view)
+    service = PropagationService(workspace)
+
+    cold_started = time.perf_counter()
+    before = {
+        rel: service.check(CheckRequest(view=views[rel].name, targets=batches[rel]))
+        for rel in RELATIONS
+    }
+    cold_elapsed = time.perf_counter() - cold_started
+    assert before["R2"].stats.chases > 0
+
+    update = service.delta_sigma(
+        UpdateSigmaRequest(
+            remove=[CFD("R1", {"A1": "1"}, {"D": "9"})],
+            add=[CFD("R1", {"B1": "2"}, {"D": "9"})],
+        )
+    )
+    assert update.affected_relations == ["R1"]
+    assert update.retained > 0
+
+    warm_started = time.perf_counter()
+    after = service.check(CheckRequest(view=views["R2"].name, targets=batches["R2"]))
+    warm_elapsed = time.perf_counter() - warm_started
+    assert after.propagated == before["R2"].propagated
+    assert after.stats.chases == 0, "unaffected batch must not chase"
+    assert after.stats.memo_hits == len(set(batches["R2"]))
+
+    if record is not None:
+        record(
+            "Incremental delta (warm service)",
+            n,
+            "cold batch",
+            cold_elapsed,
+            {"chases": before["R2"].stats.chases},
+        )
+        record(
+            "Incremental delta (warm service)",
+            n,
+            "delta_sigma (svc)",
+            warm_elapsed,
+            {"chases": 0, "memo_hits": after.stats.memo_hits},
+        )
+
+
+def test_delta_sigma_service_answers_unaffected_from_memory():
+    from conftest import record_point
+
+    for n in SIZES:
+        _service_delta(n, record_point)
+
+
+# ----------------------------------------------------------------------
+# Leg 3: sharded k^2 chase on a union view.
+# ----------------------------------------------------------------------
+
+
+def _union_workload(k: int):
+    attrs = ["A", "B", "C", "D"]
+    schema = DatabaseSchema(
+        [RelationSchema(f"S{i}", attrs) for i in range(1, k + 1)]
+    )
+    branches = [
+        SPCView(
+            "U",
+            schema,
+            [RelationAtom(f"S{i}", {a: a for a in attrs})],
+            projection=["A", "B", "CC"],
+            constants={"CC": str(i)},
+        )
+        for i in range(1, k + 1)
+    ]
+    view = SPCUView("U", branches)
+    sigma: list = []
+    for i in range(1, k + 1):
+        sigma.append(FD(f"S{i}", ("A",), ("B",)))
+        sigma.append(CFD(f"S{i}", {"A": "1"}, {"D": "9"}))
+    phis = [CFD("U", {"A": "_"}, {"B": "_"})] + [
+        CFD("U", {"CC": str(i), "A": "_"}, {"B": "_"}) for i in range(1, k + 1)
+    ]
+    return sigma, view, phis
+
+
+def _sharded_union(k: int, shards: int, record=None) -> None:
+    sigma, view, phis = _union_workload(k)
+
+    flat = PropagationEngine(shards=1)
+    flat_started = time.perf_counter()
+    expected = flat.check_many(sigma, view, phis)
+    flat_elapsed = time.perf_counter() - flat_started
+
+    sharded = PropagationEngine(shards=shards, jobs=min(shards, 4))
+    shard_started = time.perf_counter()
+    got = sharded.check_many(sigma, view, phis)
+    shard_elapsed = time.perf_counter() - shard_started
+    assert got == expected, "verdicts must be shard-count invariant"
+    assert sharded.stats.shard_tasks > 0
+    sharded.close()
+
+    if record is not None:
+        record(
+            "Sharded k^2 chase (union view)",
+            k,
+            "shards=1",
+            flat_elapsed,
+            {"chases": flat.stats.chase_invocations},
+        )
+        record(
+            "Sharded k^2 chase (union view)",
+            k,
+            f"shards={shards}",
+            shard_elapsed,
+            {
+                "chases": sharded.stats.chase_invocations,
+                "shard_tasks": sharded.stats.shard_tasks,
+            },
+        )
+
+
+def test_sharded_union_checks_are_invariant():
+    from conftest import record_point
+
+    for k in (4, 6):
+        _sharded_union(k, SHARDS, record_point)
+
+
+# ----------------------------------------------------------------------
+# --smoke: the CI entry point (no pytest machinery).
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    n = 2 if smoke else SIZES[0]
+    k = 3 if smoke else 4
+    _service_delta(n)
+    _sharded_union(k, 2 if smoke else SHARDS)
+    if not smoke:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            _two_process_delta(Path(tmp), n)
+    print(
+        f"bench_incremental {'smoke ' if smoke else ''}OK: "
+        f"delta kept unaffected relations warm (n={n}), "
+        f"sharded verdicts invariant (k={k})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

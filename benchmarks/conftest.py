@@ -48,6 +48,7 @@ NO_CACHE = os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
 CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 CACHE_SIZE = int(os.environ.get("REPRO_CACHE_SIZE", "0") or "0") or None
 JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+SHARDS = int(os.environ.get("REPRO_SHARDS", "1") or "1")
 
 #: Paper defaults (Section 5): |Y| = 25, |F| = 10, |Ec| = 4, LHS in 3..9.
 PAPER_Y = 25
@@ -95,13 +96,15 @@ def propagation_engine():
     """A fresh batch engine per benchmark.
 
     Honors ``REPRO_NO_CACHE=1`` (uncached baseline) plus the cache-tier
-    knobs ``REPRO_CACHE_DIR``, ``REPRO_CACHE_SIZE`` and ``REPRO_JOBS``.
+    knobs ``REPRO_CACHE_DIR``, ``REPRO_CACHE_SIZE``, ``REPRO_JOBS`` and
+    ``REPRO_SHARDS``.
     """
     engine = PropagationEngine(
         use_cache=not NO_CACHE,
         cache_dir=CACHE_DIR,
         cache_size=CACHE_SIZE,
         jobs=JOBS,
+        shards=SHARDS,
     )
     yield engine
     engine.close()

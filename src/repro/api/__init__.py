@@ -32,6 +32,8 @@ from .requests import (
     EmptinessRequest,
     EmptinessResult,
     RequestStats,
+    SigmaUpdate,
+    UpdateSigmaRequest,
     Verdict,
 )
 from .server import PropagationServer, serve_stdio, serve_tcp
@@ -56,6 +58,8 @@ __all__ = [
     "PropagationServer",
     "PropagationService",
     "RequestStats",
+    "SigmaUpdate",
+    "UpdateSigmaRequest",
     "Verdict",
     "Workspace",
     "default_service",

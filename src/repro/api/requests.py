@@ -7,11 +7,17 @@ registered under in the service's :class:`~repro.api.Workspace`; ``None``
 for Sigma means the workspace's ``"default"`` registration.
 
 Per-request knobs (``use_cache``, ``max_instantiations``,
-``assume_infinite``) default to ``None`` = "inherit the service's
-settings"; a non-``None`` value routes the request to a warm engine
-dedicated to that settings combination, so differently-parameterized
-requests never share a cache line (the settings are part of every cache
-key anyway).
+``assume_infinite``, ``shards``) default to ``None`` = "inherit the
+service's settings"; a non-``None`` value routes the request to a warm
+engine dedicated to that settings combination, so differently-
+parameterized requests never share a cache line (the semantics-bearing
+settings are part of every cache key anyway; ``shards`` only changes
+*how* misses are evaluated — verdicts are shard-count invariant).
+
+:class:`UpdateSigmaRequest` is the incremental-update path: it applies
+a diff to a *registered* Sigma and selectively invalidates, keeping
+cache lines warm for every relation the diff does not mention (see
+``docs/incremental.md``).
 
 Every response carries the route that served it and a
 :class:`RequestStats` delta — elapsed time plus the engine counters this
@@ -39,6 +45,8 @@ __all__ = [
     "Request",
     "RequestStats",
     "Response",
+    "SigmaUpdate",
+    "UpdateSigmaRequest",
     "Verdict",
 ]
 
@@ -56,6 +64,7 @@ class _Settings:
     use_cache: bool | None = None
     max_instantiations: int | None = None
     assume_infinite: bool | None = None
+    shards: int | None = None
 
 
 @dataclass
@@ -90,6 +99,25 @@ class EmptinessRequest(_Settings):
 
 
 @dataclass
+class UpdateSigmaRequest:
+    """Apply a diff to a registered Sigma and selectively invalidate.
+
+    ``name=None`` targets the workspace's ``"default"`` registration.
+    ``remove`` drops every registered dependency whose normalized CFD
+    set is covered by the normalized ``remove`` set (so removing an FD
+    also removes its all-wildcard CFD embedding); ``add`` appends.  The
+    service computes the *affected relations* — the relations mentioned
+    by added or removed CFDs — and invalidates only the warm lines whose
+    provenance meets them; everything else stays warm, in the memory
+    tiers and the persistent store alike.
+    """
+
+    name: str | None = None
+    add: Sequence[DependencyLike] = ()
+    remove: Sequence[DependencyLike] = ()
+
+
+@dataclass
 class BatchRequest:
     """A sequence of requests answered by one warm service, in order.
 
@@ -100,7 +128,9 @@ class BatchRequest:
     requests: Sequence["Request"] = ()
 
 
-Request = Union[CheckRequest, CoverRequest, EmptinessRequest, BatchRequest]
+Request = Union[
+    CheckRequest, CoverRequest, EmptinessRequest, UpdateSigmaRequest, BatchRequest
+]
 
 
 @dataclass
@@ -114,6 +144,7 @@ class RequestStats:
     persistent_hits: int = 0
     closure_fast_path: int = 0
     parallel_tasks: int = 0
+    shard_tasks: int = 0
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -153,6 +184,24 @@ class EmptinessResult:
 
 
 @dataclass
+class SigmaUpdate:
+    """The response to an :class:`UpdateSigmaRequest`.
+
+    ``invalidated``/``retained`` count in-memory cache lines across the
+    service's engine pool: lines whose provenance met the affected
+    relations (dropped) versus lines left warm.
+    """
+
+    name: str
+    size: int
+    affected_relations: list[str]
+    invalidated: int
+    retained: int
+    route: str = "delta-sigma"
+    stats: RequestStats = field(default_factory=RequestStats)
+
+
+@dataclass
 class BatchResult:
     """The response to a :class:`BatchRequest`: sub-results, in order."""
 
@@ -160,4 +209,4 @@ class BatchResult:
     stats: RequestStats = field(default_factory=RequestStats)
 
 
-Response = Union[Verdict, CoverResult, EmptinessResult, BatchResult]
+Response = Union[Verdict, CoverResult, EmptinessResult, SigmaUpdate, BatchResult]

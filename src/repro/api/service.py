@@ -25,6 +25,8 @@ in every response)::
     cover     union view, > 1 branch       -> "spcu"         (PropCFD_SPCU)
               otherwise                    -> "spc"          (PropCFD_SPC / RBR)
     empty     always                       -> "emptiness"    (per-branch chase)
+    update-sigma                           -> "delta-sigma"  (diff + selective
+                                                              invalidation)
 
 The labels classify which family *answers a miss*; hits short-circuit in
 the engine's memo tiers regardless of route, and the per-request
@@ -55,6 +57,9 @@ from ..propagation.engine import (
     _all_wildcard,
     _FastPathContext,
     _view_fingerprint,
+    make_stale_predicate,
+    scoped_sigma,
+    touched_relations,
 )
 from .errors import ApiError, api_errors
 from .requests import (
@@ -68,9 +73,11 @@ from .requests import (
     Request,
     RequestStats,
     Response,
+    SigmaUpdate,
+    UpdateSigmaRequest,
     Verdict,
 )
-from .workspace import Workspace
+from .workspace import DEFAULT_NAME, Workspace
 
 __all__ = ["PropagationService", "default_service"]
 
@@ -82,6 +89,7 @@ class _Effective:
     use_cache: bool
     max_instantiations: int | None
     assume_infinite: bool
+    shards: int = 1
 
 
 def _snapshot(stats: EngineStats) -> tuple:
@@ -92,6 +100,7 @@ def _snapshot(stats: EngineStats) -> tuple:
         stats.persistent_hits,
         stats.closure_fast_path,
         stats.parallel_tasks,
+        stats.shard_tasks,
     )
 
 
@@ -109,18 +118,25 @@ class PropagationService:
         cache_size: int | None = None,
         jobs: int = 1,
         pool: str = "thread",
+        shards: int = 1,
     ) -> None:
         self.workspace = workspace if workspace is not None else Workspace()
-        self._defaults = _Effective(use_cache, max_instantiations, assume_infinite)
+        self._defaults = _Effective(
+            use_cache, max_instantiations, assume_infinite, shards
+        )
         self._engine_opts = dict(
             cache_dir=cache_dir, cache_size=cache_size, jobs=jobs, pool=pool
         )
-        self._engines: dict[_Effective, PropagationEngine] = {}
+        self._engines: dict[tuple, PropagationEngine] = {}
         # Service-side memos, LRU-bounded by the same knob as the engine
         # tiers: emptiness verdicts (they bypass the engine) and the
-        # route-classification capabilities per (Sigma, view).
+        # route-classification capabilities per (Sigma, view).  Keys are
+        # provenance-scoped like the engine's; `_touched` records each
+        # view key's touched-relation set so the delta sweep can apply
+        # the same staleness rule the engine does.
         self._empty_memo = LRUCache(capacity=cache_size)
         self._route_memo = LRUCache(capacity=cache_size)
+        self._touched: dict[tuple, frozenset] = {}
 
     # ------------------------------------------------------------------
     # Engine pool.
@@ -128,6 +144,14 @@ class PropagationService:
 
     def _effective(self, request) -> _Effective:
         d = self._defaults
+        shards = d.shards if request.shards is None else request.shards
+        # Validated here — not only in PropagationEngine.__init__ — so a
+        # bad value is rejected identically whether the settings combo
+        # resolves to a warm pooled engine or constructs a fresh one.
+        if type(shards) is not int or shards < 1:
+            raise ApiError(
+                "bad-request", f"shards must be a positive integer, got {shards!r}"
+            )
         return _Effective(
             d.use_cache if request.use_cache is None else request.use_cache,
             d.max_instantiations
@@ -136,18 +160,36 @@ class PropagationService:
             d.assume_infinite
             if request.assume_infinite is None
             else request.assume_infinite,
+            shards,
         )
 
     def _engine(self, settings: _Effective) -> PropagationEngine:
-        engine = self._engines.get(settings)
+        # The pool is keyed on the *semantics-bearing* settings only:
+        # `shards` changes how misses are evaluated, never the answer,
+        # so requests with different shard plans must share one warm
+        # engine (and its memo tiers) rather than split them.  It is
+        # applied to the shared engine per dispatch instead — safe under
+        # the server, whose request lock serializes dispatch+evaluation;
+        # callers driving one service from multiple threads may see a
+        # concurrent request's shard plan (verdicts are shard-invariant,
+        # so only the evaluation strategy can differ).
+        key = (
+            settings.use_cache,
+            settings.max_instantiations,
+            settings.assume_infinite,
+        )
+        engine = self._engines.get(key)
         if engine is None:
             engine = PropagationEngine(
                 use_cache=settings.use_cache,
                 max_instantiations=settings.max_instantiations,
                 assume_infinite=settings.assume_infinite,
+                shards=settings.shards,
                 **self._engine_opts,
             )
-            self._engines[settings] = engine
+            self._engines[key] = engine
+        elif engine.shards != settings.shards:
+            engine.shards = settings.shards
         return engine
 
     @property
@@ -176,6 +218,13 @@ class PropagationService:
     # Capability routing.
     # ------------------------------------------------------------------
 
+    def _view_touched(self, view: ViewLike, view_key: tuple) -> frozenset:
+        touched = self._touched.get(view_key)
+        if touched is None:
+            touched = touched_relations(view)
+            self._touched[view_key] = touched
+        return touched
+
     def route_check(
         self,
         sigma: Iterable[DependencyLike],
@@ -193,13 +242,17 @@ class PropagationService:
         branches = _branches(view)  # validates the view language
         if settings.assume_infinite:
             return "ptime-chase"
-        sigma_cfds = _as_cfds(sigma)
-        memo_key = (frozenset(sigma_cfds), _view_fingerprint(view))
+        # Provenance-scoped like the engine's own keys: Sigma enters the
+        # memo restricted to the view's touched relations, so route
+        # classifications survive delta_sigma edits on other relations.
+        view_key = _view_fingerprint(view)
+        scoped = scoped_sigma(_as_cfds(sigma), self._view_touched(view, view_key))
+        memo_key = (frozenset(scoped), view_key)
         capabilities = self._route_memo.get(memo_key)
         if capabilities is None:
             capabilities = (
                 any(b.has_finite_domain_attribute() for b in branches),
-                _FastPathContext.of(view, sigma_cfds) is not None,
+                _FastPathContext.of(view, scoped) is not None,
             )
             self._route_memo.put(memo_key, capabilities)
         has_finite_domain, fast_path_capable = capabilities
@@ -236,11 +289,86 @@ class PropagationService:
             return self.cover(request)
         if isinstance(request, EmptinessRequest):
             return self.emptiness(request)
+        if isinstance(request, UpdateSigmaRequest):
+            return self.delta_sigma(request)
         if isinstance(request, BatchRequest):
             return self.batch(request)
         raise ApiError(
             "bad-request", f"unknown request type {type(request).__name__}"
         )
+
+    def delta_sigma(self, request: UpdateSigmaRequest) -> SigmaUpdate:
+        """Apply a Sigma diff and selectively invalidate warm state.
+
+        The registered set named by ``request.name`` (``None`` = the
+        ``"default"`` registration) is diffed in place: dependencies
+        whose normalized CFDs are covered by ``remove`` drop out,
+        ``add`` appends.  The *affected relations* are those mentioned
+        by the diff; every pooled engine (and the service-side route and
+        emptiness memos) drops only the lines whose provenance meets
+        them.  Because all keys are provenance-scoped, the surviving
+        lines are immediately reachable under the updated Sigma —
+        queries on untouched relations keep answering with zero chases,
+        from the memory tiers and the persistent store alike
+        (``tests/test_incremental.py`` / ``benchmarks/bench_incremental.py``).
+        """
+        with api_errors():
+            started = time.perf_counter()
+            name = request.name if request.name is not None else DEFAULT_NAME
+            current = list(self.workspace.sigma(name))
+            remove_cfds = set(_as_cfds(request.remove))
+            removed: list[DependencyLike] = []
+            kept: list[DependencyLike] = []
+            for dep in current:
+                normalized = set(_as_cfds([dep]))
+                if normalized and remove_cfds and normalized <= remove_cfds:
+                    removed.append(dep)
+                else:
+                    kept.append(dep)
+            # Dedupe adds against what survives, so re-applying the same
+            # diff (a wire retry after a dropped response) is a no-op:
+            # nothing grows, `affected` comes out empty, and no warm
+            # line is needlessly re-invalidated.
+            present = {frozenset(_as_cfds([dep])) for dep in kept}
+            added: list[DependencyLike] = []
+            for dep in request.add:
+                normalized = frozenset(_as_cfds([dep]))
+                if normalized in present:
+                    continue
+                present.add(normalized)
+                added.append(dep)
+            updated = kept + added
+            affected = sorted(
+                {phi.relation for phi in _as_cfds(added + removed)}
+            )
+            self.workspace.add_sigma(name, updated)
+            invalidated = retained = 0
+            for engine in self._engines.values():
+                # `current` (the pre-edit registration) makes the sweep
+                # precise: lines warmed under other Sigmas that mention
+                # the affected relations keep their (unchanged) keys.
+                out = engine.invalidate_relations(affected, sigma=current)
+                invalidated += out["invalidated"]
+                retained += out["retained"]
+            # Same staleness rule as the engine sweep (one shared
+            # predicate — the two can never diverge): drop only lines
+            # derived from the edited registration's old value.
+            stale = make_stale_predicate(frozenset(affected), _as_cfds(current))
+            for memo in (self._route_memo, self._empty_memo):
+                for key in memo.keys():
+                    if stale(key[0], self._touched.get(key[1])):
+                        memo.discard(key)
+            stats = RequestStats(
+                elapsed_ms=(time.perf_counter() - started) * 1000.0
+            )
+            return SigmaUpdate(
+                name=name,
+                size=len(updated),
+                affected_relations=affected,
+                invalidated=invalidated,
+                retained=retained,
+                stats=stats,
+            )
 
     def check(self, request: CheckRequest) -> Verdict:
         with api_errors():
@@ -284,9 +412,16 @@ class PropagationService:
             memo_key = None
             line = None
             if settings.use_cache:
+                # Scoped like every other key: emptiness is a function of
+                # Sigma restricted to the view's relations, so warm lines
+                # survive delta_sigma edits elsewhere.
+                view_key = _view_fingerprint(view)
+                scoped = scoped_sigma(
+                    _as_cfds(sigma), self._view_touched(view, view_key)
+                )
                 memo_key = (
-                    frozenset(_as_cfds(sigma)),
-                    _view_fingerprint(view),
+                    frozenset(scoped),
+                    view_key,
                     settings.max_instantiations,
                 )
                 line = self._empty_memo.get(memo_key)
@@ -316,6 +451,7 @@ class PropagationService:
             persistent_hits=sum(r.stats.persistent_hits for r in results),
             closure_fast_path=sum(r.stats.closure_fast_path for r in results),
             parallel_tasks=sum(r.stats.parallel_tasks for r in results),
+            shard_tasks=sum(r.stats.shard_tasks for r in results),
         )
         return BatchResult(results, stats)
 
@@ -324,7 +460,7 @@ class PropagationService:
         engine: PropagationEngine, before: tuple, started: float
     ) -> RequestStats:
         after = _snapshot(engine.stats)
-        queries, chases, memo, persistent, closure, tasks = (
+        queries, chases, memo, persistent, closure, tasks, shard_tasks = (
             now - then for now, then in zip(after, before)
         )
         return RequestStats(
@@ -335,6 +471,7 @@ class PropagationService:
             persistent_hits=persistent,
             closure_fast_path=closure,
             parallel_tasks=tasks,
+            shard_tasks=shard_tasks,
         )
 
 

@@ -13,16 +13,22 @@ verbatim::
     {"id": 5, "op": "cover", "view": "V", "sigma": "deps"}
     {"id": 6, "op": "empty", "view": "V", "sigma": "deps"}
     {"id": 7, "op": "batch", "requests": [{"op": "check", ...}, ...]}
-    {"id": 8, "op": "stats"}
-    {"id": 9, "op": "ping"}
-    {"id": 10, "op": "shutdown"}
+    {"id": 8, "op": "update-sigma", "name": "deps", "add": [...],
+     "remove": [...]}
+    {"id": 9, "op": "stats"}
+    {"id": 10, "op": "ping"}
+    {"id": 11, "op": "shutdown"}
 
 ``view`` is a registered name or an inline view document (parsed against
 ``"schema"``, default ``"default"``); ``sigma`` is a registered name, an
 inline dependency list, or absent for the ``"default"`` registration.
 ``phis`` entries are :mod:`repro.io` dependency documents.  The query ops
 accept the per-request knobs ``use_cache`` / ``max_instantiations`` /
-``assume_infinite``.
+``assume_infinite`` / ``shards``.  ``update-sigma`` applies a diff to a
+*registered* Sigma (``name`` absent = ``"default"``; ``add``/``remove``
+are dependency-document lists) with selective, provenance-scoped
+invalidation — warm lines for relations the diff does not mention
+survive (``docs/incremental.md``).
 
 Responses::
 
@@ -53,14 +59,16 @@ from .requests import (
     EmptinessResult,
     Request,
     Response,
+    SigmaUpdate,
+    UpdateSigmaRequest,
     Verdict,
 )
 from .service import PropagationService
 
 __all__ = ["handle_request", "request_from_json", "response_to_json"]
 
-_QUERY_OPS = {"check", "cover", "empty", "batch"}
-_SETTING_FIELDS = ("use_cache", "max_instantiations", "assume_infinite")
+_QUERY_OPS = {"check", "cover", "empty", "batch", "update-sigma"}
+_SETTING_FIELDS = ("use_cache", "max_instantiations", "assume_infinite", "shards")
 
 
 def _settings(doc: Mapping[str, Any]) -> dict:
@@ -106,6 +114,15 @@ def request_from_json(
             witness=bool(doc.get("witness", False)),
             **_settings(doc),
         )
+    if op == "update-sigma":
+        name = doc.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ApiError("bad-request", "update-sigma 'name' must be a string")
+        return UpdateSigmaRequest(
+            name=name,
+            add=repro_io.dependencies_from_json(doc.get("add", [])),
+            remove=repro_io.dependencies_from_json(doc.get("remove", [])),
+        )
     if op == "batch":
         return BatchRequest(
             [request_from_json(sub, service) for sub in doc.get("requests", [])]
@@ -143,6 +160,16 @@ def response_to_json(response: Response) -> dict:
         if response.witness is not None:
             out["witness"] = repro_io.instance_to_json(response.witness)
         return out
+    if isinstance(response, SigmaUpdate):
+        return {
+            "sigma": response.name,
+            "size": response.size,
+            "affected_relations": list(response.affected_relations),
+            "invalidated": response.invalidated,
+            "retained": response.retained,
+            "route": response.route,
+            "stats": response.stats.to_json(),
+        }
     if isinstance(response, BatchResult):
         return {
             "results": [response_to_json(sub) for sub in response.results],

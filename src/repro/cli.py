@@ -25,9 +25,13 @@ Engine knobs (shared by check / propagate-batch / cover / empty / serve):
 - ``--stats`` prints the engine's cache counters to stderr;
 - ``--cache-dir DIR`` persists verdicts/covers in a schema-versioned
   sqlite store under ``DIR``, shared across processes (warm restarts);
-- ``--cache-size N`` bounds each in-memory memo tier to an N-entry LRU;
+- ``--cache-size N`` bounds each in-memory memo tier (and each tableau
+  cache layer) to an N-entry LRU;
 - ``--jobs N`` fans cache-miss queries out across N workers
-  (``--pool thread|process`` picks the executor).
+  (``--pool thread|process`` picks the executor);
+- ``--shards N`` deals the k² branch-pair chase of union views into N
+  deterministic shards executed through the same pool (verdicts are
+  shard-count invariant).
 
 Exit codes follow the stable taxonomy of :mod:`repro.api.errors`:
 0 on a "positive" analysis result (propagated / nonempty / clean), 1 on
@@ -73,6 +77,7 @@ def _service(args) -> PropagationService:
         cache_size=getattr(args, "cache_size", None),
         jobs=getattr(args, "jobs", 1),
         pool=getattr(args, "pool", "thread"),
+        shards=getattr(args, "shards", 1),
     )
 
 
@@ -241,6 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
             choices=("thread", "process"),
             default="thread",
             help="executor kind for --jobs > 1 (default: thread)",
+        )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="deal the k^2 branch-pair chase of union views into this "
+            "many deterministic shards, executed through the --jobs pool "
+            "(verdicts are shard-count invariant)",
         )
 
     check = sub.add_parser("check", help="decide Sigma |=_V phi")

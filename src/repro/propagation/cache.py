@@ -54,6 +54,7 @@ __all__ = [
     "sigma_fingerprint",
     "view_fingerprint",
     "dependency_fingerprint",
+    "query_persist_key",
     "verdict_persist_key",
     "cover_persist_key",
 ]
@@ -105,6 +106,15 @@ class LRUCache:
     def keys(self):
         """Keys from least to most recently used (eviction order)."""
         return list(self._data.keys())
+
+    def discard(self, key: Any) -> bool:
+        """Drop *key* if present (invalidation — not counted as eviction).
+
+        Evictions count capacity pressure; discards are deliberate
+        invalidation (``engine.invalidate_relations``) and are reported
+        by their caller instead.
+        """
+        return self._data.pop(key, _MISSING) is not _MISSING
 
     def clear(self) -> None:
         self._data.clear()
@@ -239,6 +249,38 @@ def view_fingerprint(view: Any) -> str:
     return stable_digest(_view_doc(view))
 
 
+def query_persist_key(
+    kind: str,
+    sigma_field: str,
+    sigma_fp: str,
+    view_fp: str,
+    phi: CFD | None,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> str:
+    """The one persistent-key derivation every flavor goes through.
+
+    ``sigma_field`` names how the Sigma slot was fingerprinted —
+    ``"sigma"`` for the PR 2 whole-Sigma digest, ``"provenance"`` for
+    the PR 4 per-relation composite
+    (:mod:`repro.propagation.engine.keys`) — and is part of the hashed
+    document, so the two keyspaces can never collide.  Engine settings
+    are part of the key: a capped or assume-infinite run may
+    legitimately answer differently, and must never share a line with
+    the exact procedure.
+    """
+    doc = {
+        "kind": kind,
+        sigma_field: sigma_fp,
+        "view": view_fp,
+        "max_instantiations": max_instantiations,
+        "assume_infinite": bool(assume_infinite),
+    }
+    if phi is not None:
+        doc["phi"] = dependency_to_json(phi)
+    return stable_digest(doc)
+
+
 def verdict_persist_key(
     sigma_fp: str,
     view_fp: str,
@@ -246,21 +288,9 @@ def verdict_persist_key(
     max_instantiations: int | None,
     assume_infinite: bool,
 ) -> str:
-    """The persistent key of one ``Sigma |=_V phi`` verdict.
-
-    Engine settings are part of the key: a capped or assume-infinite run
-    may legitimately answer differently, and must never share a line with
-    the exact procedure.
-    """
-    return stable_digest(
-        {
-            "kind": "verdict",
-            "sigma": sigma_fp,
-            "view": view_fp,
-            "phi": dependency_to_json(phi),
-            "max_instantiations": max_instantiations,
-            "assume_infinite": bool(assume_infinite),
-        }
+    """The whole-Sigma-fingerprint verdict key (PR 2 flavor)."""
+    return query_persist_key(
+        "verdict", "sigma", sigma_fp, view_fp, phi, max_instantiations, assume_infinite
     )
 
 
@@ -270,13 +300,7 @@ def cover_persist_key(
     max_instantiations: int | None,
     assume_infinite: bool,
 ) -> str:
-    """The persistent key of one propagation cover."""
-    return stable_digest(
-        {
-            "kind": "cover",
-            "sigma": sigma_fp,
-            "view": view_fp,
-            "max_instantiations": max_instantiations,
-            "assume_infinite": bool(assume_infinite),
-        }
+    """The whole-Sigma-fingerprint cover key (PR 2 flavor)."""
+    return query_persist_key(
+        "cover", "sigma", sigma_fp, view_fp, None, max_instantiations, assume_infinite
     )

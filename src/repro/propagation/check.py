@@ -59,6 +59,9 @@ from ..core.chase import (
 from ..core.fd import FD
 from ..core.values import is_const
 from ..tableau.tableau import materialize_branch
+from .cache import LRUCache
+
+_MISSING = object()
 
 ViewLike = Union[SPCView, SPCUView]
 DependencyLike = Union[CFD, FD]
@@ -126,9 +129,28 @@ class BranchPairCache:
     mutating (``chase``/``chase_with_instantiations`` already do).  With
     ``enabled=False`` nothing is stored and every layer recomputes — the
     ``--no-cache`` ablation baseline — but the counters still run.
+
+    *capacity* bounds the **coupled** and **chased** layers with the
+    same LRU policy as the engine's verdict/cover memo tiers
+    (``cache_size``): those two grow with the diversity of LHS shapes
+    (and Sigmas) queried through one view, which on a long-lived server
+    is unbounded.  The base-pair layers stay unbounded on purpose —
+    they can never exceed ``k²``/``k`` entries and the pair loop sweeps
+    all of them every query, so an LRU bound below ``k²`` would evict
+    each skeleton just before its next use (steady-state thrash, ~0%
+    hit rate).  Evictions are counted per cache (:attr:`evictions`) and
+    folded into
+    :attr:`~repro.propagation.engine.EngineStats.tableau_evictions`.
+    An evicted skeleton is at worst rebuilt — correctness never depends
+    on residency.
     """
 
-    def __init__(self, view: ViewLike, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        view: ViewLike,
+        enabled: bool = True,
+        capacity: int | None = None,
+    ) -> None:
         self.view = view
         self.branches = _branches(view)
         self.enabled = enabled
@@ -143,10 +165,15 @@ class BranchPairCache:
         self.coupled_misses = 0
         self.chased_hits = 0
         self.chased_misses = 0
-        self._base: dict[tuple[int, int], tuple | None] = {}
-        self._single: dict[int, tuple | None] = {}
-        self._coupled: dict[tuple, tuple | None] = {}
-        self._chased: dict[tuple, object] = {}
+        self._base: LRUCache = LRUCache(None)  # <= k^2 entries, swept whole
+        self._single: LRUCache = LRUCache(None)  # <= k entries
+        self._coupled: LRUCache = LRUCache(capacity)
+        self._chased: LRUCache = LRUCache(capacity)
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions across the bounded tableau layers."""
+        return self._coupled.evictions + self._chased.evictions
 
     # ------------------------------------------------------------------
     # Layer 1: materialized branch pairs.
@@ -159,8 +186,10 @@ class BranchPairCache:
         branch has an unsatisfiable selection.
         """
         key = (i, j)
-        if self.enabled and key in self._base:
-            return self._base[key]
+        if self.enabled:
+            prepared = self._base.get(key, _MISSING)
+            if prepared is not _MISSING:
+                return prepared
         instance = SymbolicInstance()
         factory = VarFactory()
         cells1 = materialize_branch(self.branches[i], instance, factory)
@@ -171,18 +200,20 @@ class BranchPairCache:
         )
         prepared = None if cells1 is None or cells2 is None else (instance, cells1, cells2)
         if self.enabled:
-            self._base[key] = prepared
+            self._base.put(key, prepared)
         return prepared
 
     def base_single(self, i: int):
         """One materialized copy of branch ``i`` (equality-form queries)."""
-        if self.enabled and i in self._single:
-            return self._single[i]
+        if self.enabled:
+            prepared = self._single.get(i, _MISSING)
+            if prepared is not _MISSING:
+                return prepared
         instance = SymbolicInstance()
         cells = materialize_branch(self.branches[i], instance, VarFactory())
         prepared = None if cells is None else (instance, cells)
         if self.enabled:
-            self._single[i] = prepared
+            self._single.put(i, prepared)
         return prepared
 
     # ------------------------------------------------------------------
@@ -192,9 +223,11 @@ class BranchPairCache:
     def coupled(self, i: int, j: int, phi: CFD):
         """The base pair coupled through ``phi``'s LHS; ``None`` if undefined."""
         key = (i, j, phi.lhs)
-        if self.enabled and key in self._coupled:
-            self.coupled_hits += 1
-            return self._coupled[key]
+        if self.enabled:
+            prepared = self._coupled.get(key, _MISSING)
+            if prepared is not _MISSING:
+                self.coupled_hits += 1
+                return prepared
         self.coupled_misses += 1
         base = self.base_pair(i, j)
         if base is None:
@@ -207,7 +240,7 @@ class BranchPairCache:
             else:
                 prepared = None
         if self.enabled:
-            self._coupled[key] = prepared
+            self._coupled.put(key, prepared)
         return prepared
 
     # ------------------------------------------------------------------
@@ -234,14 +267,16 @@ class BranchPairCache:
         precomputed once per query.
         """
         key = (sigma_key, i, j, None if j is None else phi.lhs)
-        if self.enabled and key in self._chased:
-            self.chased_hits += 1
-            return self._chased[key]
+        if self.enabled:
+            result = self._chased.get(key, _MISSING)
+            if result is not _MISSING:
+                self.chased_hits += 1
+                return result
         self.chased_misses += 1
         self.chase_invocations += 1
         result = chase(instance.copy(), sigma)
         if self.enabled:
-            self._chased[key] = result
+            self._chased.put(key, result)
         return result
 
 
@@ -252,6 +287,7 @@ def propagates(
     max_instantiations: int | None = None,
     assume_infinite: bool = False,
     cache: BranchPairCache | None = None,
+    pairs: Iterable[tuple[int, int]] | None = None,
 ) -> bool:
     """Decide ``Sigma |=_V phi``.
 
@@ -267,6 +303,7 @@ def propagates(
             max_instantiations=max_instantiations,
             assume_infinite=assume_infinite,
             cache=cache,
+            pairs=pairs,
         )
         is None
     )
@@ -279,6 +316,7 @@ def find_counterexample(
     max_instantiations: int | None = None,
     assume_infinite: bool = False,
     cache: BranchPairCache | None = None,
+    pairs: Iterable[tuple[int, int]] | None = None,
 ) -> Counterexample | None:
     """Search for a source instance witnessing ``Sigma |/=_V phi``.
 
@@ -289,6 +327,13 @@ def find_counterexample(
     *cache* shares materialized/coupled/chased tableaux across queries on
     the same view (see :class:`BranchPairCache`); it must have been built
     for *view*.
+
+    *pairs* restricts the search to the given ordered branch pairs (the
+    sharded-chase scheduler's knob — see
+    :mod:`repro.propagation.engine.scheduler`): equality-form conjuncts
+    run on the branches of the diagonal pairs present.  ``None`` keeps
+    the full ``k²`` iteration.  A pair-restricted ``None`` result means
+    only "no violation *within these pairs*".
     """
     sigma_cfds = _as_cfds(sigma)
     if isinstance(phi, FD):
@@ -297,6 +342,7 @@ def find_counterexample(
         raise ValueError("cache was built for a different view")
     branches = _branches(view)
     projection = set(branches[0].projection)
+    pair_list = None if pairs is None else list(pairs)
 
     for normal_phi in phi.normalize():
         if normal_phi.is_trivial():
@@ -315,6 +361,7 @@ def find_counterexample(
                 max_instantiations,
                 assume_infinite,
                 cache,
+                pair_list,
             )
         else:
             witness = _pair_counterexample(
@@ -324,6 +371,7 @@ def find_counterexample(
                 max_instantiations,
                 assume_infinite,
                 cache,
+                pair_list,
             )
         if witness is not None:
             return witness
@@ -363,6 +411,7 @@ def _pair_counterexample(
     max_instantiations: int | None,
     assume_infinite: bool,
     cache: BranchPairCache | None,
+    pairs: list[tuple[int, int]] | None = None,
 ) -> Counterexample | None:
     rhs_attr = phi.rhs_attr
     rhs_entry = phi.rhs_entry
@@ -370,44 +419,48 @@ def _pair_counterexample(
         assume_infinite, max_instantiations
     )
     sigma_key = frozenset(sigma) if share_chase else None
+    if pairs is None:
+        pairs = [
+            (i, j) for i in range(len(branches)) for j in range(len(branches))
+        ]
 
-    for i, left in enumerate(branches):
-        for j, right in enumerate(branches):
-            if cache is not None:
-                prepared = cache.coupled(i, j, phi)
-                if prepared is None:
-                    continue
-                instance, cells1, cells2 = prepared
-            else:
-                instance = SymbolicInstance()
-                factory = VarFactory()
-                cells1 = materialize_branch(left, instance, factory)
-                if cells1 is None:
-                    continue
-                cells2 = materialize_branch(right, instance, factory)
-                if cells2 is None:
-                    continue
-                if not _couple_premise(instance, cells1, cells2, phi):
-                    continue
-            y1 = cells1[rhs_attr]
-            y2 = cells2[rhs_attr]
-            if share_chase:
-                runs = [cache.chased(sigma, sigma_key, i, j, phi, instance)]
-            else:
-                runs = _chase_runs(
-                    instance, sigma, max_instantiations, assume_infinite, (y1, y2), cache
-                )
-            for result in runs:
-                if result.status is ChaseStatus.UNDEFINED:
-                    continue
-                r1 = result.instance.resolve(y1)
-                r2 = result.instance.resolve(y2)
-                violated = r1 != r2
-                if not violated and is_const(rhs_entry):
-                    violated = isinstance(r1, SymVar) or r1 != rhs_entry.value
-                if violated:
-                    database = _to_database(result.instance, branches[0])
-                    return Counterexample(database, (i, j))
+    for i, j in pairs:
+        left, right = branches[i], branches[j]
+        if cache is not None:
+            prepared = cache.coupled(i, j, phi)
+            if prepared is None:
+                continue
+            instance, cells1, cells2 = prepared
+        else:
+            instance = SymbolicInstance()
+            factory = VarFactory()
+            cells1 = materialize_branch(left, instance, factory)
+            if cells1 is None:
+                continue
+            cells2 = materialize_branch(right, instance, factory)
+            if cells2 is None:
+                continue
+            if not _couple_premise(instance, cells1, cells2, phi):
+                continue
+        y1 = cells1[rhs_attr]
+        y2 = cells2[rhs_attr]
+        if share_chase:
+            runs = [cache.chased(sigma, sigma_key, i, j, phi, instance)]
+        else:
+            runs = _chase_runs(
+                instance, sigma, max_instantiations, assume_infinite, (y1, y2), cache
+            )
+        for result in runs:
+            if result.status is ChaseStatus.UNDEFINED:
+                continue
+            r1 = result.instance.resolve(y1)
+            r2 = result.instance.resolve(y2)
+            violated = r1 != r2
+            if not violated and is_const(rhs_entry):
+                violated = isinstance(r1, SymVar) or r1 != rhs_entry.value
+            if violated:
+                database = _to_database(result.instance, branches[0])
+                return Counterexample(database, (i, j))
     return None
 
 
@@ -441,6 +494,7 @@ def _equality_counterexample(
     max_instantiations: int | None,
     assume_infinite: bool,
     cache: BranchPairCache | None,
+    pairs: list[tuple[int, int]] | None = None,
 ) -> Counterexample | None:
     a = phi.lhs[0][0]
     b = phi.rhs[0][0]
@@ -448,7 +502,15 @@ def _equality_counterexample(
         assume_infinite, max_instantiations
     )
     sigma_key = frozenset(sigma) if share_chase else None
-    for i, branch in enumerate(branches):
+    if pairs is None:
+        indexes = list(range(len(branches)))
+    else:
+        # Equality-form conjuncts need one copy per branch; a shard owns
+        # branch i iff it owns the diagonal pair (i, i), so the shards
+        # jointly cover every branch exactly once.
+        indexes = sorted({i for i, j in pairs if i == j})
+    for i in indexes:
+        branch = branches[i]
         if cache is not None:
             prepared = cache.base_single(i)
             if prepared is None:

@@ -8,6 +8,12 @@ paper's evaluation (and any production deployment) actually runs —
 ``k^2`` branch combinations, the coupled instance skeletons and the
 attribute closures are shared structure.
 
+This module is the *engine core* of the layered
+:mod:`repro.propagation.engine` package; key construction lives in
+:mod:`~repro.propagation.engine.keys` (the provenance layer) and the
+branch-pair sharding in :mod:`~repro.propagation.engine.scheduler` (the
+scheduler layer).
+
 :class:`PropagationEngine` answers batches:
 
 - ``check_many(sigma, view, phis)`` / ``check(...)`` — batched
@@ -28,10 +34,19 @@ Verdicts and covers are memoized in *tiered caches*
 (:mod:`repro.propagation.cache`): an LRU-bounded in-memory tier
 (``cache_size``; unbounded by default) optionally backed by a
 schema-versioned sqlite store (``cache_dir``;
-:mod:`repro.propagation.store`) keyed on stable ``(Sigma fingerprint,
-view fingerprint, phi, settings)`` digests — so warm lines survive
-restarts and are shared across worker processes pointing at one cache
-directory.
+:mod:`repro.propagation.store`) — so warm lines survive restarts and are
+shared across worker processes pointing at one cache directory.
+
+Cache keys are **provenance-scoped** (:mod:`.keys`): Sigma enters every
+key restricted to the relations the view's chase can read, as the
+frozenset of its normalized CFDs on those relations (memory tier) and as
+a composite of per-relation stable fingerprints (persistent tier).
+Editing CFDs on relation ``R`` therefore moves only the keys of queries
+whose provenance includes ``R`` — warm lines for untouched relations
+survive in both tiers, which is what makes incremental Sigma updates
+(``PropagationService.delta_sigma``) cheap.
+:meth:`PropagationEngine.invalidate_relations` is the explicit hygiene
+hook the delta path calls.
 
 Each batch is partitioned into *hits* (answered inline from the memory
 tier, the persistent tier, or the closure fast path) and *misses*.  With
@@ -39,20 +54,17 @@ tier, the persistent tier, or the closure fast path) and *misses*.  With
 (``pool="thread"`` or ``"process"``) and the results are written back
 through both tiers; with the default ``jobs=1`` misses resolve
 sequentially through the shared tableau caches exactly as in the
-single-process design.
+single-process design.  On multi-branch union views with ``shards > 1``
+the ``k^2`` branch-pair space of the misses is additionally dealt into
+deterministic shards executed through the same pool (see
+:mod:`.scheduler`), so one wide SPCU query parallelizes instead of
+serializing its dominant loop.
 
 ``PropagationEngine(use_cache=False)`` disables every layer (including
-the fast path, the persistent store and the fan-out) and routes queries
-through the plain single-query procedures — the ``--no-cache`` ablation
-baseline.  Counters in :class:`EngineStats` stay live either way, which
-is what the perf-regression tests assert on.
-
-Cache keys are *structural*: Sigma is fingerprinted as the frozenset of
-its normalized CFDs and views by their normal form (atoms, selection,
-projection, constants), so logically equal inputs share cache lines and
-any change to Sigma or the view reaches a fresh one.  The persistent
-tier mirrors the same equivalence with process-stable sha256 digests of
-the :mod:`repro.io` wire format (see ``docs/caching.md``).
+the fast path, the persistent store, the fan-out and the sharding) and
+routes queries through the plain single-query procedures — the
+``--no-cache`` ablation baseline.  Counters in :class:`EngineStats` stay
+live either way, which is what the perf-regression tests assert on.
 """
 
 from __future__ import annotations
@@ -62,21 +74,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..algebra.spc import SPCView
-from ..algebra.spcu import SPCUView
-from ..core.cfd import CFD
-from ..core.fd import FD, attribute_closure
-from ..core.mincover import min_cover
-from ..core.values import is_wildcard
-from ..io import dependencies_to_json, dependency_from_json
-from .cache import (
-    TieredCache,
-    cover_persist_key,
-    sigma_fingerprint,
-    verdict_persist_key,
-    view_fingerprint,
-)
-from .check import (
+from ...algebra.spc import SPCView
+from ...algebra.spcu import SPCUView
+from ...core.cfd import CFD
+from ...core.fd import FD, attribute_closure
+from ...core.mincover import min_cover
+from ...core.values import is_wildcard
+from ...io import dependencies_to_json, dependency_from_json
+from ..cache import TieredCache, view_fingerprint
+from ..check import (
     BranchPairCache,
     Counterexample,
     DependencyLike,
@@ -84,12 +90,34 @@ from .check import (
     _as_cfds,
     find_counterexample,
 )
-from .cover import prop_cfd_spc_report
-from .rbr import RBRStats
-from .spcu_cover import prop_cfd_spcu
-from .store import SqliteStore
+from ..cover import prop_cfd_spc_report
+from ..rbr import RBRStats
+from ..spcu_cover import prop_cfd_spcu
+from ..store import SqliteStore
+from .keys import (
+    cover_key,
+    key_view,
+    make_stale_predicate,
+    provenance_fingerprint,
+    scoped_sigma,
+    structural_view_key,
+    touched_relations,
+    verdict_key,
+)
+from .scheduler import (
+    WORKER_RBR_FIELDS,
+    WORKER_STAT_FIELDS,
+    _shard_check_worker,
+    combine_verdicts,
+    plan_pairs,
+    shard_check_payloads,
+)
 
 __all__ = ["EngineStats", "PropagationEngine"]
+
+#: The structural view key, under the name the rest of the code base (and
+#: the regression tests) have imported since PR 2.
+_view_fingerprint = structural_view_key
 
 
 @dataclass
@@ -97,14 +125,18 @@ class EngineStats:
     """Instrumentation counters for one :class:`PropagationEngine`.
 
     ``chase_invocations`` counts chase runs *launched by check queries*
-    (cache hits launch none), including chases run by fan-out workers;
-    with ``jobs=1`` the perf-regression tests bound it by the number of
-    unique closures/LHS shapes in a batch (fan-out groups misses by LHS
-    shape before chunking, so chunk boundaries can add at most
-    ``jobs - 1`` duplicate chases per shape).  ``verdict_hits``/``cover_hits``
-    count memory-tier hits; the ``persistent_*`` counters and
-    ``evictions`` mirror the tiered caches; ``parallel_tasks`` counts
-    pool tasks dispatched for miss fan-out.
+    (cache hits launch none), including chases run by fan-out and shard
+    workers; with ``jobs=1`` the perf-regression tests bound it by the
+    number of unique closures/LHS shapes in a batch (fan-out groups
+    misses by LHS shape before chunking, so chunk boundaries can add at
+    most ``jobs - 1`` duplicate chases per shape).
+    ``verdict_hits``/``cover_hits`` count memory-tier hits; the
+    ``persistent_*`` counters and ``evictions`` mirror the tiered memo
+    caches and ``tableau_evictions`` the LRU-bounded
+    :class:`~repro.propagation.check.BranchPairCache` layers;
+    ``parallel_tasks`` counts pool tasks dispatched (miss chunks and
+    shard payloads alike) and ``shard_tasks`` the shard payloads of the
+    branch-pair scheduler specifically.
     """
 
     check_queries: int = 0
@@ -121,7 +153,9 @@ class EngineStats:
     persistent_misses: int = 0
     persistent_writes: int = 0
     evictions: int = 0
+    tableau_evictions: int = 0
     parallel_tasks: int = 0
+    shard_tasks: int = 0
     rbr: RBRStats = field(default_factory=RBRStats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -137,37 +171,10 @@ class EngineStats:
             f"persistent={self.persistent_hits}h/{self.persistent_misses}m/"
             f"{self.persistent_writes}w, "
             f"evictions={self.evictions}, "
-            f"parallel_tasks={self.parallel_tasks})"
+            f"tableau_evictions={self.tableau_evictions}, "
+            f"parallel_tasks={self.parallel_tasks}, "
+            f"shard_tasks={self.shard_tasks})"
         )
-
-
-def _view_fingerprint(view: ViewLike) -> tuple:
-    """A structural key for a view's normal form (process-local tier).
-
-    Attribute *domains* are part of the key: verdicts depend on finite
-    domains (the chase enumerates their values), so structurally equal
-    views over schemas that differ only in domains must never share a
-    cache line.
-    """
-    if isinstance(view, SPCUView):
-        # The union's own name is part of the key: covers embed it in
-        # every returned CFD, so same-branch unions with different names
-        # must not share a line.
-        return ("U", view.name) + tuple(_view_fingerprint(b) for b in view.branches)
-    return (
-        view.name,
-        tuple(view.atoms),
-        tuple(view.selection),
-        tuple(view.projection),
-        tuple(sorted(view.constants.items())),
-        view.unsatisfiable,
-        tuple(
-            sorted(
-                (attr, domain.name, domain.values)
-                for attr, domain in view.extended_attributes().items()
-            )
-        ),
-    )
 
 
 def _all_wildcard(phi: CFD) -> bool:
@@ -197,20 +204,11 @@ def _chunks(items: list, n: int) -> list[list]:
     return out
 
 
-#: Tableau-cache counters a fan-out worker reports back for merging.
-_WORKER_STAT_FIELDS = (
-    "chase_invocations",
-    "coupled_hits",
-    "coupled_misses",
-    "chased_hits",
-    "chased_misses",
-)
-_WORKER_RBR_FIELDS = ("resolvent_pairs", "resolvents_kept", "drops", "mincover_passes")
-
-
 def _worker_stats(stats: "EngineStats") -> dict:
-    out = {name: getattr(stats, name) for name in _WORKER_STAT_FIELDS}
-    out["rbr"] = {name: getattr(stats.rbr, name) for name in _WORKER_RBR_FIELDS}
+    """One chunk worker's report, in the shared worker-stats protocol
+    (:data:`~repro.propagation.engine.scheduler.WORKER_STAT_FIELDS`)."""
+    out = {name: getattr(stats, name) for name in WORKER_STAT_FIELDS}
+    out["rbr"] = {name: getattr(stats.rbr, name) for name in WORKER_RBR_FIELDS}
     return out
 
 
@@ -252,9 +250,9 @@ class PropagationEngine:
     use_cache:
         ``False`` gives the uncached ablation baseline: every query runs
         the plain single-query procedure (no tableau reuse, no verdict
-        memo, no closure fast path, no persistent store, no fan-out).
-        Verdicts are guaranteed identical either way — the differential
-        tests enforce it.
+        memo, no closure fast path, no persistent store, no fan-out, no
+        sharding).  Verdicts are guaranteed identical either way — the
+        differential tests enforce it.
     max_instantiations / assume_infinite:
         Defaults forwarded to the underlying decision procedure (the
         finite-domain enumeration cap and the deliberately incomplete
@@ -265,8 +263,12 @@ class PropagationEngine:
         sqlite store under this directory, shared across processes.
     cache_size:
         LRU capacity of each in-memory memo tier (verdicts and covers
-        separately); ``None`` keeps them unbounded.  Evictions are
-        counted in :attr:`EngineStats.evictions`.
+        separately) *and* of the growing tableau layers (coupled
+        skeletons, chased results) of the per-view
+        :class:`~repro.propagation.check.BranchPairCache`; ``None``
+        keeps them unbounded.  Evictions are counted in
+        :attr:`EngineStats.evictions` (memo tiers) and
+        :attr:`EngineStats.tableau_evictions` (tableau layers).
     jobs:
         With ``jobs > 1``, cache-miss queries in a batch fan out across
         a ``concurrent.futures`` pool of at most this many workers.
@@ -279,6 +281,24 @@ class PropagationEngine:
         ``"process"`` (true CPU parallelism; inputs are pickled, and
         the pool is spawned once per engine and reused, so its startup
         cost amortizes across batches).
+    shards:
+        With ``shards > 1``, cache-miss checks on multi-branch union
+        views deal their ``k^2`` branch-pair space into this many
+        deterministic shards (see :mod:`.scheduler`) executed through
+        the same ``jobs``/``pool`` executor with dynamic assignment.
+        Verdicts (and covers, whose SPCU candidate verification funnels
+        through the sharded checker) are invariant in the shard count.
+    shard_index:
+        Restrict this engine to evaluating *one* shard of the plan —
+        the scale-out seam for distributing one view's pair space
+        across processes or machines.  A shard verdict of ``True``
+        means only "no violation within shard ``shard_index``"; it is
+        memoized under shard-scoped keys and never written to the
+        persistent store, and an orchestrator must AND the verdicts of
+        all ``shards`` engines for the full answer.  Covers are *not*
+        shard-combinable, so :meth:`cover`/:meth:`cover_many` raise on
+        a ``shard_index``-restricted engine rather than return a
+        silently partial cover.
     """
 
     def __init__(
@@ -291,16 +311,27 @@ class PropagationEngine:
         cache_size: int | None = None,
         jobs: int = 1,
         pool: str = "thread",
+        shards: int = 1,
+        shard_index: int | None = None,
     ) -> None:
         if pool not in ("thread", "process"):
             raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
         if jobs < 1:
             raise ValueError(f"jobs must be positive, got {jobs}")
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if shard_index is not None and not 0 <= shard_index < shards:
+            raise ValueError(
+                f"shard_index must be in [0, {shards}), got {shard_index}"
+            )
         self.use_cache = use_cache
         self.max_instantiations = max_instantiations
         self.assume_infinite = assume_infinite
         self.jobs = jobs
         self.pool = pool
+        self.shards = shards
+        self.shard_index = shard_index
+        self.cache_size = cache_size
         self.stats = EngineStats()
         self._executor: concurrent.futures.Executor | None = None
         self._store: SqliteStore | None = None
@@ -323,8 +354,10 @@ class PropagationEngine:
         self._pair_caches: dict[tuple, BranchPairCache] = {}
         self._min_sigma: dict[frozenset, list[CFD]] = {}
         self._fast_contexts: dict[tuple, "_FastPathContext | None"] = {}
-        # Stable-fingerprint memos (pure functions of their keys).
-        self._sigma_fps: dict[frozenset, str] = {}
+        # Pure functions of their keys, memoized: the touched-relation
+        # set per view and the stable fingerprints of the persistent tier.
+        self._touched: dict[tuple, frozenset[str]] = {}
+        self._prov_fps: dict[tuple[frozenset, frozenset], str] = {}
         self._view_fps: dict[tuple, str] = {}
         #: Counter totals of caches no longer tracked (retired by clear()
         #: or by object turnover, the throwaway uncached-run caches, and
@@ -335,6 +368,7 @@ class PropagationEngine:
             "coupled_misses": 0,
             "chased_hits": 0,
             "chased_misses": 0,
+            "tableau_evictions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -372,34 +406,122 @@ class PropagationEngine:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def invalidate_relations(
+        self,
+        relations: Iterable[str],
+        sigma: Iterable[DependencyLike] | None = None,
+    ) -> dict[str, int]:
+        """Drop warm state whose provenance meets *relations*.
+
+        The provenance-scoped keys already guarantee that a Sigma edit on
+        *relations* can never be *served* a stale line — the edit moves
+        the keys of every affected query.  This hook is the hygiene and
+        observability half of delta-aware invalidation: it evicts the
+        now-unreachable lines eagerly (instead of waiting for LRU churn)
+        and reports how many lines were invalidated versus retained
+        warm, which is what ``PropagationService.delta_sigma`` surfaces
+        to callers.  Only memory tiers are touched; the persistent store
+        keeps every row (old-provenance rows are unreachable under the
+        new keys and harmless).
+
+        *sigma* — the *pre-edit* dependency set being replaced — makes
+        the sweep precise: only lines whose key was derived from that
+        set are dropped, so lines warmed under *other* Sigmas that
+        happen to mention the affected relations survive (they remain
+        reachable — their keys never moved).  Without it every
+        provenance-meeting line goes (the conservative sweep).
+        """
+        affected = frozenset(relations)
+        old_cfds = None if sigma is None else _as_cfds(list(sigma))
+        stale = make_stale_predicate(affected, old_cfds)
+
+        invalidated = retained = 0
+        for tier in (self._verdict_tier, self._cover_tier):
+            for key in tier.memory.keys():
+                if stale(key[0], self._touched.get(key_view(key))):
+                    tier.memory.discard(key)
+                    invalidated += 1
+                else:
+                    retained += 1
+        for key in list(self._fast_contexts):
+            if stale(key[0], self._touched.get(key_view(key))):
+                del self._fast_contexts[key]
+        for key in list(self._min_sigma):
+            if old_cfds is not None:
+                if key == frozenset(old_cfds):
+                    del self._min_sigma[key]
+            elif any(phi.relation in affected for phi in key):
+                del self._min_sigma[key]
+        if old_cfds is None:
+            # Pair-cache skeleton layers are Sigma-independent and the
+            # chased layer is Sigma-keyed (stale entries unreachable),
+            # so the precise sweep leaves them; only the conservative
+            # sweep drops whole caches for affected views.
+            for view_key, cache in list(self._pair_caches.items()):
+                touched = self._touched.get(view_key)
+                if touched is None or touched & affected:
+                    self._retire(cache)
+                    del self._pair_caches[view_key]
+        for key in list(self._prov_fps):
+            if stale(key[0], key[1]):
+                del self._prov_fps[key]
+        return {"invalidated": invalidated, "retained": retained}
+
+    def _touched_relations(self, view: ViewLike, view_key: tuple) -> frozenset[str]:
+        touched = self._touched.get(view_key)
+        if touched is None:
+            touched = touched_relations(view)
+            self._touched[view_key] = touched
+        return touched
+
     def _persist_fps(
-        self, sigma_key: frozenset, sigma_cfds: list[CFD], view_key: tuple, view: ViewLike
+        self,
+        sigma_key: frozenset,
+        scoped_cfds: list[CFD],
+        touched: frozenset[str],
+        view_key: tuple,
+        view: ViewLike,
     ) -> tuple[str, str] | None:
-        """Stable (Sigma, view) fingerprints, or ``None`` without a store."""
-        if self._store is None:
+        """Stable (provenance, view) fingerprints, or ``None`` when the
+        line must not persist (no store, or a partial shard verdict)."""
+        if self._store is None or self.shard_index is not None:
             return None
-        sigma_fp = self._sigma_fps.get(sigma_key)
-        if sigma_fp is None:
-            sigma_fp = sigma_fingerprint(sigma_cfds)
-            self._sigma_fps[sigma_key] = sigma_fp
+        prov_fp = self._prov_fps.get((sigma_key, touched))
+        if prov_fp is None:
+            prov_fp = provenance_fingerprint(scoped_cfds, touched)
+            self._prov_fps[(sigma_key, touched)] = prov_fp
         view_fp = self._view_fps.get(view_key)
         if view_fp is None:
             view_fp = view_fingerprint(view)
             self._view_fps[view_key] = view_fp
-        return sigma_fp, view_fp
+        return prov_fp, view_fp
+
+    def _memo_settings(self) -> tuple:
+        """The settings component of memory-tier memo keys.
+
+        A ``shard_index``-restricted engine computes *partial* verdicts,
+        which must never share a line with (or be promoted into) the
+        full-answer keyspace — the shard coordinates join the key.
+        """
+        settings = (self.max_instantiations, self.assume_infinite)
+        if self.shard_index is not None:
+            settings += ("shard", self.shards, self.shard_index)
+        return settings
 
     def _fast_context(
         self,
         view: ViewLike,
         view_key: tuple,
-        sigma_cfds: list[CFD],
+        scoped_cfds: list[CFD],
         sigma_key: frozenset,
     ) -> "_FastPathContext | None":
-        # Memoized per (Sigma, view): the SPCU cover path funnels every
-        # candidate through check(), which must not rebuild the context.
+        # Memoized per (scoped Sigma, view): the SPCU cover path funnels
+        # every candidate through check(), which must not rebuild the
+        # context.  Scoping Sigma first also widens applicability: CFDs
+        # on relations the view never reads cannot disqualify the path.
         key = (sigma_key, view_key)
         if key not in self._fast_contexts:
-            self._fast_contexts[key] = _FastPathContext.of(view, sigma_cfds)
+            self._fast_contexts[key] = _FastPathContext.of(view, scoped_cfds)
         return self._fast_contexts[key]
 
     def _retire(self, cache: BranchPairCache) -> None:
@@ -408,6 +530,7 @@ class PropagationEngine:
         self._retired["coupled_misses"] += cache.coupled_misses
         self._retired["chased_hits"] += cache.chased_hits
         self._retired["chased_misses"] += cache.chased_misses
+        self._retired["tableau_evictions"] += cache.evictions
 
     def _pair_cache(self, view: ViewLike, view_key: tuple) -> BranchPairCache:
         cache = self._pair_caches.get(view_key)
@@ -418,16 +541,17 @@ class PropagationEngine:
             # (the verdict/cover memos still share across objects).
             if cache is not None:
                 self._retire(cache)
-            cache = BranchPairCache(view, enabled=True)
+            cache = BranchPairCache(view, enabled=True, capacity=self.cache_size)
             self._pair_caches[view_key] = cache
         return cache
 
     def _sync_pair_stats(self) -> None:
         live = list(self._pair_caches.values())
         for name in self._retired:
+            attr = "evictions" if name == "tableau_evictions" else name
             self.stats.__setattr__(
                 name,
-                self._retired[name] + sum(getattr(c, name) for c in live),
+                self._retired[name] + sum(getattr(c, attr) for c in live),
             )
 
     def _sync_tier_stats(self) -> None:
@@ -438,7 +562,7 @@ class PropagationEngine:
         self.stats.evictions = sum(t.memory.evictions for t in tiers)
 
     def _merge_worker_stats(self, worker_stats: dict) -> None:
-        for name in _WORKER_STAT_FIELDS:
+        for name in WORKER_STAT_FIELDS:
             self._retired[name] += worker_stats[name]
         for name, value in worker_stats["rbr"].items():
             setattr(self.stats.rbr, name, getattr(self.stats.rbr, name) + value)
@@ -449,7 +573,9 @@ class PropagationEngine:
         The executor is created lazily on the first fan-out and reused
         for the engine's lifetime (a per-batch pool spawn — especially a
         process pool's — would dwarf small batches), then shut down by
-        :meth:`close`.
+        :meth:`close`.  Each payload is its own task, so free workers
+        pull the next unstarted one from the executor queue — dynamic
+        assignment, whether the payloads are miss chunks or shards.
         """
         if self._executor is None:
             if self.pool == "process":
@@ -488,7 +614,9 @@ class PropagationEngine:
         partitioned into hits (memory tier, persistent tier, closure
         fast path — answered inline) and misses; with ``jobs > 1`` the
         misses fan out across the worker pool and are written back
-        through both cache tiers.
+        through both cache tiers, and on multi-branch unions with
+        ``shards > 1`` each miss's ``k^2`` pair space is itself sharded
+        across the pool.
         """
         sigma = list(sigma)
         if not self.use_cache:
@@ -511,17 +639,20 @@ class PropagationEngine:
             return verdicts
 
         sigma_cfds = _as_cfds(sigma)
-        sigma_key = frozenset(sigma_cfds)
         view_key = _view_fingerprint(view)
-        fast = self._fast_context(view, view_key, sigma_cfds, sigma_key)
+        touched = self._touched_relations(view, view_key)
+        scoped = scoped_sigma(sigma_cfds, touched)
+        sigma_key = frozenset(scoped)
+        fast = self._fast_context(view, view_key, scoped, sigma_key)
         cache = self._pair_cache(view, view_key)
-        fps = self._persist_fps(sigma_key, sigma_cfds, view_key, view)
+        fps = self._persist_fps(sigma_key, scoped, touched, view_key, view)
         settings = (self.max_instantiations, self.assume_infinite)
+        memo_settings = self._memo_settings()
 
         def persist_key(phi_cfd: CFD) -> str | None:
             if fps is None:
                 return None
-            return verdict_persist_key(fps[0], fps[1], phi_cfd, *settings)
+            return verdict_key(fps[0], fps[1], phi_cfd, *settings)
 
         verdicts: list[bool | None] = [None] * len(phis)
         # Misses, deduplicated: memo key -> (phi, persist key, indices).
@@ -529,7 +660,7 @@ class PropagationEngine:
         for idx, phi in enumerate(phis):
             self.stats.check_queries += 1
             phi_cfd = CFD.from_fd(phi) if isinstance(phi, FD) else phi
-            memo_key = (sigma_key, view_key, phi_cfd, *settings)
+            memo_key = (sigma_key, view_key, phi_cfd, *memo_settings)
             if memo_key in pending:
                 # Duplicate of an in-flight miss: answered from the memo
                 # once the first occurrence resolves.
@@ -555,35 +686,7 @@ class PropagationEngine:
         if pending:
             keys = list(pending)
             miss_phis = [pending[k][0] for k in keys]
-            if self.jobs > 1 and len(miss_phis) > 1:
-                # Group misses by LHS shape before chunking: queries
-                # sharing a coupled skeleton/chase land in one worker's
-                # chunk, so chunking costs (almost) no tableau sharing.
-                order = sorted(
-                    range(len(keys)), key=lambda i: repr(miss_phis[i].lhs)
-                )
-                keys = [keys[i] for i in order]
-                miss_phis = [miss_phis[i] for i in order]
-                chunks = _chunks(miss_phis, self.jobs)
-                payloads = [
-                    (sigma_cfds, view, chunk, *settings) for chunk in chunks
-                ]
-                resolved = [
-                    v for vs in self._fan_out(_check_chunk_worker, payloads) for v in vs
-                ]
-            else:
-                resolved = [
-                    find_counterexample(
-                        sigma_cfds,
-                        view,
-                        phi_cfd,
-                        max_instantiations=self.max_instantiations,
-                        assume_infinite=self.assume_infinite,
-                        cache=cache,
-                    )
-                    is None
-                    for phi_cfd in miss_phis
-                ]
+            resolved = self._resolve_check_misses(scoped, view, cache, miss_phis)
             for memo_key, verdict in zip(keys, resolved):
                 _, pkey, indices = pending[memo_key]
                 self._verdict_tier.put(memo_key, verdict, pkey)
@@ -593,6 +696,96 @@ class PropagationEngine:
         self._sync_pair_stats()
         self._sync_tier_stats()
         return verdicts
+
+    def _resolve_check_misses(
+        self,
+        scoped: list[CFD],
+        view: ViewLike,
+        cache: BranchPairCache,
+        miss_phis: list[CFD],
+    ) -> list[bool]:
+        """Decide the deduplicated cache misses of one check batch.
+
+        Three strategies, in order of preference: shard the branch-pair
+        space (multi-branch unions with ``shards > 1`` or a pinned
+        ``shard_index``), chunk the queries across the pool
+        (``jobs > 1``), or resolve sequentially through the shared
+        tableau caches.
+        """
+        settings = (self.max_instantiations, self.assume_infinite)
+        sharded = (
+            isinstance(view, SPCUView)
+            and len(view.branches) > 1
+            and (self.shards > 1 or self.shard_index is not None)
+        )
+        if sharded:
+            plans = plan_pairs(len(view.branches), self.shards)
+            if self.shard_index is not None:
+                plans = plans[self.shard_index : self.shard_index + 1]
+            live_plans = [plan for plan in plans if plan]
+            if not live_plans:  # a shard beyond the pair space: no violations
+                return [True] * len(miss_phis)
+            self.stats.shard_tasks += len(live_plans)
+            if self.jobs > 1 and len(live_plans) > 1:
+                # Pooled shards get private tableau caches (BranchPairCache
+                # is not thread-safe); the lost cross-shard sharing is the
+                # price of pair-space parallelism.
+                payloads = shard_check_payloads(
+                    scoped, view, miss_phis, *settings, live_plans
+                )
+                shard_violations = self._fan_out(_shard_check_worker, payloads)
+                return combine_verdicts(shard_violations)
+            # Inline shards run against the engine's own per-view cache,
+            # so skeletons and chased results keep accruing across
+            # batches exactly as in the unsharded path — and iterate
+            # plans per query, so a refuted phi stops at its first
+            # violating pair instead of evaluating the remaining shards
+            # (the early exit the unsharded loop has).
+            return [
+                all(
+                    find_counterexample(
+                        scoped,
+                        view,
+                        phi_cfd,
+                        max_instantiations=self.max_instantiations,
+                        assume_infinite=self.assume_infinite,
+                        cache=cache,
+                        pairs=plan,
+                    )
+                    is None
+                    for plan in live_plans
+                )
+                for phi_cfd in miss_phis
+            ]
+
+        if self.jobs > 1 and len(miss_phis) > 1:
+            # Group misses by LHS shape before chunking: queries sharing
+            # a coupled skeleton/chase land in one worker's chunk, so
+            # chunking costs (almost) no tableau sharing.
+            order = sorted(range(len(miss_phis)), key=lambda i: repr(miss_phis[i].lhs))
+            ordered = [miss_phis[i] for i in order]
+            chunks = _chunks(ordered, self.jobs)
+            payloads = [(scoped, view, chunk, *settings) for chunk in chunks]
+            flat = [
+                v for vs in self._fan_out(_check_chunk_worker, payloads) for v in vs
+            ]
+            resolved: list = [None] * len(miss_phis)
+            for position, verdict in zip(order, flat):
+                resolved[position] = verdict
+            return resolved
+
+        return [
+            find_counterexample(
+                scoped,
+                view,
+                phi_cfd,
+                max_instantiations=self.max_instantiations,
+                assume_infinite=self.assume_infinite,
+                cache=cache,
+            )
+            is None
+            for phi_cfd in miss_phis
+        ]
 
     def find_counterexample(
         self, sigma: Iterable[DependencyLike], view: ViewLike, phi: DependencyLike
@@ -636,30 +829,47 @@ class PropagationEngine:
         line 1) minimizing Sigma; across a batch of views that cost is
         paid once and memoized by Sigma fingerprint.  SPCU candidate
         verification is routed through :meth:`check`, so the k^2 pair
-        tableaux are shared across all candidates of a union view.  Like
+        tableaux are shared across all candidates of a union view — and
+        sharded across the pool when ``shards > 1``.  Like
         :meth:`check_many`, the batch partitions into tier hits and
         misses, and misses fan out across the pool when ``jobs > 1``.
         """
+        if self.shard_index is not None:
+            # SPCU candidate verification would funnel through the
+            # pair-restricted checker, whose partial verdicts are not
+            # AND-combinable into a cover — fail loudly instead of
+            # returning a silently wrong one.
+            raise ValueError(
+                "covers are not available on a shard_index-restricted "
+                "engine: partial shard verdicts cannot be combined into "
+                "a cover; use a full engine (shard_index=None)"
+            )
         sigma = list(sigma)
         sigma_cfds = _as_cfds(sigma)
-        sigma_key = frozenset(sigma_cfds)
+        full_sigma_key = frozenset(sigma_cfds)
         settings = (self.max_instantiations, self.assume_infinite)
+        memo_settings = self._memo_settings()
         covers: list[list[CFD] | None] = [None] * len(views)
         # Misses, deduplicated: memo key -> (view, persist key, indices).
         pending: dict[tuple, tuple[ViewLike, str | None, list[int]]] = {}
         for idx, view in enumerate(views):
             self.stats.cover_queries += 1
             if not self.use_cache:
-                covers[idx] = self._compute_cover(sigma, sigma_cfds, sigma_key, view)
+                covers[idx] = self._compute_cover(
+                    sigma, sigma_cfds, full_sigma_key, view
+                )
                 continue
             view_key = _view_fingerprint(view)
-            memo_key = (sigma_key, view_key)
+            touched = self._touched_relations(view, view_key)
+            scoped = scoped_sigma(sigma_cfds, touched)
+            sigma_key = frozenset(scoped)
+            memo_key = (sigma_key, view_key, *memo_settings)
             if memo_key in pending:
                 self.stats.cover_hits += 1
                 pending[memo_key][2].append(idx)
                 continue
-            fps = self._persist_fps(sigma_key, sigma_cfds, view_key, view)
-            pkey = None if fps is None else cover_persist_key(fps[0], fps[1], *settings)
+            fps = self._persist_fps(sigma_key, scoped, touched, view_key, view)
+            pkey = None if fps is None else cover_key(fps[0], fps[1], *settings)
             value, layer = self._cover_tier.get(memo_key, pkey)
             if layer is not None:
                 if layer == "memory":
@@ -679,7 +889,7 @@ class PropagationEngine:
                 ]
             else:
                 resolved = [
-                    self._compute_cover(sigma, sigma_cfds, sigma_key, v)
+                    self._compute_cover(sigma, sigma_cfds, full_sigma_key, v)
                     for v in miss_views
                 ]
             for memo_key, cover in zip(keys, resolved):
@@ -717,7 +927,8 @@ class PropagationEngine:
                 # to be identical, including under assume_infinite.  The
                 # batched verifier shares Sigma normalization and the k^2
                 # pair tableaux across all candidates, and fans cache
-                # misses out across the pool when jobs > 1.
+                # misses out across the pool (sharding the pair space
+                # when shards > 1).
                 return prop_cfd_spcu(
                     sigma,
                     view,
@@ -739,14 +950,15 @@ class _FastPathContext:
 
     Applicability (checked once per batch): a single-branch view with no
     selection condition, no constant relation and no finite-domain
-    attribute, and a Sigma consisting solely of all-wildcard CFDs (plain
-    FDs).  For such views a view tuple is an arbitrary combination of one
-    free tuple per atom, so ``Sigma |=_V (X -> B)`` holds iff the embedded
-    per-atom implication does: with ``B`` produced by atom ``j``,
-    ``X ∩ attrs(j) -> B`` must follow from Sigma on atom ``j``'s source —
-    attributes of other atoms never constrain ``B`` (two view tuples may
-    agree on them while drawing distinct source tuples).  That implication
-    is exactly ``B ∈ closure(X_j)``, served by the memoized
+    attribute, and a (provenance-scoped) Sigma consisting solely of
+    all-wildcard CFDs (plain FDs).  For such views a view tuple is an
+    arbitrary combination of one free tuple per atom, so
+    ``Sigma |=_V (X -> B)`` holds iff the embedded per-atom implication
+    does: with ``B`` produced by atom ``j``, ``X ∩ attrs(j) -> B`` must
+    follow from Sigma on atom ``j``'s source — attributes of other atoms
+    never constrain ``B`` (two view tuples may agree on them while
+    drawing distinct source tuples).  That implication is exactly
+    ``B ∈ closure(X_j)``, served by the memoized
     :func:`repro.core.fd.attribute_closure`.
     """
 

@@ -1,0 +1,266 @@
+"""The provenance/keyspace layer: per-relation fingerprints, composite keys.
+
+Through PR 3 the engine keyed every cache line on a *whole-Sigma*
+fingerprint: one sha256 over the entire normalized dependency set.
+Correct, but maximally coarse — editing one CFD on one relation moved
+every query of every view onto a cold key, discarding warm lines for
+relations the edit never mentioned.  In production Sigma evolves
+incrementally (a rule added here, one retired there), so the whole-Sigma
+key made *every* deployment a cold start.
+
+This module replaces it with **provenance-scoped composite keys**:
+
+- :func:`touched_relations` — the set of source relations a query on a
+  view can ever read.  This is exactly the relation set of the chase's
+  symbolic instance: :func:`~repro.tableau.tableau.materialize_branch`
+  creates one block of tuples per relation atom and nothing else, and a
+  CFD on a relation with no tuples never fires, so the verdict (and the
+  cover — ``MinCover`` and ``rename_source_cfds`` are per-relation) is a
+  function of ``Sigma`` *restricted to these relations*.
+- :func:`scoped_sigma` / the structural memory-tier key — Sigma filtered
+  to the touched relations before it enters any key, so the in-memory
+  LRU tiers survive edits to untouched relations within one process.
+- :func:`relation_fingerprints` / :func:`provenance_fingerprint` — the
+  persistent-tier analogue: one stable fingerprint *per relation's* CFD
+  group, combined into a composite ``[(relation, fingerprint), ...]``
+  document covering only the touched relations.  Editing CFDs on
+  relation ``R`` changes only the keys whose provenance includes ``R``;
+  warm sqlite rows for every other view stay servable across processes
+  and restarts.
+
+Key-schema change = store schema change: the composite keys are
+:data:`~repro.propagation.store.SCHEMA_VERSION` 2; stores written under
+the PR 2/3 whole-Sigma keys (version 1) are dropped on open — the
+migration-to-cold fallback, never a misread line.
+
+:func:`structural_view_key` (the process-local view key, formerly
+``engine._view_fingerprint``) also lives here so every key constructor
+is in one module.  See ``docs/incremental.md`` for the invalidation
+rules this keyspace implies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ...algebra.spcu import SPCUView
+from ...core.cfd import CFD
+from ...io import dependency_to_json
+from ..cache import _canonical, query_persist_key, stable_digest
+from ..check import ViewLike, _branches
+
+__all__ = [
+    "cover_key",
+    "key_view",
+    "make_stale_predicate",
+    "provenance_doc",
+    "provenance_fingerprint",
+    "relation_fingerprints",
+    "scoped_sigma",
+    "structural_view_key",
+    "touched_relations",
+    "verdict_key",
+]
+
+#: The per-relation fingerprint of "no CFDs on this relation".  Spelled
+#: explicitly (rather than omitting the relation) so a composite key
+#: document always lists every touched relation — adding the first CFD
+#: on a relation and deleting the last one are both visible key moves.
+EMPTY_RELATION_FP = "-"
+
+
+# ----------------------------------------------------------------------
+# Provenance: which relations can a query on this view read?
+# ----------------------------------------------------------------------
+
+
+def touched_relations(view: ViewLike) -> frozenset[str]:
+    """The source relations a propagation query on *view* depends on.
+
+    The union of the relation-atom sources across every branch: the
+    chase's symbolic instance contains exactly one tuple block per atom,
+    so CFDs on any other relation are vacuous for both verdicts and
+    covers.
+    """
+    return frozenset(
+        atom.source for branch in _branches(view) for atom in branch.atoms
+    )
+
+
+def scoped_sigma(
+    sigma_cfds: Iterable[CFD], touched: frozenset[str]
+) -> list[CFD]:
+    """*sigma_cfds* restricted to the touched relations (order kept)."""
+    return [phi for phi in sigma_cfds if phi.relation in touched]
+
+
+# ----------------------------------------------------------------------
+# Stable per-relation fingerprints and the composite key documents.
+# ----------------------------------------------------------------------
+
+
+def relation_fingerprints(sigma_cfds: Iterable[CFD]) -> dict[str, str]:
+    """One stable fingerprint per relation's normalized CFD group.
+
+    *sigma_cfds* must be normal-form CFDs (``_as_cfds`` output).  Each
+    group is deduplicated and sorted canonically before hashing, so the
+    fingerprint is order- and multiplicity-insensitive exactly like the
+    whole-Sigma fingerprint it refines — and the whole-Sigma document is
+    recoverable as the sorted union of the groups.
+    """
+    groups: dict[str, set[str]] = {}
+    for phi in sigma_cfds:
+        groups.setdefault(phi.relation, set()).add(
+            _canonical(dependency_to_json(phi))
+        )
+    return {
+        relation: stable_digest(sorted(docs))
+        for relation, docs in groups.items()
+    }
+
+
+def provenance_doc(
+    sigma_cfds: Iterable[CFD], touched: frozenset[str]
+) -> list[list[str]]:
+    """The composite key document: ``[[relation, fingerprint], ...]``.
+
+    Sorted by relation name; every touched relation appears, with
+    :data:`EMPTY_RELATION_FP` standing in when Sigma has no CFDs on it.
+    """
+    fps = relation_fingerprints(sigma_cfds)
+    return [
+        [relation, fps.get(relation, EMPTY_RELATION_FP)]
+        for relation in sorted(touched)
+    ]
+
+
+def provenance_fingerprint(
+    sigma_cfds: Iterable[CFD], touched: frozenset[str]
+) -> str:
+    """The stable digest of :func:`provenance_doc` (the composite key)."""
+    return stable_digest(provenance_doc(sigma_cfds, touched))
+
+
+def verdict_key(
+    provenance_fp: str,
+    view_fp: str,
+    phi: CFD,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> str:
+    """The persistent key of one ``Sigma |=_V phi`` verdict.
+
+    The one shared derivation
+    (:func:`repro.propagation.cache.query_persist_key`) with the Sigma
+    slot holding the provenance composite instead of the PR 2
+    whole-Sigma fingerprint, so the key survives Sigma edits outside
+    the view's relations.
+    """
+    return query_persist_key(
+        "verdict",
+        "provenance",
+        provenance_fp,
+        view_fp,
+        phi,
+        max_instantiations,
+        assume_infinite,
+    )
+
+
+def cover_key(
+    provenance_fp: str,
+    view_fp: str,
+    max_instantiations: int | None,
+    assume_infinite: bool,
+) -> str:
+    """The persistent key of one propagation cover (provenance-scoped)."""
+    return query_persist_key(
+        "cover",
+        "provenance",
+        provenance_fp,
+        view_fp,
+        None,
+        max_instantiations,
+        assume_infinite,
+    )
+
+
+# ----------------------------------------------------------------------
+# The process-local structural view key.
+# ----------------------------------------------------------------------
+
+
+def structural_view_key(view: ViewLike) -> tuple:
+    """A structural key for a view's normal form (process-local tier).
+
+    Attribute *domains* are part of the key: verdicts depend on finite
+    domains (the chase enumerates their values), so structurally equal
+    views over schemas that differ only in domains must never share a
+    cache line.
+    """
+    if isinstance(view, SPCUView):
+        # The union's own name is part of the key: covers embed it in
+        # every returned CFD, so same-branch unions with different names
+        # must not share a line.
+        return ("U", view.name) + tuple(
+            structural_view_key(b) for b in view.branches
+        )
+    return (
+        view.name,
+        tuple(view.atoms),
+        tuple(view.selection),
+        tuple(view.projection),
+        tuple(sorted(view.constants.items())),
+        view.unsatisfiable,
+        tuple(
+            sorted(
+                (attr, domain.name, domain.values)
+                for attr, domain in view.extended_attributes().items()
+            )
+        ),
+    )
+
+
+def make_stale_predicate(affected: frozenset, old_cfds: list[CFD] | None):
+    """The one invalidation rule every delta sweep applies.
+
+    Returns ``stale(sigma_component, touched)`` deciding whether a memo
+    line — keyed on a provenance-scoped Sigma ``frozenset`` plus a view
+    whose touched-relation set is *touched* — should be dropped after an
+    edit to *old_cfds* (the pre-edit normalized set; ``None`` = unknown,
+    sweep conservatively) on the *affected* relations.  A line survives
+    iff its provenance misses the affected relations, or it was derived
+    from some *other* Sigma (its key never moved, so it stays reachable
+    and correct).  The engine's :meth:`~repro.propagation.engine.core.
+    PropagationEngine.invalidate_relations` and the service's
+    route/emptiness-memo sweep both call this, so the two can never
+    diverge.  Scoped old-Sigma sets are memoized per touched set — the
+    sweep stays linear in the number of lines.
+    """
+    old_scoped: dict[frozenset, frozenset] = {}
+
+    def stale(sigma_component, touched: frozenset | None) -> bool:
+        if touched is not None and not (touched & affected):
+            return False
+        if old_cfds is None or touched is None:
+            return True
+        scoped = old_scoped.get(touched)
+        if scoped is None:
+            scoped = frozenset(
+                phi for phi in old_cfds if phi.relation in touched
+            )
+            old_scoped[touched] = scoped
+        return sigma_component == scoped
+
+    return stale
+
+
+def key_view(memo_key: tuple) -> Any:
+    """The view component of an engine memo key.
+
+    Every memory-tier key the engine builds — verdict memo, cover memo,
+    fast-path context — leads with ``(scoped sigma, view key, ...)``;
+    the invalidation scans in ``engine/core.py`` go through this helper
+    so the layout is stated in exactly one place.
+    """
+    return memo_key[1]

@@ -45,7 +45,14 @@ __all__ = ["SCHEMA_VERSION", "SqliteStore"]
 
 #: Bump on any change to key derivation or payload encoding.  A store
 #: written under a different version is dropped on open (cold start).
-SCHEMA_VERSION = 1
+#:
+#: v1: whole-Sigma fingerprints (PR 2/3).
+#: v2: provenance-scoped composite keys — per-relation Sigma
+#:     fingerprints over the view's touched relations
+#:     (:mod:`repro.propagation.engine.keys`).  v1 stores migrate to
+#:     cold on open: their whole-Sigma keys are unreachable under the
+#:     composite derivation and must never be misread as warm lines.
+SCHEMA_VERSION = 2
 
 #: The only tables the store manages; names are interpolated into SQL and
 #: must never come from user input.
