@@ -1,16 +1,36 @@
 """Server-mode throughput: one warm ``repro serve`` across many batches.
 
-The acceptance experiment for server mode (PR 3): a single
-``repro serve`` subprocess (stdio transport, the real CLI) answers the
-Example 4.1 batch repeatedly.  The first batch is cold (chases > 0);
-every subsequent batch must be answered purely from the warm engine —
-**zero chases** — and the benchmark records the cold/warm latency gap
-and the warm-leg request throughput.
+The acceptance experiment for server mode (PR 3, extended by PR 5): a
+``repro serve`` subprocess (the real CLI) answers the Example 4.1 batch
+repeatedly.  The first batch is cold (chases > 0); every subsequent
+batch must be answered purely from the warm engine — **zero chases** —
+and the benchmark records the cold/warm latency gap and the warm-leg
+request throughput.
 
-Honors the shared env knobs (``docs/caching.md``):
+Two entry points:
 
-- ``REPRO_JOBS``   — forwarded as ``--jobs`` (miss fan-out width);
-- ``REPRO_CACHE_DIR`` — forwarded as ``--cache-dir`` (persistent tier).
+- **pytest** (the default; ``PYTHONPATH=src:benchmarks python -m pytest
+  benchmarks/bench_server.py``): the PR 3 stdio experiment, recorded
+  through the shared ``record_point`` series.
+- **``--smoke``** (pytest-free, for CI): drives the endpoint stack of
+  PR 5 — launches ``repro serve`` on a socket, talks to it through the
+  typed client SDK (:func:`repro.api.connect`), and appends the
+  cold/warm throughput numbers to ``BENCH_server.json`` keyed by
+  transport and worker count, so the perf trajectory across transports
+  is recorded run over run.
+
+Env knobs (``docs/caching.md`` documents the shared ones):
+
+- ``REPRO_JOBS``      — forwarded as ``--jobs`` (miss fan-out width);
+- ``REPRO_CACHE_DIR`` — forwarded as ``--cache-dir`` (persistent tier);
+- ``REPRO_TRANSPORT`` — ``--smoke`` only: ``ndjson`` (TCP NDJSON,
+  default) or ``http`` picks the server transport under test;
+- ``REPRO_WORKERS``   — ``--smoke`` only: > 1 launches that many
+  ``--shard-worker`` servers and runs the 2-phase (cold/warm)
+  :class:`~repro.api.ShardOrchestrator` experiment over a 3-branch
+  union view instead of the single-server throughput loop, asserting
+  the AND-combined verdicts match a single full engine and that the
+  warm fleet answers with zero chases.
 
 Series recorded per ``n`` (the Example 4.1 parameter; one batch is the
 ``2^n`` eta-combination queries):
@@ -45,6 +65,11 @@ WARM_BATCHES = 10
 _SRC = str(Path(__file__).resolve().parent.parent / "src")
 JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
 CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
+TRANSPORT = os.environ.get("REPRO_TRANSPORT", "ndjson")
+WORKERS = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+
+#: Where ``--smoke`` accumulates its per-transport throughput records.
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_server.json"
 
 
 def _serve_args(n: int, workdir: Path) -> tuple[list[str], list[dict]]:
@@ -130,3 +155,190 @@ def test_server_throughput(n, tmp_path):
             "jobs": JOBS,
         },
     )
+
+
+# ----------------------------------------------------------------------
+# --smoke: the CI endpoint experiment (no pytest machinery).
+# ----------------------------------------------------------------------
+
+
+def _launch_endpoint(args: list[str], transport: str, extra: list[str] = ()):
+    """Start ``repro serve`` on an ephemeral socket; returns (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [sys.executable, "-m", "repro.cli", "serve", *args, "--port", "0", *extra]
+    if transport == "http":
+        cmd += ["--transport", "http"]
+    proc = subprocess.Popen(
+        cmd,
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stderr.readline()  # "listening on HOST:PORT"
+    assert "listening on" in line, f"server failed to start: {line!r}"
+    host_port = line.strip().removeprefix("listening on ")
+    scheme = "http" if transport == "http" else "tcp"
+    return proc, f"{scheme}://{host_port}"
+
+
+def _record_bench(key: str, entry: dict) -> None:
+    """Merge one record into ``BENCH_server.json`` (keyed per leg)."""
+    doc: dict = {}
+    if BENCH_FILE.exists():
+        try:
+            doc = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            doc = {}
+    doc[key] = entry
+    BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"bench_server --smoke: wrote {key} to {BENCH_FILE}")
+
+
+def _single_server_smoke(transport: str, workdir: Path, n: int = 3) -> None:
+    """Cold/warm throughput against one server over the client SDK."""
+    from repro.api import connect
+
+    args, phis = _serve_args(n, workdir)
+    proc, url = _launch_endpoint(args, transport)
+    batch = {"op": "check", "view": "V", "phis": phis}
+    try:
+        client = connect(url)
+        assert client.protocol is not None
+        timings = []
+        replies = []
+        for _ in range(1 + WARM_BATCHES):
+            started = time.perf_counter()
+            result = client.result(dict(batch))
+            timings.append(time.perf_counter() - started)
+            replies.append(result)
+        cold, warm = replies[0], replies[1:]
+        assert cold["stats"]["chases"] > 0 or CACHE_DIR
+        for result in warm:
+            assert result["propagated"] == cold["propagated"]
+            assert result["stats"]["chases"] == 0, "warm leg must be chase-free"
+        client.shutdown()
+        client.close()
+    except BaseException:
+        proc.kill()  # don't mask the real failure with a wait timeout
+        raise
+    assert proc.wait(timeout=60) == 0
+    warm_mean = sum(timings[1:]) / WARM_BATCHES
+    _record_bench(
+        f"{transport}-w1",
+        {
+            "transport": transport,
+            "workers": 1,
+            "n": n,
+            "queries_per_batch": len(phis),
+            "cold_s": round(timings[0], 4),
+            "warm_mean_s": round(warm_mean, 4),
+            "warm_req_per_s": round(1.0 / warm_mean, 1),
+            "warm_queries_per_s": round(len(phis) / warm_mean, 1),
+            "jobs": JOBS,
+        },
+    )
+    print(
+        f"bench_server --smoke OK: transport={transport} cold={timings[0]:.3f}s "
+        f"warm={warm_mean:.4f}s ({1.0 / warm_mean:.0f} req/s)"
+    )
+
+
+def _union_workload_docs():
+    """The shared 3-branch union workload, as registerable documents."""
+    from repro.propagation.closure_baseline import union_shard_workload
+
+    schema, sigma, view, phis = union_shard_workload()
+    return {
+        "schema": repro_io.schema_to_json(schema),
+        "sigma": repro_io.dependencies_to_json(sigma),
+        "view": repro_io.view_to_json(view),
+        "phis": phis,
+    }
+
+
+def _orchestrator_smoke(transport: str, workers: int) -> None:
+    """The 2-phase fleet experiment: cold fan-out, then a warm AND."""
+    from repro.api import CheckRequest, ShardOrchestrator, connect
+
+    docs = _union_workload_docs()
+
+    with connect("local://") as reference:
+        reference.register_schema("default", docs["schema"])
+        reference.register_sigma("default", docs["sigma"])
+        reference.register_view("U", docs["view"])
+        expected = reference.check(CheckRequest(view="U", targets=docs["phis"]))
+
+    procs = []
+    urls = []
+    try:
+        for _ in range(workers):
+            proc, url = _launch_endpoint([], transport, extra=["--shard-worker"])
+            procs.append(proc)
+            urls.append(url)
+        with ShardOrchestrator(urls) as orch:
+            orch.register_schema("default", docs["schema"])
+            orch.register_sigma("default", docs["sigma"])
+            orch.register_view("U", docs["view"])
+            started = time.perf_counter()
+            cold = orch.check(CheckRequest(view="U", targets=docs["phis"]))
+            cold_s = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = orch.check(CheckRequest(view="U", targets=docs["phis"]))
+            warm_s = time.perf_counter() - started
+            assert cold.propagated == expected.propagated, "AND != single engine"
+            assert warm.propagated == expected.propagated
+            assert cold.stats.chases > 0
+            assert warm.stats.chases == 0, "warm fleet must be chase-free"
+            for worker in orch.workers:
+                worker.shutdown()
+    except BaseException:
+        for proc in procs:
+            proc.kill()  # don't mask the real failure with a wait timeout
+        raise
+    for proc in procs:
+        assert proc.wait(timeout=60) == 0
+    _record_bench(
+        f"{transport}-w{workers}",
+        {
+            "transport": transport,
+            "workers": workers,
+            "queries_per_batch": len(docs["phis"]),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_req_per_s": round(1.0 / warm_s, 1),
+            "cold_chases": cold.stats.chases,
+            "warm_chases": 0,
+        },
+    )
+    print(
+        f"bench_server --smoke OK: {workers}-worker {transport} orchestrator "
+        f"ANDs to the single-engine verdict; cold={cold_s:.3f}s warm={warm_s:.4f}s"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if "--smoke" not in argv:
+        print(
+            "usage: python benchmarks/bench_server.py --smoke\n"
+            "  (REPRO_TRANSPORT=ndjson|http, REPRO_WORKERS=N; the pytest "
+            "entry point is `python -m pytest benchmarks/bench_server.py`)",
+            file=sys.stderr,
+        )
+        return 2
+    import tempfile
+
+    if WORKERS > 1:
+        _orchestrator_smoke(TRANSPORT, WORKERS)
+    else:
+        with tempfile.TemporaryDirectory() as workdir:
+            _single_server_smoke(TRANSPORT, Path(workdir))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

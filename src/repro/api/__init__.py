@@ -1,28 +1,37 @@
-"""The service API: typed requests, capability routing, server mode.
+"""The service API: typed requests, URL-addressed endpoints, server mode.
 
 This package is the single entry point for every propagation query
 class.  Register inputs once in a :class:`Workspace`, hand requests to a
 :class:`PropagationService`, and get typed responses with per-request
-stats back; ``repro serve`` (:mod:`repro.api.server`) exposes the same
-service over NDJSON for long-lived warm-cache deployments.
+stats back.  The same documents travel every wire: ``repro serve``
+(:mod:`repro.api.server`) exposes a warm service over NDJSON (stdio /
+TCP) or HTTP, :func:`connect` opens a typed :class:`Client` on any
+endpoint URL (``local://``, ``tcp://host:port``, ``http://host:port`` —
+:mod:`repro.api.transport`), and a :class:`ShardOrchestrator` fans one
+check across a ``shard_index`` worker fleet and ANDs the partial
+verdicts (:mod:`repro.api.orchestrator`).
 
-    >>> from repro.api import CheckRequest, PropagationService
-    >>> service = PropagationService()
-    >>> # service.workspace.add_schema / add_sigma / add_view, then:
-    >>> # verdict = service.submit(CheckRequest(view="V", targets=[phi]))
+    >>> from repro.api import CheckRequest, connect
+    >>> client = connect("local://")  # or tcp://host:port, http://host:port
+    >>> # client.register_schema / register_sigma / register_view, then:
+    >>> # verdict = client.check(CheckRequest(view="V", targets=[phi]))
+    >>> client.close()
 
-See ``docs/api.md`` for the request/response schema, the routing table
-and the error taxonomy.
+See ``docs/api.md`` for the endpoint-URL table, the request/response
+schema, the routing table and the error taxonomy.
 """
 
+from .client import Client, ProtocolMismatchWarning, connect
 from .errors import (
     ApiError,
     EXIT_CODES,
     EXIT_NEGATIVE,
     EXIT_OK,
+    HTTP_STATUS,
     KINDS,
     to_api_error,
 )
+from .orchestrator import ShardOrchestrator
 from .requests import (
     BatchRequest,
     BatchResult,
@@ -36,9 +45,30 @@ from .requests import (
     UpdateSigmaRequest,
     Verdict,
 )
-from .server import PropagationServer, serve_stdio, serve_tcp
+from .server import (
+    PropagationServer,
+    background_server,
+    serve_http,
+    serve_stdio,
+    serve_tcp,
+)
 from .service import PropagationService, default_service
-from .wire import handle_request, request_from_json, response_to_json
+from .transport import (
+    HttpTransport,
+    LocalTransport,
+    TcpTransport,
+    Transport,
+    open_url,
+    register_scheme,
+)
+from .wire import (
+    PROTOCOL_VERSION,
+    handle_request,
+    request_from_json,
+    request_to_json,
+    response_from_json,
+    response_to_json,
+)
 from .workspace import DEFAULT_NAME, Workspace
 
 __all__ = [
@@ -46,6 +76,7 @@ __all__ = [
     "BatchRequest",
     "BatchResult",
     "CheckRequest",
+    "Client",
     "CoverRequest",
     "CoverResult",
     "DEFAULT_NAME",
@@ -54,18 +85,33 @@ __all__ = [
     "EXIT_OK",
     "EmptinessRequest",
     "EmptinessResult",
+    "HTTP_STATUS",
+    "HttpTransport",
     "KINDS",
+    "LocalTransport",
+    "PROTOCOL_VERSION",
     "PropagationServer",
     "PropagationService",
+    "ProtocolMismatchWarning",
     "RequestStats",
+    "ShardOrchestrator",
     "SigmaUpdate",
+    "TcpTransport",
+    "Transport",
     "UpdateSigmaRequest",
     "Verdict",
     "Workspace",
+    "background_server",
+    "connect",
     "default_service",
     "handle_request",
+    "open_url",
+    "register_scheme",
     "request_from_json",
+    "request_to_json",
+    "response_from_json",
     "response_to_json",
+    "serve_http",
     "serve_stdio",
     "serve_tcp",
     "to_api_error",

@@ -18,7 +18,14 @@ kind                exit code  wraps / raised for
 ``unsupported-view``3          :class:`repro.propagation.UnsupportedViewError` —
                                view languages with no decision procedure
 ``internal``        4          unexpected failures inside the service
+``unavailable``     5          transport failures talking to a remote endpoint:
+                               connection refused, connection dropped before a
+                               complete response, endpoint gone mid-request
 ==================  =========  ==================================================
+
+For HTTP endpoints the same taxonomy maps onto status codes through
+:data:`HTTP_STATUS` (the response body still carries the full error
+document, so HTTP clients branch on ``kind`` exactly like NDJSON ones).
 
 ``EXIT_OK`` (0) and ``EXIT_NEGATIVE`` (1) are not errors: they encode the
 analysis verdict itself (propagated / nonempty / clean versus their
@@ -37,6 +44,7 @@ __all__ = [
     "EXIT_CODES",
     "EXIT_NEGATIVE",
     "EXIT_OK",
+    "HTTP_STATUS",
     "KINDS",
     "api_errors",
     "to_api_error",
@@ -55,10 +63,22 @@ EXIT_CODES = {
     "bad-request": 2,
     "unsupported-view": 3,
     "internal": 4,
+    "unavailable": 5,
 }
 
 #: The closed set of error kinds.
 KINDS = frozenset(EXIT_CODES)
+
+#: ``kind -> HTTP status code`` for the ``http://`` endpoint transport
+#: (the body still carries the full ``error`` document).
+HTTP_STATUS = {
+    "format": 400,
+    "bad-request": 400,
+    "not-found": 404,
+    "unsupported-view": 501,
+    "internal": 500,
+    "unavailable": 503,
+}
 
 
 class ApiError(Exception):
@@ -94,6 +114,8 @@ def to_api_error(exc: BaseException) -> ApiError:
     if isinstance(exc, FileNotFoundError):
         name = getattr(exc, "filename", None) or str(exc)
         return ApiError("not-found", f"no such file: {name}")
+    if isinstance(exc, (ConnectionError, TimeoutError)):
+        return ApiError("unavailable", f"{type(exc).__name__}: {exc}")
     if isinstance(exc, KeyError):
         # Decision procedures signal dependencies over unprojected
         # attributes (and similar lookup failures) with KeyError.

@@ -1,0 +1,224 @@
+"""The distributed shard orchestrator: N endpoints, one verdict.
+
+The scheduler layer (:mod:`repro.propagation.engine.scheduler`) deals
+the ``k²`` branch-pair chase of a union view into deterministic shards;
+the ``shard_index`` knob restricts one engine to a single shard, whose
+verdict means only "no violation inside my shard".  The contract pinned
+by ``tests/test_incremental.py`` is that the **AND** of all ``shards``
+partial verdicts equals the single-engine answer.  This module is the
+first component that actually *runs* that contract across endpoints:
+
+    >>> from repro.api import CheckRequest
+    >>> from repro.api.orchestrator import ShardOrchestrator
+    >>> # two workers; any mix of local://, tcp://..., http://... URLs
+    >>> orch = ShardOrchestrator(["local://", "local://"])
+    >>> orch.close()
+
+Given N endpoint URLs (``local://`` services, ``repro serve --port``
+NDJSON workers, ``repro serve --transport http`` fleets — mixed freely),
+the orchestrator
+
+1. registers the workspace on every worker (:meth:`register` /
+   :meth:`register_schema` / :meth:`register_sigma` /
+   :meth:`register_view` fan out),
+2. dispatches every check with ``shards=N, shard_index=i`` to worker
+   ``i`` — concurrently, one thread per worker, and
+3. ANDs the partial verdicts into the full :class:`~repro.api.Verdict`,
+   summing the per-worker stats deltas (a warm fleet answers with
+   ``stats.chases == 0``: each worker memoizes its shard under
+   shard-scoped keys).
+
+Covers are **not** shard-combinable (a partial engine refuses them), so
+:meth:`cover` raises a typed error instead of returning a silently
+partial cover; Sigma diffs (:meth:`delta_sigma`) fan out to every
+worker so the fleet's registrations stay consistent.
+
+Remote workers must run with ``--shard-worker`` — a normal endpoint
+refuses ``shard_index`` requests so partial verdicts can never leak to
+ordinary clients.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Sequence, Union
+
+from .client import Client, connect
+from .errors import ApiError
+from .requests import (
+    CheckRequest,
+    RequestStats,
+    SigmaUpdate,
+    UpdateSigmaRequest,
+    Verdict,
+)
+
+__all__ = ["ShardOrchestrator"]
+
+Endpoint = Union[str, Client]
+
+
+def _sum_stats(parts: Sequence[RequestStats], elapsed_ms: float) -> RequestStats:
+    return RequestStats(
+        elapsed_ms=elapsed_ms,
+        queries=sum(p.queries for p in parts),
+        chases=sum(p.chases for p in parts),
+        memo_hits=sum(p.memo_hits for p in parts),
+        persistent_hits=sum(p.persistent_hits for p in parts),
+        closure_fast_path=sum(p.closure_fast_path for p in parts),
+        parallel_tasks=sum(p.parallel_tasks for p in parts),
+        shard_tasks=sum(p.shard_tasks for p in parts),
+    )
+
+
+class ShardOrchestrator:
+    """Fans one check across N ``shard_index`` workers, ANDs the verdicts.
+
+    ``endpoints`` are URLs (connected here, closed by :meth:`close`) or
+    live :class:`~repro.api.client.Client` objects (left open — the
+    caller owns them).  The worker count *is* the shard count.
+    """
+
+    def __init__(self, endpoints: Sequence[Endpoint], **connect_options) -> None:
+        if not endpoints:
+            raise ApiError("bad-request", "an orchestrator needs >= 1 endpoint")
+        self._owned: list[Client] = []
+        self.workers: list[Client] = []
+        try:
+            for endpoint in endpoints:
+                if isinstance(endpoint, Client):
+                    self.workers.append(endpoint)
+                else:
+                    client = connect(endpoint, **connect_options)
+                    self.workers.append(client)
+                    self._owned.append(client)
+        except BaseException:
+            for client in self._owned:
+                client.close()
+            raise
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self.workers), thread_name_prefix="repro-shard"
+        )
+
+    @property
+    def shards(self) -> int:
+        return len(self.workers)
+
+    def _fan_out(self, call) -> list:
+        """Run ``call(worker, index)`` on every worker concurrently.
+
+        Transports are not thread-safe, but each worker is driven by
+        exactly one task per fan-out, and fan-outs never overlap (this
+        class is itself single-caller, like the transports).
+        """
+        futures = [
+            self._pool.submit(call, worker, index)
+            for index, worker in enumerate(self.workers)
+        ]
+        # Drain every future before surfacing a failure: re-raising
+        # while siblings still run would let a retry overlap in-flight
+        # tasks on the (single-caller) transports.
+        concurrent.futures.wait(futures)
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Workspace fan-out.
+    # ------------------------------------------------------------------
+
+    def register(self, kind: str, name: str, doc, schema: str = "default") -> list:
+        """Register one schema/sigma/view document on every worker."""
+        method = {
+            "schema": lambda w: w.register_schema(name, doc),
+            "sigma": lambda w: w.register_sigma(name, doc),
+            "view": lambda w: w.register_view(name, doc, schema=schema),
+        }.get(kind)
+        if method is None:
+            raise ApiError(
+                "bad-request",
+                f"unknown register kind {kind!r}; kinds are schema, sigma, view",
+            )
+        return self._fan_out(lambda worker, _index: method(worker))
+
+    def register_schema(self, name: str, schema) -> list:
+        return self.register("schema", name, schema)
+
+    def register_sigma(self, name: str, sigma) -> list:
+        return self.register("sigma", name, sigma)
+
+    def register_view(self, name: str, view, schema: str = "default") -> list:
+        return self.register("view", name, view, schema=schema)
+
+    # ------------------------------------------------------------------
+    # The sharded check.
+    # ------------------------------------------------------------------
+
+    def check(self, request: CheckRequest) -> Verdict:
+        """Dispatch *request* shard-wise and AND the partial verdicts."""
+        if request.shards is not None or request.shard_index is not None:
+            raise ApiError(
+                "bad-request",
+                "the orchestrator assigns shards/shard_index itself; leave "
+                "both unset on the request",
+            )
+        if request.witness:
+            raise ApiError(
+                "bad-request",
+                "witness extraction is not orchestrated yet; ask a single "
+                "full endpoint for the counterexample",
+            )
+        started = time.perf_counter()
+        partials: list[Verdict] = self._fan_out(
+            lambda worker, index: worker.check(
+                replace(request, shards=self.shards, shard_index=index)
+            )
+        )
+        width = len(partials[0].propagated)
+        if any(len(partial.propagated) != width for partial in partials):
+            raise ApiError(
+                "internal",
+                "shard workers disagreed on the verdict width; are all "
+                "endpoints registered with the same workspace?",
+            )
+        combined = [
+            all(partial.propagated[i] for partial in partials)
+            for i in range(width)
+        ]
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        return Verdict(
+            combined,
+            partials[0].route,
+            _sum_stats([partial.stats for partial in partials], elapsed_ms),
+        )
+
+    def cover(self, request) -> None:
+        raise ApiError(
+            "bad-request",
+            "covers are not shard-combinable; ask one full (non-shard_index) "
+            "endpoint for the cover",
+        )
+
+    def delta_sigma(self, request: UpdateSigmaRequest) -> list[SigmaUpdate]:
+        """Apply one Sigma diff on every worker (keeps the fleet consistent)."""
+        return self._fan_out(lambda worker, _index: worker.delta_sigma(request))
+
+    # ------------------------------------------------------------------
+    # Fleet ops.
+    # ------------------------------------------------------------------
+
+    def ping(self) -> list[dict]:
+        return self._fan_out(lambda worker, _index: worker.ping())
+
+    def close(self) -> None:
+        """Shut the thread pool; close the clients this orchestrator opened."""
+        self._pool.shutdown(wait=True)
+        for client in self._owned:
+            client.close()
+
+    def __enter__(self) -> "ShardOrchestrator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -59,12 +59,22 @@ SigmaRef = Union[str, Sequence[DependencyLike], None]
 
 @dataclass
 class _Settings:
-    """The per-request engine-setting overrides (``None`` = inherit)."""
+    """The per-request engine-setting overrides (``None`` = inherit).
+
+    ``shard_index`` restricts the request to *one* shard of the
+    ``shards``-way branch-pair plan — the distributed scale-out seam.  A
+    ``shard_index`` verdict of ``True`` means only "no violation within
+    this shard"; an orchestrator (:mod:`repro.api.orchestrator`) must
+    AND the verdicts of all ``shards`` workers for the full answer, and
+    such partial verdicts are memoized under shard-scoped keys and never
+    persisted.
+    """
 
     use_cache: bool | None = None
     max_instantiations: int | None = None
     assume_infinite: bool | None = None
     shards: int | None = None
+    shard_index: int | None = None
 
 
 @dataclass

@@ -41,6 +41,7 @@ taxonomy in :mod:`repro.api.errors`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable
@@ -90,6 +91,7 @@ class _Effective:
     max_instantiations: int | None
     assume_infinite: bool
     shards: int = 1
+    shard_index: int | None = None
 
 
 def _snapshot(stats: EngineStats) -> tuple:
@@ -128,6 +130,10 @@ class PropagationService:
             cache_dir=cache_dir, cache_size=cache_size, jobs=jobs, pool=pool
         )
         self._engines: dict[tuple, PropagationEngine] = {}
+        # Engine-pool creation guard: the server's per-pool locks allow
+        # requests on *different* pool keys to run concurrently, so two
+        # executor threads may reach `_engine` at once.
+        self._pool_guard = threading.Lock()
         # Service-side memos, LRU-bounded by the same knob as the engine
         # tiers: emptiness verdicts (they bypass the engine) and the
         # route-classification capabilities per (Sigma, view).  Keys are
@@ -152,6 +158,15 @@ class PropagationService:
             raise ApiError(
                 "bad-request", f"shards must be a positive integer, got {shards!r}"
             )
+        shard_index = getattr(request, "shard_index", None)
+        if shard_index is not None and (
+            type(shard_index) is not int or not 0 <= shard_index < shards
+        ):
+            raise ApiError(
+                "bad-request",
+                f"shard_index must be an integer in [0, shards), got "
+                f"{shard_index!r} with shards={shards}",
+            )
         return _Effective(
             d.use_cache if request.use_cache is None else request.use_cache,
             d.max_instantiations
@@ -161,6 +176,7 @@ class PropagationService:
             if request.assume_infinite is None
             else request.assume_infinite,
             shards,
+            shard_index,
         )
 
     def _engine(self, settings: _Effective) -> PropagationEngine:
@@ -169,28 +185,64 @@ class PropagationService:
         # so requests with different shard plans must share one warm
         # engine (and its memo tiers) rather than split them.  It is
         # applied to the shared engine per dispatch instead — safe under
-        # the server, whose request lock serializes dispatch+evaluation;
-        # callers driving one service from multiple threads may see a
-        # concurrent request's shard plan (verdicts are shard-invariant,
-        # so only the evaluation strategy can differ).
+        # the server, whose per-pool lock serializes dispatch+evaluation
+        # within one pool key; callers driving one service from multiple
+        # threads may see a concurrent request's shard plan (verdicts
+        # are shard-invariant, so only the evaluation strategy can
+        # differ).  `shard_index` *is* part of the key: a shard-
+        # restricted engine computes partial verdicts under shard-scoped
+        # memo keys and never persists, so it must not share an engine
+        # object with full requests.
         key = (
             settings.use_cache,
             settings.max_instantiations,
             settings.assume_infinite,
+            settings.shard_index,
         )
-        engine = self._engines.get(key)
-        if engine is None:
-            engine = PropagationEngine(
-                use_cache=settings.use_cache,
-                max_instantiations=settings.max_instantiations,
-                assume_infinite=settings.assume_infinite,
-                shards=settings.shards,
-                **self._engine_opts,
-            )
-            self._engines[key] = engine
-        elif engine.shards != settings.shards:
-            engine.shards = settings.shards
+        with self._pool_guard:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = PropagationEngine(
+                    use_cache=settings.use_cache,
+                    max_instantiations=settings.max_instantiations,
+                    assume_infinite=settings.assume_infinite,
+                    shards=settings.shards,
+                    shard_index=settings.shard_index,
+                    **self._engine_opts,
+                )
+                self._engines[key] = engine
+            elif engine.shards != settings.shards:
+                engine.shards = settings.shards
         return engine
+
+    def pool_key(self, doc) -> tuple:
+        """The engine-pool key a wire document's settings resolve to.
+
+        This is the lock granularity of the server's per-engine-pool
+        locks (:class:`~repro.api.server.PropagationServer`): two
+        documents with the same pool key dispatch to the same warm
+        engine and must serialize; documents with different keys may run
+        concurrently.  Unset fields fall back to the service defaults,
+        so an explicit ``use_cache=true`` and an inherited default land
+        on the same key.  Raises for unhashable garbage — callers treat
+        that as "no lock needed" (the request will fail typed parsing
+        anyway).
+        """
+        d = self._defaults
+        get = doc.get if hasattr(doc, "get") else (lambda name: None)
+        use_cache = get("use_cache")
+        max_instantiations = get("max_instantiations")
+        assume_infinite = get("assume_infinite")
+        key = (
+            d.use_cache if use_cache is None else use_cache,
+            d.max_instantiations
+            if max_instantiations is None
+            else max_instantiations,
+            d.assume_infinite if assume_infinite is None else assume_infinite,
+            get("shard_index"),
+        )
+        hash(key)  # raises on unhashable garbage values
+        return key
 
     @property
     def engine(self) -> PropagationEngine:
@@ -204,9 +256,10 @@ class PropagationService:
 
     def close(self) -> None:
         """Close every pooled engine (stores, worker pools); idempotent."""
-        for engine in self._engines.values():
+        with self._pool_guard:
+            engines, self._engines = list(self._engines.values()), {}
+        for engine in engines:
             engine.close()
-        self._engines.clear()
 
     def __enter__(self) -> "PropagationService":
         return self
@@ -343,7 +396,9 @@ class PropagationService:
             )
             self.workspace.add_sigma(name, updated)
             invalidated = retained = 0
-            for engine in self._engines.values():
+            with self._pool_guard:
+                engines = list(self._engines.values())
+            for engine in engines:
                 # `current` (the pre-edit registration) makes the sweep
                 # precise: lines warmed under other Sigmas that mention
                 # the affected relations keep their (unchanged) keys.

@@ -24,7 +24,10 @@ verbatim::
 inline dependency list, or absent for the ``"default"`` registration.
 ``phis`` entries are :mod:`repro.io` dependency documents.  The query ops
 accept the per-request knobs ``use_cache`` / ``max_instantiations`` /
-``assume_infinite`` / ``shards``.  ``update-sigma`` applies a diff to a
+``assume_infinite`` / ``shards`` / ``shard_index`` (the last one only on
+endpoints serving as shard workers — see
+:class:`~repro.api.server.PropagationServer`).  ``ping`` responses carry
+the wire :data:`PROTOCOL_VERSION` so clients can detect drift.  ``update-sigma`` applies a diff to a
 *registered* Sigma (``name`` absent = ``"default"``; ``add``/``remove``
 are dependency-document lists) with selective, provenance-scoped
 invalidation — warm lines for relations the diff does not mention
@@ -44,6 +47,7 @@ from the stable taxonomy of :mod:`repro.api.errors`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import asdict
 from typing import Any, Mapping
 
@@ -58,6 +62,7 @@ from .requests import (
     EmptinessRequest,
     EmptinessResult,
     Request,
+    RequestStats,
     Response,
     SigmaUpdate,
     UpdateSigmaRequest,
@@ -65,10 +70,46 @@ from .requests import (
 )
 from .service import PropagationService
 
-__all__ = ["handle_request", "request_from_json", "response_to_json"]
+__all__ = [
+    "HTTP_ROUTES",
+    "PROTOCOL_VERSION",
+    "handle_request",
+    "request_from_json",
+    "request_to_json",
+    "response_from_json",
+    "response_to_json",
+]
+
+#: The wire-protocol version, reported in every ``ping`` response.
+#: Bump it on incompatible evolution of the request/response documents;
+#: :func:`repro.api.client.connect` warns when an endpoint's version
+#: differs from the client's, so drift stops being silent.
+PROTOCOL_VERSION = 1
+
+#: ``op -> (HTTP method, path)`` — the one route table both the HTTP
+#: front end (:mod:`repro.api.server`, inverted) and the HTTP client
+#: transport (:mod:`repro.api.transport`) derive from, so the two sides
+#: cannot drift.  Documented in ``docs/api.md``.
+HTTP_ROUTES = {
+    "check": ("POST", "/v1/check"),
+    "cover": ("POST", "/v1/cover"),
+    "empty": ("POST", "/v1/empty"),
+    "batch": ("POST", "/v1/batch"),
+    "update-sigma": ("POST", "/v1/update-sigma"),
+    "register": ("POST", "/v1/register"),
+    "shutdown": ("POST", "/v1/shutdown"),
+    "ping": ("GET", "/v1/ping"),
+    "stats": ("GET", "/v1/stats"),
+}
 
 _QUERY_OPS = {"check", "cover", "empty", "batch", "update-sigma"}
-_SETTING_FIELDS = ("use_cache", "max_instantiations", "assume_infinite", "shards")
+_SETTING_FIELDS = (
+    "use_cache",
+    "max_instantiations",
+    "assume_infinite",
+    "shards",
+    "shard_index",
+)
 
 
 def _settings(doc: Mapping[str, Any]) -> dict:
@@ -128,6 +169,134 @@ def request_from_json(
             [request_from_json(sub, service) for sub in doc.get("requests", [])]
         )
     raise ApiError("bad-request", f"unknown op {op!r}")
+
+
+def _view_doc(ref):
+    if isinstance(ref, str):
+        return ref
+    return repro_io.view_to_json(ref)
+
+
+def _sigma_doc(ref):
+    if ref is None or isinstance(ref, str):
+        return ref
+    return repro_io.dependencies_to_json(ref)
+
+
+def _settings_doc(request) -> dict:
+    return {
+        name: value
+        for name in _SETTING_FIELDS
+        if (value := getattr(request, name, None)) is not None
+    }
+
+
+def request_to_json(request: Request) -> dict:
+    """Serialize one typed request into its wire document (the client side).
+
+    The inverse of :func:`request_from_json` up to reference form: view
+    and Sigma objects become inline documents (inline views parse
+    against the endpoint's ``"default"`` schema registration), names
+    stay names, and unset per-request settings are omitted so the
+    endpoint's own defaults apply.
+    """
+    if isinstance(request, CheckRequest):
+        doc: dict[str, Any] = {
+            "op": "check",
+            "view": _view_doc(request.view),
+            "phis": repro_io.dependencies_to_json(request.targets),
+        }
+        if request.sigma is not None:
+            doc["sigma"] = _sigma_doc(request.sigma)
+        if request.witness:
+            doc["witness"] = True
+        doc.update(_settings_doc(request))
+        return doc
+    if isinstance(request, CoverRequest):
+        doc = {"op": "cover", "view": _view_doc(request.view)}
+        if request.sigma is not None:
+            doc["sigma"] = _sigma_doc(request.sigma)
+        doc.update(_settings_doc(request))
+        return doc
+    if isinstance(request, EmptinessRequest):
+        doc = {"op": "empty", "view": _view_doc(request.view)}
+        if request.sigma is not None:
+            doc["sigma"] = _sigma_doc(request.sigma)
+        if request.witness:
+            doc["witness"] = True
+        doc.update(_settings_doc(request))
+        return doc
+    if isinstance(request, UpdateSigmaRequest):
+        doc = {
+            "op": "update-sigma",
+            "add": repro_io.dependencies_to_json(request.add),
+            "remove": repro_io.dependencies_to_json(request.remove),
+        }
+        if request.name is not None:
+            doc["name"] = request.name
+        return doc
+    if isinstance(request, BatchRequest):
+        return {
+            "op": "batch",
+            "requests": [request_to_json(sub) for sub in request.requests],
+        }
+    raise ApiError(
+        "bad-request", f"unserializable request type {type(request).__name__}"
+    )
+
+
+def _stats_from_json(doc: Mapping[str, Any] | None) -> RequestStats:
+    if not doc:
+        return RequestStats()
+    known = {field.name for field in dataclasses.fields(RequestStats)}
+    return RequestStats(**{k: v for k, v in doc.items() if k in known})
+
+
+def response_from_json(result: Mapping[str, Any]) -> Response:
+    """Parse a ``result`` document back into its typed response.
+
+    The client side of :func:`response_to_json`, keyed structurally on
+    the document's fields.  Counterexample witnesses stay as raw
+    :mod:`repro.io` instance documents (parsing them into
+    :class:`~repro.algebra.instance.DatabaseInstance` objects needs the
+    schema, which lives on the serving side — use
+    :func:`repro.io.instance_from_json` against your copy).
+    """
+    stats = _stats_from_json(result.get("stats"))
+    if "propagated" in result:
+        return Verdict(
+            list(result["propagated"]),
+            result.get("route", ""),
+            stats,
+            result.get("witnesses"),
+        )
+    if "cover" in result:
+        return CoverResult(
+            repro_io.dependencies_from_json(result["cover"]),
+            result.get("route", ""),
+            stats,
+        )
+    if "empty" in result:
+        return EmptinessResult(
+            result["empty"], result.get("route", ""), stats, result.get("witness")
+        )
+    if "sigma" in result:
+        return SigmaUpdate(
+            name=result["sigma"],
+            size=result["size"],
+            affected_relations=list(result["affected_relations"]),
+            invalidated=result["invalidated"],
+            retained=result["retained"],
+            route=result.get("route", "delta-sigma"),
+            stats=stats,
+        )
+    if "results" in result:
+        return BatchResult(
+            [response_from_json(sub) for sub in result["results"]], stats
+        )
+    raise ApiError(
+        "internal", f"unrecognized result document with fields {sorted(result)}"
+    )
 
 
 def response_to_json(response: Response) -> dict:
@@ -221,7 +390,7 @@ def handle_request(doc: Any, service: PropagationService) -> dict:
                 "workspace": service.workspace.names(),
             }
         elif op == "ping":
-            result = {"pong": True}
+            result = {"pong": True, "protocol": PROTOCOL_VERSION}
         elif op == "shutdown":
             result = {"stopping": True}
         else:

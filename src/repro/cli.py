@@ -1,4 +1,4 @@
-"""Command-line interface: a thin client of the propagation service.
+"""Command-line interface: a thin client of URL-addressed endpoints.
 
 Drives the library from JSON files (formats in :mod:`repro.io`):
 
@@ -6,23 +6,35 @@ Drives the library from JSON files (formats in :mod:`repro.io`):
     repro propagate-batch --schema s.json --sigma deps.json --view v.json --phi targets.json
     repro cover   --schema s.json --sigma deps.json --view v.json [--out cover.json]
     repro empty   --schema s.json --sigma deps.json --view v.json
-    repro serve   [--schema ... --sigma ... --view ...] [--port N]
+    repro serve   [--schema ... --sigma ... --view ...] [--transport ndjson|http]
+                  [--port N] [--shard-worker]
     repro validate --schema s.json --rules deps.json --data db.json
     repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
 
-Every analysis subcommand routes through one
-:class:`repro.api.PropagationService`: the files load into a
-:class:`repro.api.Workspace` once, a typed request is submitted, and the
-service capability-routes it to the right procedure over the warm cached
-engine.  ``repro serve`` keeps that service alive across requests — an
-asyncio front end speaking line-delimited JSON on stdin (default) or TCP
-(``--port``), with per-request stats in every response
-(:mod:`repro.api.server`).
+Every analysis subcommand routes through the typed client SDK
+(:func:`repro.api.connect`): the ``--endpoint URL`` flag (or the
+``REPRO_ENDPOINT`` environment variable) picks where the work runs —
+
+- ``local://`` (default): a fresh in-process
+  :class:`~repro.api.PropagationService`, exactly the pre-endpoint
+  behavior;
+- ``tcp://host:port``: a long-lived ``repro serve --port`` NDJSON
+  server, so repeated invocations share its warm cache;
+- ``http://host:port``: a ``repro serve --transport http`` front end
+  (loadbalancer-friendly).
+
+The input files are registered on the endpoint per invocation (names
+``"default"``, the view also under its own name), then a typed request
+is submitted and capability-routed server-side.  ``repro serve`` is the
+other half: it keeps one warm service alive behind NDJSON (stdin or
+``--port``) or HTTP (``--transport http``), and ``--shard-worker`` lets
+it answer the partial ``shard_index`` requests a
+:class:`~repro.api.ShardOrchestrator` fans across a fleet.
 
 Engine knobs (shared by check / propagate-batch / cover / empty / serve):
 
 - ``--no-cache`` gives the uncached ablation baseline;
-- ``--stats`` prints the engine's cache counters to stderr;
+- ``--stats`` prints the endpoint's engine counters to stderr;
 - ``--cache-dir DIR`` persists verdicts/covers in a schema-versioned
   sqlite store under ``DIR``, shared across processes (warm restarts);
 - ``--cache-size N`` bounds each in-memory memo tier (and each tableau
@@ -33,45 +45,63 @@ Engine knobs (shared by check / propagate-batch / cover / empty / serve):
   deterministic shards executed through the same pool (verdicts are
   shard-count invariant).
 
+``--no-cache`` and ``--shards`` are per-request settings and apply on
+any endpoint; the infrastructure knobs (``--cache-dir`` / ``--cache-size``
+/ ``--jobs`` / ``--pool``) configure the *service* and therefore apply to
+``local://`` endpoints and ``serve`` — a remote server keeps its own.
+
 Exit codes follow the stable taxonomy of :mod:`repro.api.errors`:
 0 on a "positive" analysis result (propagated / nonempty / clean), 1 on
 the negative one, 2 for format / not-found / bad-request errors, 3 for
-unsupported view languages, 4 for internal failures — so shell pipelines
-can branch on the verdict and on the failure class.
+unsupported view languages, 4 for internal failures, 5 when a remote
+endpoint is unreachable — so shell pipelines can branch on the verdict
+and on the failure class.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import uuid
 from typing import Sequence
 
 from . import io as repro_io
 from .api import (
+    ApiError,
     CheckRequest,
+    Client,
     CoverRequest,
     EXIT_NEGATIVE,
     EXIT_OK,
     EmptinessRequest,
     PropagationService,
     Workspace,
+    connect,
+    serve_http,
     serve_stdio,
     serve_tcp,
     to_api_error,
 )
 from .cleaning import detect, repair, summarize
 
+#: The endpoint every subcommand targets when neither ``--endpoint`` nor
+#: ``REPRO_ENDPOINT`` is given: a fresh in-process service.
+DEFAULT_ENDPOINT = "local://"
 
-def _service(args) -> PropagationService:
-    """The per-invocation service over the files' workspace."""
-    workspace = Workspace.from_files(
-        schema=getattr(args, "schema", None),
-        sigma=getattr(args, "sigma", None),
-        view=getattr(args, "view", None),
+
+def _endpoint(args) -> str:
+    return (
+        getattr(args, "endpoint", None)
+        or os.environ.get("REPRO_ENDPOINT")
+        or DEFAULT_ENDPOINT
     )
-    return PropagationService(
-        workspace,
+
+
+def _service_options(args) -> dict:
+    """The local-service knobs (server-side properties on remote endpoints)."""
+    return dict(
         use_cache=not getattr(args, "no_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
         cache_size=getattr(args, "cache_size", None),
@@ -81,6 +111,45 @@ def _service(args) -> PropagationService:
     )
 
 
+def _request_settings(args) -> dict:
+    """The per-request settings, honored by local and remote endpoints."""
+    return dict(
+        use_cache=False if getattr(args, "no_cache", False) else None,
+        shards=args.shards if getattr(args, "shards", 1) != 1 else None,
+    )
+
+
+def _client(args) -> tuple[Client, str]:
+    """Connect to the invocation's endpoint and register the input files.
+
+    The files are registered under one per-invocation unique name (the
+    returned *scope*), so concurrent invocations sharing a warm remote
+    server never clobber each other's registrations.  Warmth is still
+    shared: the engine's cache keys are structural (Sigma/view content),
+    not registration names.
+    """
+    url = _endpoint(args)
+    if url.startswith("local:"):
+        client = connect(url, **_service_options(args))
+    else:
+        client = connect(url)
+    scope = f"cli-{uuid.uuid4().hex[:12]}"
+    try:
+        schema = getattr(args, "schema", None)
+        sigma = getattr(args, "sigma", None)
+        view = getattr(args, "view", None)
+        if schema is not None:
+            client.register_schema(scope, repro_io.load_json(schema))
+        if sigma is not None:
+            client.register_sigma(scope, repro_io.load_json(sigma))
+        if view is not None:
+            client.register_view(scope, repro_io.load_json(view), schema=scope)
+    except BaseException:
+        client.close()
+        raise
+    return client, scope
+
+
 def _load_targets(path):
     """The ``--phi`` file: one dependency or a list of them."""
     doc = repro_io.load_json(path)
@@ -88,33 +157,44 @@ def _load_targets(path):
     return [repro_io.dependency_from_json(item) for item in targets]
 
 
-def _print_stats(service: PropagationService, args) -> None:
+def _print_stats(client: Client, args) -> None:
     if getattr(args, "stats", False):
-        print(f"# {service.stats}", file=sys.stderr)
+        print(f"# {client.stats()['engine']}", file=sys.stderr)
 
 
 def _cmd_check(args) -> int:
     phis = _load_targets(args.phi)
-    with _service(args) as service:
-        result = service.check(CheckRequest(targets=phis, witness=args.witness))
+    client, scope = _client(args)
+    with client:
+        result = client.check(
+            CheckRequest(
+                view=scope, sigma=scope, targets=phis, witness=args.witness,
+                **_request_settings(args),
+            )
+        )
         for index, (phi, verdict) in enumerate(zip(phis, result.propagated)):
             print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
             if not verdict and result.witnesses is not None:
-                witness = result.witnesses[index]
-                print(json.dumps(repro_io.instance_to_json(witness), indent=2))
-        _print_stats(service, args)
+                # Witnesses cross the wire as repro.io instance documents.
+                print(json.dumps(result.witnesses[index], indent=2))
+        _print_stats(client, args)
     return EXIT_OK if result.all_propagated else EXIT_NEGATIVE
 
 
 def _cmd_propagate_batch(args) -> int:
     phis = _load_targets(args.phi)
-    with _service(args) as service:
-        result = service.check(CheckRequest(targets=phis))
+    client, scope = _client(args)
+    with client:
+        result = client.check(
+            CheckRequest(
+                view=scope, sigma=scope, targets=phis, **_request_settings(args)
+            )
+        )
         for phi, verdict in zip(phis, result.propagated):
             print(f"{'PROPAGATED' if verdict else 'not propagated'}: {phi}")
         propagated = sum(result.propagated)
         print(f"# {propagated}/{len(result.propagated)} propagated", file=sys.stderr)
-        _print_stats(service, args)
+        _print_stats(client, args)
     if args.out:
         survivors = [
             phi for phi, verdict in zip(phis, result.propagated) if verdict
@@ -128,9 +208,12 @@ def _cmd_propagate_batch(args) -> int:
 
 
 def _cmd_cover(args) -> int:
-    with _service(args) as service:
-        result = service.cover(CoverRequest())
-        _print_stats(service, args)
+    client, scope = _client(args)
+    with client:
+        result = client.cover(
+            CoverRequest(view=scope, sigma=scope, **_request_settings(args))
+        )
+        _print_stats(client, args)
     for phi in result.cover:
         print(phi)
     if args.out:
@@ -140,20 +223,29 @@ def _cmd_cover(args) -> int:
 
 
 def _cmd_empty(args) -> int:
-    with _service(args) as service:
-        result = service.emptiness(EmptinessRequest())
-        _print_stats(service, args)
+    client, scope = _client(args)
+    with client:
+        result = client.emptiness(
+            EmptinessRequest(view=scope, sigma=scope, **_request_settings(args))
+        )
+        _print_stats(client, args)
     print("EMPTY" if result.empty else "NONEMPTY")
     return EXIT_NEGATIVE if result.empty else EXIT_OK
 
 
 def _cmd_serve(args) -> int:
-    service = _service(args)
+    workspace = Workspace.from_files(
+        schema=args.schema, sigma=args.sigma, view=args.view
+    )
+    service = PropagationService(workspace, **_service_options(args))
+    server_options = dict(shard_worker=args.shard_worker)
     try:
-        if args.port is not None:
-            serve_tcp(service, args.host, args.port)
+        if args.transport == "http":
+            serve_http(service, args.host, args.port or 0, **server_options)
+        elif args.port is not None:
+            serve_tcp(service, args.host, args.port, **server_options)
         else:
-            serve_stdio(service)
+            serve_stdio(service, **server_options)
     except KeyboardInterrupt:  # pragma: no cover - interactive escape
         pass
     finally:
@@ -161,7 +253,21 @@ def _cmd_serve(args) -> int:
     return EXIT_OK
 
 
+def _reject_remote_endpoint(args, command: str) -> None:
+    # Only an *explicit* --endpoint is rejected: an ambient
+    # REPRO_ENDPOINT set for the service-routed subcommands must not
+    # break these purely-local data commands.
+    url = getattr(args, "endpoint", None)
+    if url and not url.startswith("local:"):
+        raise ApiError(
+            "bad-request",
+            f"'{command}' runs on local data files and has no wire op; it "
+            f"only accepts local:// endpoints, got {url!r}",
+        )
+
+
 def _cmd_validate(args) -> int:
+    _reject_remote_endpoint(args, "validate")
     schema = repro_io.schema_from_json(repro_io.load_json(args.schema))
     rules = repro_io.dependencies_from_json(repro_io.load_json(args.rules))
     database = repro_io.instance_from_json(repro_io.load_json(args.data), schema)
@@ -178,6 +284,7 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_repair(args) -> int:
+    _reject_remote_endpoint(args, "repair")
     schema = repro_io.schema_from_json(repro_io.load_json(args.schema))
     rules = repro_io.dependencies_from_json(repro_io.load_json(args.rules))
     database = repro_io.instance_from_json(repro_io.load_json(args.data), schema)
@@ -211,6 +318,15 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--view", required=required, help="view JSON file")
 
+    def endpoint_option(p):
+        p.add_argument(
+            "--endpoint",
+            help="endpoint URL to run against: local:// (default), "
+            "tcp://host:port (a `repro serve --port` server) or "
+            "http://host:port (`repro serve --transport http`); "
+            "REPRO_ENDPOINT sets the default",
+        )
+
     def engine_options(p):
         p.add_argument(
             "--no-cache",
@@ -221,25 +337,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--stats",
             action="store_true",
-            help="print engine cache counters to stderr",
+            help="print the endpoint's engine cache counters to stderr",
         )
         p.add_argument(
             "--cache-dir",
             help="persist verdicts/covers in a sqlite store under this "
-            "directory (shared across processes; survives restarts)",
+            "directory (shared across processes; survives restarts; "
+            "local:// endpoints and serve — remote servers keep their own)",
         )
         p.add_argument(
             "--cache-size",
             type=int,
-            help="LRU capacity of each in-memory memo tier (default unbounded)",
+            help="LRU capacity of each in-memory memo tier (default "
+            "unbounded; local:// endpoints and serve)",
         )
         p.add_argument(
             "--jobs",
             type=int,
             default=1,
-            help="fan cache misses out across this many workers "
-            "(propagate-batch targets; SPCU candidate verification in "
-            "cover — a single-SPC cover has no batch to fan out)",
+            help="fan cache-miss queries out across this many workers "
+            "(local:// endpoints and serve)",
         )
         p.add_argument(
             "--pool",
@@ -252,8 +369,8 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help="deal the k^2 branch-pair chase of union views into this "
-            "many deterministic shards, executed through the --jobs pool "
-            "(verdicts are shard-count invariant)",
+            "many deterministic shards (verdicts are shard-count "
+            "invariant; honored by any endpoint)",
         )
 
     check = sub.add_parser("check", help="decide Sigma |=_V phi")
@@ -264,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--witness", action="store_true", help="print a counterexample database"
     )
+    endpoint_option(check)
     engine_options(check)
     check.set_defaults(func=_cmd_check)
 
@@ -275,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--phi", required=True, help="target dependency JSON (single or list)"
     )
+    endpoint_option(batch)
     engine_options(batch)
     batch.add_argument("--out", help="write the propagated targets to this JSON file")
     batch.set_defaults(func=_cmd_propagate_batch)
@@ -283,22 +402,31 @@ def build_parser() -> argparse.ArgumentParser:
         "cover", help="compute a propagation cover (cached engine)"
     )
     common(cover)
+    endpoint_option(cover)
     engine_options(cover)
     cover.add_argument("--out", help="write the cover to this JSON file")
     cover.set_defaults(func=_cmd_cover)
 
     empty = sub.add_parser("empty", help="is the view always empty?")
     common(empty)
+    endpoint_option(empty)
     engine_options(empty)
     empty.set_defaults(func=_cmd_empty)
 
     serve = sub.add_parser(
         "serve",
-        help="long-lived NDJSON server over one warm service "
-        "(stdin by default, TCP with --port)",
+        help="long-lived server over one warm service: NDJSON on stdin "
+        "(default) or TCP (--port), HTTP with --transport http",
     )
     common(serve, required=False)
     engine_options(serve)
+    serve.add_argument(
+        "--transport",
+        choices=("ndjson", "http"),
+        default="ndjson",
+        help="wire format: ndjson (stdin, or TCP with --port) or http "
+        "(HTTP/1.1 JSON; --port 0 if unset)",
+    )
     serve.add_argument(
         "--port",
         type=int,
@@ -308,12 +436,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--host", default="127.0.0.1", help="TCP bind address (default loopback)"
     )
+    serve.add_argument(
+        "--shard-worker",
+        action="store_true",
+        help="serve partial shard_index verdicts for a ShardOrchestrator "
+        "fleet (refused otherwise, so partial verdicts never leak)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser("validate", help="detect CFD violations in data")
     validate.add_argument("--schema", required=True)
     validate.add_argument("--rules", required=True)
     validate.add_argument("--data", required=True)
+    endpoint_option(validate)
     validate.set_defaults(func=_cmd_validate)
 
     rep = sub.add_parser("repair", help="greedily repair CFD violations")
@@ -321,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--rules", required=True)
     rep.add_argument("--data", required=True)
     rep.add_argument("--out", help="write the repaired instance here")
+    endpoint_option(rep)
     rep.set_defaults(func=_cmd_repair)
     return parser
 

@@ -108,3 +108,51 @@ def example_41_workload(n: int, defeat_fast_path: bool = False):
         )
         queries.append(FD("V", lhs, ("D",)))
     return view, sigma, queries
+
+
+def union_shard_workload():
+    """The 3-branch union workload the shard/orchestrator experiments share.
+
+    A union view ``U`` over relations ``R1``/``R2``/``R3`` (one tagged
+    branch each) whose ``k² = 9`` branch-pair space gives the shard
+    scheduler — and a ``shard_index`` worker fleet — real work to deal,
+    with Sigma spiked per relation so nothing trivializes into the
+    closure fast path.  Defined once so the transport acceptance test
+    and the CI orchestrator smoke provably replay the *same* fleet
+    workload.
+
+    Returns ``(schema, sigma, view, phis)`` objects; callers needing the
+    wire format serialize with :mod:`repro.io`.
+    """
+    from ..algebra.spc import RelationAtom, SPCView
+    from ..algebra.spcu import SPCUView
+    from ..core.cfd import CFD
+
+    attrs = ["A", "B", "C", "D"]
+    relations = ("R1", "R2", "R3")
+    schema = DatabaseSchema([RelationSchema(rel, attrs) for rel in relations])
+    branches = [
+        SPCView(
+            "U",
+            schema,
+            [RelationAtom(rel, {a: a for a in attrs})],
+            projection=["A", "B", "CC"],
+            constants={"CC": tag},
+        )
+        for rel, tag in zip(relations, ("1", "2", "3"))
+    ]
+    sigma: list = []
+    for rel in relations:
+        sigma += [
+            FD(rel, ("A",), ("B",)),
+            FD(rel, ("B",), ("C",)),
+            CFD(rel, {"A": "1"}, {"D": "9"}),
+        ]
+    phis = [
+        CFD("U", {"A": "_"}, {"B": "_"}),
+        CFD("U", {"CC": "1", "A": "_"}, {"B": "_"}),
+        CFD("U", {"CC": "2", "A": "_"}, {"B": "_"}),
+        CFD("U", {"A": "_", "B": "_"}, {"CC": "_"}),
+        CFD("U", {"CC": "1"}, {"CC": "1"}),
+    ]
+    return schema, sigma, SPCUView("U", branches), phis

@@ -25,6 +25,7 @@ from pathlib import Path
 from repro import io as repro_io
 from repro.api import (
     CheckRequest,
+    PROTOCOL_VERSION,
     PropagationServer,
     PropagationService,
     Workspace,
@@ -87,9 +88,10 @@ async def _with_tcp_server(scenario):
 
 def test_tcp_round_trip_matches_in_process_answers():
     async def scenario(client, service):
-        assert (await client.call({"id": 0, "op": "ping"}))["result"] == {
-            "pong": True
-        }
+        pong = (await client.call({"id": 0, "op": "ping"}))["result"]
+        assert pong["pong"] is True
+        assert pong["protocol"] == PROTOCOL_VERSION
+        assert pong["shard_worker"] is False  # not started with --shard-worker
         for kind, name, doc in [
             ("schema", "default", SCHEMA_DOC),
             ("sigma", "default", SIGMA_DOC),
@@ -269,6 +271,173 @@ def test_serve_answers_warm_example_41_batch_with_zero_chases(tmp_path):
     assert cold["result"]["stats"]["chases"] > 0
     assert warm["result"]["stats"]["chases"] == 0  # the warm leg
     assert warm["result"]["stats"]["memo_hits"] == len(phis)
+
+
+# ----------------------------------------------------------------------
+# Per-engine-pool locks: different settings no longer serialize.
+# ----------------------------------------------------------------------
+
+
+def test_requests_on_different_engine_pools_run_concurrently():
+    """A request stalled on one engine pool must not block requests
+    routed to another pool (the old single request-granularity lock
+    would deadlock this scenario; per-pool locks let the default-pool
+    request finish while the no-cache pool is stuck)."""
+    import threading
+
+    release = threading.Event()
+    entered = threading.Event()
+
+    class StallingService(PropagationService):
+        def check(self, request):
+            if request.use_cache is False:  # the slow pool
+                entered.set()
+                assert release.wait(timeout=30), "never released"
+            return super().check(request)
+
+    async def scenario():
+        with StallingService(Workspace()) as service:
+            for kind, name, doc in [
+                ("schema", "default", SCHEMA_DOC),
+                ("sigma", "default", SIGMA_DOC),
+                ("view", "V", VIEW_DOC),
+            ]:
+                getattr(service.workspace, f"add_{kind}")(name, doc)
+            server = PropagationServer(service)
+            tcp = await asyncio.start_server(
+                server.handle_connection, "127.0.0.1", 0
+            )
+            port = tcp.sockets[0].getsockname()[1]
+            slow = _TcpClient(*await asyncio.open_connection("127.0.0.1", port))
+            fast = _TcpClient(*await asyncio.open_connection("127.0.0.1", port))
+            try:
+                # The slow request enters its pool and stalls there.
+                slow.writer.write(
+                    (
+                        json.dumps(
+                            {
+                                "id": "slow",
+                                "op": "check",
+                                "view": "V",
+                                "phis": PHI_DOCS,
+                                "use_cache": False,
+                            }
+                        )
+                        + "\n"
+                    ).encode()
+                )
+                await slow.writer.drain()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, entered.wait, 30
+                )
+                assert entered.is_set()
+
+                # A default-pool request completes while the other pool
+                # is still stuck — the per-pool locks at work.
+                reply = await asyncio.wait_for(
+                    fast.call(
+                        {"id": "fast", "op": "check", "view": "V", "phis": PHI_DOCS}
+                    ),
+                    timeout=30,
+                )
+                assert reply["ok"] and reply["id"] == "fast"
+                assert not release.is_set()
+
+                release.set()
+                line = await asyncio.wait_for(slow.reader.readline(), timeout=30)
+                stalled = json.loads(line)
+                assert stalled["ok"] and stalled["id"] == "slow"
+                assert stalled["result"]["propagated"] == reply["result"]["propagated"]
+            finally:
+                release.set()
+                slow.writer.close()
+                fast.writer.close()
+                tcp.close()
+                await tcp.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_workspace_mutations_are_exclusive_across_pools():
+    """register waits for in-flight requests on *every* pool and blocks
+    new ones, so a mutation never interleaves with a running query."""
+    import threading
+
+    release = threading.Event()
+    entered = threading.Event()
+
+    class StallingService(PropagationService):
+        def check(self, request):
+            if request.use_cache is False:
+                entered.set()
+                assert release.wait(timeout=30), "never released"
+            return super().check(request)
+
+    async def scenario():
+        with StallingService(Workspace()) as service:
+            for kind, name, doc in [
+                ("schema", "default", SCHEMA_DOC),
+                ("sigma", "default", SIGMA_DOC),
+                ("view", "V", VIEW_DOC),
+            ]:
+                getattr(service.workspace, f"add_{kind}")(name, doc)
+            server = PropagationServer(service)
+            tcp = await asyncio.start_server(
+                server.handle_connection, "127.0.0.1", 0
+            )
+            port = tcp.sockets[0].getsockname()[1]
+            slow = _TcpClient(*await asyncio.open_connection("127.0.0.1", port))
+            writer_client = _TcpClient(
+                *await asyncio.open_connection("127.0.0.1", port)
+            )
+            try:
+                slow.writer.write(
+                    (
+                        json.dumps(
+                            {
+                                "id": "slow",
+                                "op": "check",
+                                "view": "V",
+                                "phis": PHI_DOCS,
+                                "use_cache": False,
+                            }
+                        )
+                        + "\n"
+                    ).encode()
+                )
+                await slow.writer.drain()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, entered.wait, 30
+                )
+
+                # The register is queued behind the stalled pool...
+                register_future = asyncio.ensure_future(
+                    writer_client.call(
+                        {
+                            "id": "reg",
+                            "op": "register",
+                            "kind": "sigma",
+                            "name": "more",
+                            "doc": SIGMA_DOC,
+                        }
+                    )
+                )
+                await asyncio.sleep(0.1)
+                assert not register_future.done()  # exclusivity held
+
+                release.set()  # ... and completes once the pool drains.
+                reply = await asyncio.wait_for(register_future, timeout=30)
+                assert reply["ok"] and reply["id"] == "reg"
+                line = await asyncio.wait_for(slow.reader.readline(), timeout=30)
+                assert json.loads(line)["ok"]
+            finally:
+                release.set()
+                slow.writer.close()
+                writer_client.writer.close()
+                tcp.close()
+                await tcp.wait_closed()
+
+    asyncio.run(scenario())
 
 
 def test_serve_persistent_store_warms_across_processes(tmp_path):

@@ -313,6 +313,137 @@ class TestErrors:
             assert len(err.strip().splitlines()) == 1, command
 
 
+class TestEndpoints:
+    """--endpoint / REPRO_ENDPOINT: any invocation can target a fleet."""
+
+    def _phi(self, workspace):
+        return _write(
+            workspace["dir"],
+            "phi.json",
+            {
+                "kind": "cfd",
+                "relation": "R",
+                "lhs": {"CC": "44", "zip": "_"},
+                "rhs": {"street": "_"},
+            },
+        )
+
+    def test_check_against_a_live_endpoint_shares_its_warm_cache(
+        self, workspace, capsys
+    ):
+        from repro.api import PropagationService, background_server
+
+        phi = self._phi(workspace)
+        base = [
+            "--schema", workspace["schema"], "--sigma", workspace["sigma"],
+            "--view", workspace["view"], "--phi", phi,
+        ]
+        with PropagationService() as service:
+            with background_server(service, "tcp") as url:
+                first = main(["check", *base, "--endpoint", url])
+                second = main(["check", *base, "--endpoint", url])
+            assert first == second == 0
+            out = capsys.readouterr().out
+            assert out.count("PROPAGATED") == 2
+            # Both invocations hit one warm server: the second a memo hit.
+            assert service.stats.check_queries == 2
+            assert service.stats.verdict_hits == 1
+
+    def test_endpoint_env_var_is_honored(self, workspace, capsys, monkeypatch):
+        from repro.api import PropagationService, background_server
+
+        phi = self._phi(workspace)
+        with PropagationService() as service:
+            with background_server(service, "http") as url:
+                monkeypatch.setenv("REPRO_ENDPOINT", url)
+                code = main(
+                    ["check", "--schema", workspace["schema"], "--sigma",
+                     workspace["sigma"], "--view", workspace["view"],
+                     "--phi", phi]
+                )
+            assert code == 0
+            assert service.stats.check_queries == 1  # really went over HTTP
+
+    def test_invocations_register_under_unique_scopes(self, workspace, capsys):
+        """Two invocations on one shared server must not clobber each
+        other's registrations (names are per-invocation unique; warmth
+        is shared through structural cache keys, not names)."""
+        from repro.api import PropagationService, background_server
+
+        phi = self._phi(workspace)
+        base = [
+            "--schema", workspace["schema"], "--sigma", workspace["sigma"],
+            "--view", workspace["view"], "--phi", phi,
+        ]
+        with PropagationService() as service:
+            with background_server(service, "tcp") as url:
+                assert main(["check", *base, "--endpoint", url]) == 0
+                assert main(["check", *base, "--endpoint", url]) == 0
+            names = service.workspace.names()
+            assert "default" not in names["sigmas"]
+            assert len(names["sigmas"]) == 2  # one scope per invocation
+            assert all(name.startswith("cli-") for name in names["sigmas"])
+            assert service.stats.verdict_hits == 1  # warmth still shared
+
+    def test_env_endpoint_does_not_break_validate(
+        self, workspace, capsys, monkeypatch
+    ):
+        """An ambient REPRO_ENDPOINT (set for check/cover) must not fail
+        the purely-local data commands."""
+        rules = _write(
+            workspace["dir"],
+            "rules.json",
+            [{"kind": "fd", "relation": "R1", "lhs": ["zip"], "rhs": ["street"]}],
+        )
+        data = _write(workspace["dir"], "data.json", {"R1": [], "R2": [], "R3": []})
+        monkeypatch.setenv("REPRO_ENDPOINT", "tcp://warm-server:9999")
+        code = main(
+            ["validate", "--schema", workspace["schema"], "--rules", rules,
+             "--data", data]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unreachable_endpoint_exits_five(self, workspace, capsys):
+        import socket
+
+        phi = self._phi(workspace)
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        code = main(
+            ["check", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi,
+             "--endpoint", f"tcp://127.0.0.1:{port}"]
+        )
+        assert code == 5
+        assert "error[unavailable]" in capsys.readouterr().err
+
+    def test_unknown_scheme_exits_two(self, workspace, capsys):
+        phi = self._phi(workspace)
+        code = main(
+            ["check", "--schema", workspace["schema"], "--sigma",
+             workspace["sigma"], "--view", workspace["view"], "--phi", phi,
+             "--endpoint", "gopher://nope:1"]
+        )
+        assert code == 2
+        assert "error[bad-request]" in capsys.readouterr().err
+
+    def test_validate_rejects_remote_endpoints(self, workspace, capsys):
+        rules = _write(
+            workspace["dir"],
+            "rules.json",
+            [{"kind": "fd", "relation": "R1", "lhs": ["zip"], "rhs": ["street"]}],
+        )
+        data = _write(workspace["dir"], "data.json", {"R1": [], "R2": [], "R3": []})
+        code = main(
+            ["validate", "--schema", workspace["schema"], "--rules", rules,
+             "--data", data, "--endpoint", "tcp://127.0.0.1:9"]
+        )
+        assert code == 2
+        assert "error[bad-request]" in capsys.readouterr().err
+
+
 class TestServeParser:
     def test_serve_subcommand_exists_with_optional_files(self):
         from repro.cli import build_parser
@@ -320,6 +451,15 @@ class TestServeParser:
         args = build_parser().parse_args(["serve", "--port", "0"])
         assert args.command == "serve"
         assert args.schema is None and args.port == 0
+        assert args.transport == "ndjson" and args.shard_worker is False
+
+    def test_serve_http_shard_worker_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--transport", "http", "--shard-worker"]
+        )
+        assert args.transport == "http" and args.shard_worker is True
 
     def test_no_direct_procedure_imports_left_in_cli(self):
         """cli.py is a thin client: every query routes via repro.api."""

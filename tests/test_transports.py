@@ -1,0 +1,509 @@
+"""URL-addressed endpoints: transports, client SDK, orchestrator, boundary.
+
+The PR 5 obligations:
+
+1. *Transport differential* — the same registered workspace and the
+   Example 4.1 batch yield **identical** verdict and cover documents
+   via ``local://``, ``tcp://`` and ``http://`` endpoints (stats equal
+   up to wall time).
+2. *Distributed shard orchestrator* — a 2-worker ``shard_index`` fleet
+   (one NDJSON worker, one HTTP worker) ANDs its partial verdicts to
+   the single-engine answer, with **zero chases** on the warm leg.
+3. *Boundary hygiene* — truncated NDJSON, oversized request bodies, bad
+   HTTP methods/paths and unknown URL schemes each surface a typed
+   :class:`~repro.api.ApiError` (or error document), never a traceback;
+   wire-protocol drift warns at ``connect()`` time.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import socketserver
+import threading
+
+import pytest
+
+from repro import io as repro_io
+from repro.api import (
+    ApiError,
+    CheckRequest,
+    PROTOCOL_VERSION,
+    PropagationService,
+    ShardOrchestrator,
+    UpdateSigmaRequest,
+    background_server,
+    connect,
+)
+from repro.api.client import ProtocolMismatchWarning
+from repro.core.fd import FD
+from repro.propagation.closure_baseline import (
+    example_41_workload,
+    exponential_family_schema,
+    union_shard_workload,
+)
+
+# ----------------------------------------------------------------------
+# Shared workloads.
+# ----------------------------------------------------------------------
+
+
+def _example_41_docs(n: int = 3):
+    """The Example 4.1 workload as registerable wire documents."""
+    view, sigma, queries = example_41_workload(n, defeat_fast_path=True)
+    return {
+        "schema": repro_io.schema_to_json(exponential_family_schema(n)),
+        "sigma": repro_io.dependencies_to_json(sigma),
+        "view": repro_io.view_to_json(view),
+        "phis": repro_io.dependencies_to_json(queries),
+    }
+
+
+def _union_docs():
+    """The shared 3-branch union workload, as registerable documents."""
+    schema, sigma, view, phis = union_shard_workload()
+    return {
+        "schema": repro_io.schema_to_json(schema),
+        "sigma": repro_io.dependencies_to_json(sigma),
+        "view": repro_io.view_to_json(view),
+        "phis": phis,  # objects: fed to typed CheckRequests
+    }
+
+
+def _scrub(doc):
+    """Drop wall-time fields so documents compare across transports."""
+    if isinstance(doc, dict):
+        return {k: _scrub(v) for k, v in doc.items() if k != "elapsed_ms"}
+    if isinstance(doc, list):
+        return [_scrub(item) for item in doc]
+    return doc
+
+
+# ----------------------------------------------------------------------
+# 1. Transport differential: identical documents on every wire.
+# ----------------------------------------------------------------------
+
+
+def test_local_tcp_http_yield_identical_documents():
+    """The acceptance differential: one workspace, three wires, one truth."""
+    docs = _example_41_docs(3)
+    batch = {
+        "op": "batch",
+        "requests": [
+            {"op": "check", "view": "V", "phis": docs["phis"]},
+            {"op": "check", "view": "V", "phis": docs["phis"]},  # warm leg
+            {"op": "cover", "view": "V"},
+        ],
+    }
+
+    def drive(client):
+        for kind, name in (("schema", "default"), ("sigma", "default")):
+            client.result(
+                {"op": "register", "kind": kind, "name": name, "doc": docs[kind]}
+            )
+        client.result(
+            {"op": "register", "kind": "view", "name": "V", "doc": docs["view"]}
+        )
+        return client.call(dict(batch))
+
+    with connect("local://") as local_client:
+        local = drive(local_client)
+
+    with PropagationService() as tcp_service:
+        with background_server(tcp_service, "tcp") as url:
+            with connect(url) as tcp_client:
+                tcp = drive(tcp_client)
+
+    with PropagationService() as http_service:
+        with background_server(http_service, "http") as url:
+            with connect(url) as http_client:
+                http_reply = drive(http_client)
+
+    assert local["ok"] and tcp["ok"] and http_reply["ok"]
+    assert _scrub(local) == _scrub(tcp) == _scrub(http_reply)
+    # The documents really carry the workload: cold chases, warm memo hits.
+    cold, warm, cover = local["result"]["results"]
+    assert cold["stats"]["chases"] > 0
+    assert warm["stats"]["chases"] == 0
+    assert warm["stats"]["memo_hits"] == len(docs["phis"])
+    assert cover["cover"]
+    # JSON-serializable end to end (local:// skipped the text encoding).
+    json.dumps([local, tcp, http_reply])
+
+
+def test_typed_client_matches_service_answers_over_every_wire():
+    docs = _example_41_docs(3)
+    request = CheckRequest(
+        view="V", targets=repro_io.dependencies_from_json(docs["phis"])
+    )
+    verdicts = {}
+    with connect("local://") as local_client:
+        _register_named(local_client, docs, "V")
+        verdicts["local"] = local_client.check(request)
+    with PropagationService() as service:
+        with background_server(service, "tcp") as tcp_url:
+            with connect(tcp_url) as tcp_client:
+                _register_named(tcp_client, docs, "V")
+                verdicts["tcp"] = tcp_client.check(request)
+        with background_server(service, "http") as http_url:
+            with connect(http_url) as http_client:
+                # Same service: the HTTP leg must be answered warm.
+                warm = http_client.check(request)
+    assert (
+        verdicts["local"].propagated
+        == verdicts["tcp"].propagated
+        == warm.propagated
+    )
+    assert verdicts["local"].route == verdicts["tcp"].route == warm.route
+    assert warm.stats.chases == 0  # tcp leg warmed the shared service
+
+
+def _register_named(client, docs, view_name: str) -> None:
+    client.register_schema("default", docs["schema"])
+    client.register_sigma("default", docs["sigma"])
+    client.register_view(view_name, docs["view"])
+
+
+def test_client_reraises_typed_errors_from_any_wire():
+    with PropagationService() as service:
+        with background_server(service, "http") as url:
+            with connect(url) as client:
+                with pytest.raises(ApiError) as err:
+                    client.check(CheckRequest(view="ghost", targets=[]))
+                assert err.value.kind == "not-found"
+    with connect("local://") as client:
+        with pytest.raises(ApiError) as err:
+            client.check(CheckRequest(view="ghost", targets=[]))
+        assert err.value.kind == "not-found"
+
+
+def test_update_sigma_round_trips_typed_over_http():
+    docs = _union_docs()
+    view_r2 = {
+        "name": "VR2",
+        "atoms": [{"source": "R2", "prefix": ""}],
+        "projection": ["A", "C", "D"],
+    }
+    phis_r2 = [FD("VR2", ("A",), ("C",)), FD("VR2", ("C",), ("A",))]
+    with PropagationService() as service:
+        with background_server(service, "http") as url:
+            with connect(url) as client:
+                _register_named(client, docs, "U")
+                client.register_view("VR2", view_r2)
+                cold = client.check(CheckRequest(view="U", targets=docs["phis"]))
+                assert cold.stats.chases > 0
+                before = client.check(CheckRequest(view="VR2", targets=phis_r2))
+                update = client.delta_sigma(
+                    UpdateSigmaRequest(remove=[FD("R1", ("B",), ("C",))])
+                )
+                assert update.affected_relations == ["R1"]
+                assert update.retained > 0  # the VR2 lines stayed warm
+                after = client.check(CheckRequest(view="VR2", targets=phis_r2))
+                assert after.propagated == before.propagated
+                assert after.stats.chases == 0
+                assert after.stats.memo_hits == len(phis_r2)
+
+
+# ----------------------------------------------------------------------
+# 2. The distributed shard orchestrator.
+# ----------------------------------------------------------------------
+
+
+def test_two_worker_orchestrator_ands_to_the_single_engine_verdict():
+    """The acceptance run: NDJSON + HTTP shard workers, warm leg chase-free."""
+    docs = _union_docs()
+    with connect("local://") as reference:
+        _register_named(reference, docs, "U")
+        expected = reference.check(CheckRequest(view="U", targets=docs["phis"]))
+
+    with PropagationService() as worker1, PropagationService() as worker2:
+        with background_server(worker1, "tcp", shard_worker=True) as url1:
+            with background_server(worker2, "http", shard_worker=True) as url2:
+                with ShardOrchestrator([url1, url2]) as orch:
+                    assert orch.shards == 2
+                    assert all(
+                        pong["shard_worker"] is True for pong in orch.ping()
+                    )
+                    orch.register_schema("default", docs["schema"])
+                    orch.register_sigma("default", docs["sigma"])
+                    orch.register_view("U", docs["view"])
+                    cold = orch.check(CheckRequest(view="U", targets=docs["phis"]))
+                    assert cold.propagated == expected.propagated
+                    assert cold.stats.chases > 0
+                    warm = orch.check(CheckRequest(view="U", targets=docs["phis"]))
+                    assert warm.propagated == expected.propagated
+                    assert warm.stats.chases == 0  # every worker answered warm
+                    assert warm.stats.memo_hits > 0
+
+
+def test_orchestrator_over_local_endpoints_needs_no_sockets():
+    docs = _union_docs()
+    with connect("local://") as reference:
+        _register_named(reference, docs, "U")
+        expected = reference.check(CheckRequest(view="U", targets=docs["phis"]))
+    with ShardOrchestrator(["local://", "local://", "local://"]) as orch:
+        orch.register_schema("default", docs["schema"])
+        orch.register_sigma("default", docs["sigma"])
+        orch.register_view("U", docs["view"])
+        combined = orch.check(CheckRequest(view="U", targets=docs["phis"]))
+    assert combined.propagated == expected.propagated
+
+
+def test_orchestrator_refuses_what_it_cannot_combine():
+    with ShardOrchestrator(["local://"]) as orch:
+        with pytest.raises(ApiError) as err:
+            orch.check(CheckRequest(view="V", targets=[], shard_index=0))
+        assert err.value.kind == "bad-request"
+        with pytest.raises(ApiError) as err:
+            orch.check(CheckRequest(view="V", targets=[], witness=True))
+        assert err.value.kind == "bad-request"
+        with pytest.raises(ApiError) as err:
+            orch.cover(None)
+        assert "not shard-combinable" in err.value.message
+    with pytest.raises(ApiError):
+        ShardOrchestrator([])
+
+
+def test_plain_endpoints_refuse_shard_index_requests():
+    """Partial verdicts never leak: shard_index needs --shard-worker."""
+    with PropagationService() as service:
+        with background_server(service, "tcp") as url:
+            with connect(url) as client:
+                reply = client.call(
+                    {"op": "check", "view": "V", "phis": [], "shard_index": 0}
+                )
+                assert not reply["ok"]
+                assert reply["error"]["kind"] == "bad-request"
+                assert "--shard-worker" in reply["error"]["message"]
+                # ... also when smuggled inside a batch.
+                reply = client.call(
+                    {
+                        "op": "batch",
+                        "requests": [
+                            {"op": "check", "view": "V", "phis": [], "shard_index": 1}
+                        ],
+                    }
+                )
+                assert not reply["ok"]
+                assert "--shard-worker" in reply["error"]["message"]
+
+
+def test_shard_index_service_validation():
+    service = PropagationService()
+    service.workspace.add_schema(
+        "default", {"relations": [{"name": "R", "attributes": ["A", "B"]}]}
+    )
+    service.workspace.add_sigma("default", [])
+    service.workspace.add_view(
+        "V", {"name": "V", "atoms": [{"source": "R", "prefix": ""}]}
+    )
+    for bad in (-1, 2, "0", True):
+        with pytest.raises(ApiError) as err:
+            service.check(
+                CheckRequest(view="V", targets=[], shards=2, shard_index=bad)
+            )
+        assert err.value.kind == "bad-request"
+    # Valid: a partial engine joins the pool without touching the full one.
+    verdict = service.check(
+        CheckRequest(view="V", targets=[], shards=2, shard_index=1)
+    )
+    assert verdict.propagated == []
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# 3. Boundary hygiene: typed errors, never tracebacks.
+# ----------------------------------------------------------------------
+
+
+def test_unknown_scheme_is_a_typed_bad_request():
+    with pytest.raises(ApiError) as err:
+        connect("ftp://example.org:21")
+    assert err.value.kind == "bad-request"
+    assert "ftp" in err.value.message and "local" in err.value.message
+    with pytest.raises(ApiError) as err:
+        connect("not even a url")
+    assert err.value.kind == "bad-request"
+
+
+def test_unreachable_endpoint_is_unavailable_with_exit_code_5():
+    with socket.socket() as probe:  # a port nobody listens on
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    with pytest.raises(ApiError) as err:
+        connect(f"tcp://127.0.0.1:{port}")
+    assert err.value.kind == "unavailable"
+    assert err.value.exit_code == 5
+
+
+class _ScriptedNdjsonServer(socketserver.ThreadingTCPServer):
+    """Replies to each request line from a canned script (then closes)."""
+
+    allow_reuse_address = True
+
+    def __init__(self, script):
+        self.script = list(script)
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(handler):
+                for reply in self.script:
+                    if not handler.rfile.readline():
+                        return
+                    handler.wfile.write(reply)
+                    handler.wfile.flush()
+
+        super().__init__(("127.0.0.1", 0), Handler)
+
+
+def _scripted(script):
+    server = _ScriptedNdjsonServer(script)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"tcp://127.0.0.1:{server.server_address[1]}"
+    return server, url
+
+
+def test_truncated_ndjson_response_is_unavailable_not_a_traceback():
+    # The scripted server answers the handshake ping, then drops the
+    # connection halfway through the next response (no newline).
+    pong = (
+        json.dumps(
+            {"ok": True, "op": "ping", "result": {"pong": True, "protocol": 1}}
+        )
+        + "\n"
+    ).encode()
+    server, url = _scripted([pong, b'{"ok": tru'])
+    try:
+        client = connect(url)
+        with pytest.raises(ApiError) as err:
+            client.ping()
+        assert err.value.kind == "unavailable"
+        assert "truncated" in err.value.message
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_protocol_mismatch_warns_at_connect_time():
+    pong = (
+        json.dumps(
+            {"ok": True, "op": "ping", "result": {"pong": True, "protocol": 99}}
+        )
+        + "\n"
+    ).encode()
+    server, url = _scripted([pong])
+    try:
+        with pytest.warns(ProtocolMismatchWarning, match="protocol 99"):
+            client = connect(url)
+        assert client.protocol == 99
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_matching_protocol_does_not_warn():
+    import warnings
+
+    with PropagationService() as service:
+        with background_server(service, "tcp") as url:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", ProtocolMismatchWarning)
+                client = connect(url)
+                assert client.protocol == PROTOCOL_VERSION
+                client.close()
+
+
+def test_oversized_ndjson_request_is_refused_typed_then_closed():
+    with PropagationService() as service:
+        with background_server(service, "tcp", max_request_bytes=1024) as url:
+            host, port = url.removeprefix("tcp://").rsplit(":", 1)
+            with socket.create_connection((host, int(port)), timeout=30) as sock:
+                sock.sendall(
+                    b'{"op": "ping", "pad": "' + b"x" * 4096 + b'"}\n'
+                )
+                reply = json.loads(sock.makefile("rb").readline())
+            assert not reply["ok"]
+            assert reply["error"]["kind"] == "bad-request"
+            assert "1024" in reply["error"]["message"]
+            # The server survives for fresh connections.
+            with connect(url) as client:
+                assert client.ping()["pong"] is True
+
+
+def test_oversized_http_body_is_413_with_typed_document():
+    with PropagationService() as service:
+        with background_server(service, "http", max_request_bytes=1024) as url:
+            host, port = url.removeprefix("http://").rsplit(":", 1)
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+            conn.request(
+                "POST",
+                "/v1/check",
+                body=json.dumps({"op": "check", "pad": "x" * 4096}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            conn.close()
+            assert response.status == 413
+            assert doc["error"]["kind"] == "bad-request"
+            with connect(url) as client:  # server still alive
+                assert client.ping()["pong"] is True
+
+
+def test_bad_http_method_and_path_are_typed_documents():
+    with PropagationService() as service:
+        with background_server(service, "http") as url:
+            host, port = url.removeprefix("http://").rsplit(":", 1)
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 404
+            assert doc == {
+                "ok": False,
+                "error": {
+                    "kind": "not-found",
+                    "message": "no such route: GET /nope",
+                },
+            }
+
+            conn.request("DELETE", "/v1/check")
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 405
+            assert doc["error"]["kind"] == "bad-request"
+
+            conn.request("POST", "/v1/check", body=b"{nonsense")
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 400
+            assert doc["error"]["kind"] == "bad-request"
+            conn.close()
+
+
+def test_http_error_kinds_map_to_status_codes():
+    with PropagationService() as service:
+        with background_server(service, "http") as url:
+            host, port = url.removeprefix("http://").rsplit(":", 1)
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+            # not-found kind (unregistered view) -> 404 with ok: false.
+            conn.request(
+                "POST",
+                "/v1/check",
+                body=json.dumps({"view": "ghost", "phis": []}).encode(),
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 404
+            assert doc["error"]["kind"] == "not-found"
+            conn.close()
+
+
+def test_local_url_with_an_address_is_rejected():
+    with pytest.raises(ApiError) as err:
+        connect("local://somewhere")
+    assert err.value.kind == "bad-request"
