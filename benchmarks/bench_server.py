@@ -30,7 +30,12 @@ Env knobs (``docs/caching.md`` documents the shared ones):
   :class:`~repro.api.ShardOrchestrator` experiment over a 3-branch
   union view instead of the single-server throughput loop, asserting
   the AND-combined verdicts match a single full engine and that the
-  warm fleet answers with zero chases.
+  warm fleet answers with zero chases;
+- ``REPRO_KILL_WORKER`` — ``--smoke`` with ``REPRO_WORKERS`` > 1 only:
+  the fault-injection experiment — after the cold fan-out, one worker
+  is hard-killed mid-run and the orchestrator must fail its shard over
+  to the survivors and land the same verdict; recovery latency and the
+  degraded-fleet throughput are recorded to ``BENCH_server.json``.
 
 Series recorded per ``n`` (the Example 4.1 parameter; one batch is the
 ``2^n`` eta-combination queries):
@@ -67,6 +72,7 @@ JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
 CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 TRANSPORT = os.environ.get("REPRO_TRANSPORT", "ndjson")
 WORKERS = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+KILL_WORKER = bool(os.environ.get("REPRO_KILL_WORKER"))
 
 #: Where ``--smoke`` accumulates its per-transport throughput records.
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_server.json"
@@ -321,18 +327,103 @@ def _orchestrator_smoke(transport: str, workers: int) -> None:
     )
 
 
+def _failover_smoke(transport: str, workers: int) -> None:
+    """The fault-injection experiment: kill 1 of N workers mid-run.
+
+    A shard-worker fleet lands a cold AND-verdict; then the last worker
+    is hard-killed (SIGKILL — no goodbye on the wire) and the batch loop
+    keeps going.  The orchestrator must detect the death, re-plan the
+    dead worker's shard onto the survivors, and land the *same* verdict
+    as a single full engine.  Records the recovery latency (kill to the
+    first correct verdict) and the degraded-fleet throughput.
+    """
+    from repro.api import CheckRequest, ShardOrchestrator, connect
+
+    assert workers >= 2, "failover needs a worker to lose and one to keep"
+    docs = _union_workload_docs()
+    with connect("local://") as reference:
+        reference.register_schema("default", docs["schema"])
+        reference.register_sigma("default", docs["sigma"])
+        reference.register_view("U", docs["view"])
+        expected = reference.check(CheckRequest(view="U", targets=docs["phis"]))
+
+    procs = []
+    urls = []
+    try:
+        for _ in range(workers):
+            proc, url = _launch_endpoint([], transport, extra=["--shard-worker"])
+            procs.append(proc)
+            urls.append(url)
+        with ShardOrchestrator(urls) as orch:
+            orch.register_schema("default", docs["schema"])
+            orch.register_sigma("default", docs["sigma"])
+            orch.register_view("U", docs["view"])
+            request = CheckRequest(view="U", targets=docs["phis"])
+            cold = orch.check(request)
+            assert cold.propagated == expected.propagated, "AND != single engine"
+
+            procs[-1].kill()
+            procs[-1].wait(timeout=60)
+            killed_at = time.perf_counter()
+            recovered = orch.check(request)
+            recovery_s = time.perf_counter() - killed_at
+            assert recovered.propagated == expected.propagated, (
+                "failover verdict != single engine"
+            )
+            assert orch.failovers >= 1, "the worker death went undetected"
+            assert orch.live_workers() == list(range(workers - 1))
+
+            started = time.perf_counter()
+            for _ in range(WARM_BATCHES):
+                warm = orch.check(request)
+                assert warm.propagated == expected.propagated
+            degraded_mean = (time.perf_counter() - started) / WARM_BATCHES
+            assert warm.stats.chases == 0, "degraded fleet must re-warm"
+            failovers = orch.failovers
+            for index in orch.live_workers():
+                orch.workers[index].shutdown()
+    except BaseException:
+        for proc in procs:
+            proc.kill()  # don't mask the real failure with a wait timeout
+        raise
+    for proc in procs[:-1]:  # the killed one exits nonzero by design
+        assert proc.wait(timeout=60) == 0
+    _record_bench(
+        f"{transport}-failover-w{workers}",
+        {
+            "transport": transport,
+            "workers": workers,
+            "killed": 1,
+            "queries_per_batch": len(docs["phis"]),
+            "cold_chases": cold.stats.chases,
+            "recovery_s": round(recovery_s, 4),
+            "degraded_warm_mean_s": round(degraded_mean, 4),
+            "degraded_req_per_s": round(1.0 / degraded_mean, 1),
+            "failovers": failovers,
+        },
+    )
+    print(
+        f"bench_server --smoke OK: killed 1/{workers} {transport} workers; "
+        f"verdict still matched, recovery={recovery_s:.3f}s, degraded warm "
+        f"{1.0 / degraded_mean:.0f} req/s"
+    )
+
+
 def main(argv: list[str]) -> int:
     if "--smoke" not in argv:
         print(
             "usage: python benchmarks/bench_server.py --smoke\n"
-            "  (REPRO_TRANSPORT=ndjson|http, REPRO_WORKERS=N; the pytest "
+            "  (REPRO_TRANSPORT=ndjson|http, REPRO_WORKERS=N, "
+            "REPRO_KILL_WORKER=1 for the fault-injection leg; the pytest "
             "entry point is `python -m pytest benchmarks/bench_server.py`)",
             file=sys.stderr,
         )
         return 2
     import tempfile
 
-    if WORKERS > 1:
+    if WORKERS > 1 and KILL_WORKER:
+        _failover_smoke(TRANSPORT, WORKERS)
+    elif WORKERS > 1:
         _orchestrator_smoke(TRANSPORT, WORKERS)
     else:
         with tempfile.TemporaryDirectory() as workdir:

@@ -11,6 +11,14 @@ endpoint URL (``local://``, ``tcp://host:port``, ``http://host:port`` —
 check across a ``shard_index`` worker fleet and ANDs the partial
 verdicts (:mod:`repro.api.orchestrator`).
 
+The fleet surface is fault-tolerant: a :class:`RetryPolicy` makes any
+remote transport absorb transient ``unavailable`` failures of idempotent
+requests with bounded exponential backoff (``connect(url, retry=...)``),
+the orchestrator health-checks its workers and **fails a dead worker's
+shards over** to survivors mid-check, and a :class:`ReplicaSet`
+load-balances unsharded requests across identical workers with the same
+mark-dead/mark-alive health model.
+
     >>> from repro.api import CheckRequest, connect
     >>> client = connect("local://")  # or tcp://host:port, http://host:port
     >>> # client.register_schema / register_sigma / register_view, then:
@@ -31,7 +39,7 @@ from .errors import (
     KINDS,
     to_api_error,
 )
-from .orchestrator import ShardOrchestrator
+from .orchestrator import ReplicaSet, ShardOrchestrator
 from .requests import (
     BatchRequest,
     BatchResult,
@@ -55,9 +63,12 @@ from .server import (
 from .service import PropagationService, default_service
 from .transport import (
     HttpTransport,
+    IDEMPOTENT_OPS,
     LocalTransport,
+    RetryPolicy,
     TcpTransport,
     Transport,
+    is_idempotent,
     open_url,
     register_scheme,
 )
@@ -87,13 +98,16 @@ __all__ = [
     "EmptinessResult",
     "HTTP_STATUS",
     "HttpTransport",
+    "IDEMPOTENT_OPS",
     "KINDS",
     "LocalTransport",
     "PROTOCOL_VERSION",
     "PropagationServer",
     "PropagationService",
     "ProtocolMismatchWarning",
+    "ReplicaSet",
     "RequestStats",
+    "RetryPolicy",
     "ShardOrchestrator",
     "SigmaUpdate",
     "TcpTransport",
@@ -105,6 +119,7 @@ __all__ = [
     "connect",
     "default_service",
     "handle_request",
+    "is_idempotent",
     "open_url",
     "register_scheme",
     "request_from_json",

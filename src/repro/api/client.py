@@ -74,11 +74,17 @@ def connect(url: str, *, handshake: bool = True, **options) -> "Client":
 
     ``options`` go to the transport factory: service options such as
     ``cache_dir`` / ``cache_size`` / ``jobs`` / ``pool`` / ``shards``
-    (or an existing ``service=``) for ``local://``; ``timeout`` for
-    ``tcp://`` and ``http://``.  With ``handshake=True`` (default) the
-    endpoint is pinged immediately: connectivity problems surface here
-    as ``unavailable`` errors, and a wire-protocol version mismatch
-    warns with :class:`ProtocolMismatchWarning`.
+    (or an existing ``service=``) for ``local://``; ``timeout`` and
+    ``retry`` for ``tcp://`` and ``http://``.  A
+    ``retry=RetryPolicy(...)`` makes the transport absorb transient
+    ``unavailable`` failures of idempotent requests with bounded
+    exponential backoff (see :class:`~repro.api.transport.RetryPolicy`);
+    the default is fail-fast.  ``local://`` accepts and ignores
+    ``retry``, so one fleet config can mix schemes.  With
+    ``handshake=True`` (default) the endpoint is pinged immediately:
+    connectivity problems surface here as ``unavailable`` errors (after
+    any retries), and a wire-protocol version mismatch warns with
+    :class:`ProtocolMismatchWarning`.
     """
     client = Client(open_url(url, **options))
     if handshake:
@@ -101,6 +107,10 @@ class Client:
         #: (``repro serve --shard-worker``); ``None`` before a handshake
         #: or when the endpoint predates the capability flag.
         self.shard_worker: bool | None = None
+        #: The full capability document of the last handshake ping —
+        #: server endpoints advertise ``uptime_s`` and
+        #: ``requests_served`` here, which fleet health probes record.
+        self.capabilities: dict = {}
 
     @property
     def url(self) -> str:
@@ -206,6 +216,7 @@ class Client:
     def handshake(self) -> dict:
         """Ping the endpoint; record protocol + capabilities, warn on drift."""
         result = self.ping()
+        self.capabilities = dict(result)
         self.protocol = result.get("protocol")
         self.shard_worker = result.get("shard_worker")
         if self.protocol != PROTOCOL_VERSION:

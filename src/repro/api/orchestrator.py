@@ -1,90 +1,109 @@
-"""The distributed shard orchestrator: N endpoints, one verdict.
+"""Fleet orchestration: shard fan-out with failover, replica balancing.
 
-The scheduler layer (:mod:`repro.propagation.engine.scheduler`) deals
-the ``k²`` branch-pair chase of a union view into deterministic shards;
-the ``shard_index`` knob restricts one engine to a single shard, whose
-verdict means only "no violation inside my shard".  The contract pinned
-by ``tests/test_incremental.py`` is that the **AND** of all ``shards``
-partial verdicts equals the single-engine answer.  This module is the
-first component that actually *runs* that contract across endpoints:
+Two fleet shapes share one health-checked worker pool (:class:`_Fleet`):
+
+- :class:`ShardOrchestrator` — the distributed shard seam made
+  resilient.  The scheduler layer
+  (:mod:`repro.propagation.engine.scheduler`) deals the ``k²``
+  branch-pair chase of a union view into deterministic shards; the
+  ``shard_index`` knob restricts one engine to a single shard, whose
+  verdict means only "no violation inside my shard".  The contract
+  pinned by ``tests/test_incremental.py`` is that the **AND** of all
+  ``shards`` partial verdicts equals the single-engine answer.  The
+  orchestrator runs that contract across endpoints — and keeps running
+  it when endpoints die: the shard-plan width is fixed at the fleet
+  size, so when a worker fails mid-check its ``shard_index`` is
+  **re-planned onto a surviving worker** (same ``shards=N`` plan, so
+  warm shard-scoped memo keys stay valid) and the AND-verdict still
+  lands.  A worker is marked dead on its first ``unavailable`` failure
+  and skipped until :meth:`_Fleet.mark_alive` or a successful
+  :meth:`_Fleet.check_health` ping revives it.
+
+- :class:`ReplicaSet` — the replica mode for *unsharded* traffic: N
+  identical workers (same registered workspace), every check / cover /
+  emptiness / batch request load-balances round-robin across the live
+  replicas and fails over to the next one when a replica dies
+  mid-request (idempotent requests only ever produce one answer, so
+  re-routing is safe).  Registrations and Sigma diffs fan out to every
+  replica so the fleet stays identical.
+
+Construction, registration fan-out, liveness bookkeeping, health
+probes and typed failure aggregation are shared.  A fan-out that loses
+workers no longer surfaces just the first failed future: every
+per-worker failure is collected into one typed
+:class:`~repro.api.ApiError` naming which endpoints died.
 
     >>> from repro.api import CheckRequest
-    >>> from repro.api.orchestrator import ShardOrchestrator
+    >>> from repro.api.orchestrator import ReplicaSet, ShardOrchestrator
     >>> # two workers; any mix of local://, tcp://..., http://... URLs
     >>> orch = ShardOrchestrator(["local://", "local://"])
     >>> orch.close()
 
 Given N endpoint URLs (``local://`` services, ``repro serve --port``
 NDJSON workers, ``repro serve --transport http`` fleets — mixed freely),
-the orchestrator
+the shard orchestrator
 
-1. registers the workspace on every worker (:meth:`register` /
+1. registers the workspace on every worker (:meth:`_Fleet.register` /
    :meth:`register_schema` / :meth:`register_sigma` /
    :meth:`register_view` fan out),
-2. dispatches every check with ``shards=N, shard_index=i`` to worker
-   ``i`` — concurrently, one thread per worker, and
+2. dispatches every check with ``shards=N, shard_index=i`` across the
+   live workers — concurrently, one in-flight request per worker — and
 3. ANDs the partial verdicts into the full :class:`~repro.api.Verdict`,
    summing the per-worker stats deltas (a warm fleet answers with
    ``stats.chases == 0``: each worker memoizes its shard under
    shard-scoped keys).
 
 Covers are **not** shard-combinable (a partial engine refuses them), so
-:meth:`cover` raises a typed error instead of returning a silently
-partial cover; Sigma diffs (:meth:`delta_sigma`) fan out to every
-worker so the fleet's registrations stay consistent.
+:meth:`ShardOrchestrator.cover` raises a typed error instead of
+returning a silently partial cover; Sigma diffs (:meth:`_Fleet.delta_sigma`)
+fan out to every worker so the fleet's registrations stay consistent.
 
-Remote workers must run with ``--shard-worker`` — a normal endpoint
-refuses ``shard_index`` requests so partial verdicts can never leak to
-ordinary clients.
+Remote shard workers must run with ``--shard-worker`` — a normal
+endpoint refuses ``shard_index`` requests so partial verdicts can never
+leak to ordinary clients.  Replicas are normal (full-verdict) endpoints.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Sequence, Union
+from typing import Callable, Sequence, Union
 
 from .client import Client, connect
-from .errors import ApiError
+from .errors import ApiError, to_api_error
 from .requests import (
     CheckRequest,
+    Request,
     RequestStats,
+    Response,
     SigmaUpdate,
     UpdateSigmaRequest,
     Verdict,
 )
 
-__all__ = ["ShardOrchestrator"]
+__all__ = ["ReplicaSet", "ShardOrchestrator"]
 
 Endpoint = Union[str, Client]
 
 
-def _sum_stats(parts: Sequence[RequestStats], elapsed_ms: float) -> RequestStats:
-    return RequestStats(
-        elapsed_ms=elapsed_ms,
-        queries=sum(p.queries for p in parts),
-        chases=sum(p.chases for p in parts),
-        memo_hits=sum(p.memo_hits for p in parts),
-        persistent_hits=sum(p.persistent_hits for p in parts),
-        closure_fast_path=sum(p.closure_fast_path for p in parts),
-        parallel_tasks=sum(p.parallel_tasks for p in parts),
-        shard_tasks=sum(p.shard_tasks for p in parts),
-    )
-
-
-class ShardOrchestrator:
-    """Fans one check across N ``shard_index`` workers, ANDs the verdicts.
+class _Fleet:
+    """Shared fleet plumbing: workers, liveness, health, typed fan-out.
 
     ``endpoints`` are URLs (connected here, closed by :meth:`close`) or
     live :class:`~repro.api.client.Client` objects (left open — the
-    caller owns them).  The worker count *is* the shard count.
+    caller owns them).  ``connect_options`` are forwarded to
+    :func:`~repro.api.client.connect` for every URL endpoint (e.g.
+    ``retry=RetryPolicy(...)``; ``local://`` ignores it).
     """
 
     def __init__(self, endpoints: Sequence[Endpoint], **connect_options) -> None:
         if not endpoints:
-            raise ApiError("bad-request", "an orchestrator needs >= 1 endpoint")
+            raise ApiError(
+                "bad-request", f"a {type(self).__name__} needs >= 1 endpoint"
+            )
         self._owned: list[Client] = []
         self.workers: list[Client] = []
         try:
@@ -100,29 +119,147 @@ class ShardOrchestrator:
                 client.close()
             raise
         self._pool = ThreadPoolExecutor(
-            max_workers=len(self.workers), thread_name_prefix="repro-shard"
+            max_workers=len(self.workers), thread_name_prefix="repro-fleet"
         )
+        self._health_guard = threading.Lock()
+        self._dead: dict[int, str] = {}
+        #: Dead-worker detections so far (each one is work re-planned
+        #: onto survivors — the failover counter benches assert on).
+        self.failovers = 0
 
-    @property
-    def shards(self) -> int:
-        return len(self.workers)
+    # ------------------------------------------------------------------
+    # Liveness: mark-dead / mark-alive state, ping-driven health checks.
+    # ------------------------------------------------------------------
 
-    def _fan_out(self, call) -> list:
+    def _describe(self, index: int) -> str:
+        return self.workers[index].url or f"worker {index}"
+
+    def mark_dead(self, index: int, reason) -> None:
+        """Record worker *index* as dead: skipped by every dispatch until
+        revived by :meth:`mark_alive` or a successful health probe."""
+        message = reason.message if isinstance(reason, ApiError) else str(reason)
+        with self._health_guard:
+            if index not in self._dead:
+                self._dead[index] = message
+                self.failovers += 1
+
+    def mark_alive(self, index: int) -> None:
+        """Put worker *index* back into rotation.
+
+        A revived worker that actually restarted has an empty workspace —
+        re-register (or let :meth:`register` fan out again) before it
+        serves; its caches warm back up from traffic.
+        """
+        with self._health_guard:
+            self._dead.pop(index, None)
+
+    def live_workers(self) -> list[int]:
+        """Indexes of the workers currently considered alive, in order."""
+        with self._health_guard:
+            return [i for i in range(len(self.workers)) if i not in self._dead]
+
+    def health(self) -> list[dict]:
+        """The current liveness book (no probes): one record per worker."""
+        with self._health_guard:
+            dead = dict(self._dead)
+        return [
+            {
+                "index": index,
+                "url": worker.url,
+                "alive": index not in dead,
+                "error": dead.get(index),
+            }
+            for index, worker in enumerate(self.workers)
+        ]
+
+    def check_health(self) -> list[dict]:
+        """Ping every worker — dead ones too — and update the liveness book.
+
+        Never raises: an unreachable worker is marked dead and reported
+        with its error; a responsive one is marked alive (back in
+        rotation) and reported with the endpoint's advertised
+        capabilities (protocol, uptime, served count).
+        """
+
+        def probe(worker: Client, index: int) -> dict:
+            try:
+                pong = worker.ping()
+            except Exception as exc:  # noqa: BLE001 - probe boundary
+                error = to_api_error(exc)
+                self.mark_dead(index, error)
+                return {
+                    "index": index,
+                    "url": worker.url,
+                    "alive": False,
+                    "error": f"[{error.kind}] {error.message}",
+                }
+            self.mark_alive(index)
+            report = {
+                "index": index,
+                "url": worker.url,
+                "alive": True,
+                "error": None,
+            }
+            for key in ("protocol", "shard_worker", "uptime_s", "requests_served"):
+                if key in pong:
+                    report[key] = pong[key]
+            return report
+
+        return self._fan_out(probe)
+
+    # ------------------------------------------------------------------
+    # Fan-out with aggregated typed failures.
+    # ------------------------------------------------------------------
+
+    def _fan_out(self, call: Callable[[Client, int], object]) -> list:
         """Run ``call(worker, index)`` on every worker concurrently.
 
         Transports are not thread-safe, but each worker is driven by
         exactly one task per fan-out, and fan-outs never overlap (this
-        class is itself single-caller, like the transports).
+        class is itself single-caller, like the transports).  Every
+        future is drained; if any failed, the per-worker failures are
+        aggregated into ONE typed error naming which endpoints died —
+        sibling outcomes are never silently discarded.  Workers that
+        failed with ``unavailable`` are marked dead on the way.
         """
         futures = [
             self._pool.submit(call, worker, index)
             for index, worker in enumerate(self.workers)
         ]
-        # Drain every future before surfacing a failure: re-raising
-        # while siblings still run would let a retry overlap in-flight
-        # tasks on the (single-caller) transports.
         concurrent.futures.wait(futures)
-        return [future.result() for future in futures]
+        results: list = []
+        failures: list[tuple[int, ApiError]] = []
+        for index, future in enumerate(futures):
+            exc = future.exception()
+            if exc is None:
+                results.append(future.result())
+            else:
+                error = to_api_error(exc)
+                if error.kind == "unavailable":
+                    self.mark_dead(index, error)
+                failures.append((index, error))
+        if failures:
+            raise self._aggregate(failures)
+        return results
+
+    def _aggregate(self, failures: Sequence[tuple[int, ApiError]]) -> ApiError:
+        """One typed error for many worker failures.
+
+        A non-``unavailable`` kind wins (the request itself is wrong —
+        retrying elsewhere cannot help); a fleet that only lost workers
+        aggregates to ``unavailable``.
+        """
+        kind = next(
+            (e.kind for _, e in failures if e.kind != "unavailable"),
+            "unavailable",
+        )
+        detail = "; ".join(
+            f"{self._describe(i)}: [{e.kind}] {e.message}" for i, e in failures
+        )
+        return ApiError(
+            kind,
+            f"{len(failures)}/{len(self.workers)} workers failed: {detail}",
+        )
 
     # ------------------------------------------------------------------
     # Workspace fan-out.
@@ -151,12 +288,56 @@ class ShardOrchestrator:
     def register_view(self, name: str, view, schema: str = "default") -> list:
         return self.register("view", name, view, schema=schema)
 
+    def delta_sigma(self, request: UpdateSigmaRequest) -> list[SigmaUpdate]:
+        """Apply one Sigma diff on every worker (keeps the fleet consistent)."""
+        return self._fan_out(lambda worker, _index: worker.delta_sigma(request))
+
     # ------------------------------------------------------------------
-    # The sharded check.
+    # Fleet ops.
+    # ------------------------------------------------------------------
+
+    def ping(self) -> list[dict]:
+        return self._fan_out(lambda worker, _index: worker.ping())
+
+    def close(self) -> None:
+        """Shut the thread pool; close the clients this fleet opened."""
+        self._pool.shutdown(wait=True)
+        for client in self._owned:
+            client.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardOrchestrator(_Fleet):
+    """Fans one check across N ``shard_index`` workers, ANDs the verdicts.
+
+    The worker count *is* the shard count — and stays the plan width
+    even after failures, so re-planned shards reuse the same
+    shard-scoped memo keys on whichever worker picks them up.
+    """
+
+    @property
+    def shards(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------
+    # The sharded check, with failover.
     # ------------------------------------------------------------------
 
     def check(self, request: CheckRequest) -> Verdict:
-        """Dispatch *request* shard-wise and AND the partial verdicts."""
+        """Dispatch *request* shard-wise and AND the partial verdicts.
+
+        Shards are dealt round-robin over the live workers (one
+        in-flight request per worker).  A worker that dies mid-check is
+        marked dead and its unfinished shards are re-planned onto the
+        survivors in the next round; the check fails only when a
+        *request-level* error occurs (typed, raised as-is) or no live
+        worker remains (typed ``unavailable`` naming the dead).
+        """
         if request.shards is not None or request.shard_index is not None:
             raise ApiError(
                 "bad-request",
@@ -170,28 +351,87 @@ class ShardOrchestrator:
                 "full endpoint for the counterexample",
             )
         started = time.perf_counter()
-        partials: list[Verdict] = self._fan_out(
-            lambda worker, index: worker.check(
-                replace(request, shards=self.shards, shard_index=index)
-            )
-        )
-        width = len(partials[0].propagated)
-        if any(len(partial.propagated) != width for partial in partials):
+        shards = self.shards
+        remaining = set(range(shards))
+        partials: dict[int, Verdict] = {}
+        while remaining:
+            live = self.live_workers()
+            if not live:
+                with self._health_guard:
+                    dead = dict(self._dead)
+                detail = "; ".join(
+                    f"{self._describe(i)}: {message}"
+                    for i, message in sorted(dead.items())
+                )
+                raise ApiError(
+                    "unavailable",
+                    f"no live workers left for shard(s) "
+                    f"{sorted(remaining)}: {detail}",
+                )
+            assignment: dict[int, list[int]] = {}
+            for offset, shard in enumerate(sorted(remaining)):
+                assignment.setdefault(live[offset % len(live)], []).append(shard)
+            futures = [
+                self._pool.submit(self._run_shards, index, batch, request, shards)
+                for index, batch in assignment.items()
+            ]
+            concurrent.futures.wait(futures)
+            for future in futures:
+                done, error = future.result()
+                for shard, verdict in done.items():
+                    partials[shard] = verdict
+                    remaining.discard(shard)
+                if error is not None:
+                    raise error
+        ordered = [partials[shard] for shard in range(shards)]
+        width = len(ordered[0].propagated)
+        if any(len(partial.propagated) != width for partial in ordered):
             raise ApiError(
                 "internal",
                 "shard workers disagreed on the verdict width; are all "
                 "endpoints registered with the same workspace?",
             )
         combined = [
-            all(partial.propagated[i] for partial in partials)
+            all(partial.propagated[i] for partial in ordered)
             for i in range(width)
         ]
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         return Verdict(
             combined,
-            partials[0].route,
-            _sum_stats([partial.stats for partial in partials], elapsed_ms),
+            ordered[0].route,
+            RequestStats.total(
+                [partial.stats for partial in ordered], elapsed_ms=elapsed_ms
+            ),
         )
+
+    def _run_shards(
+        self,
+        index: int,
+        shard_batch: list[int],
+        request: CheckRequest,
+        shards: int,
+    ) -> tuple[dict[int, Verdict], ApiError | None]:
+        """One worker's slice, sequentially (transports are single-caller).
+
+        Never raises.  ``unavailable`` marks the worker dead and leaves
+        its unfinished shards for the next round's survivors; any other
+        failure is a request-level error returned for the check to
+        surface as-is.
+        """
+        worker = self.workers[index]
+        done: dict[int, Verdict] = {}
+        for shard in shard_batch:
+            try:
+                done[shard] = worker.check(
+                    replace(request, shards=shards, shard_index=shard)
+                )
+            except Exception as exc:  # noqa: BLE001 - per-worker boundary
+                error = to_api_error(exc)
+                if error.kind == "unavailable":
+                    self.mark_dead(index, error)
+                    return done, None
+                return done, error
+        return done, None
 
     def cover(self, request) -> None:
         raise ApiError(
@@ -200,25 +440,79 @@ class ShardOrchestrator:
             "endpoint for the cover",
         )
 
-    def delta_sigma(self, request: UpdateSigmaRequest) -> list[SigmaUpdate]:
-        """Apply one Sigma diff on every worker (keeps the fleet consistent)."""
-        return self._fan_out(lambda worker, _index: worker.delta_sigma(request))
+
+class ReplicaSet(_Fleet):
+    """Load-balances unsharded requests across identical replicas.
+
+    Every :meth:`submit` (check / cover / emptiness / batch) goes to
+    ONE live replica, chosen round-robin; a replica that fails with
+    ``unavailable`` is marked dead and the request fails over to the
+    next live one within the same call.  Service-level errors
+    (``bad-request``, ``not-found``, ...) re-raise immediately — the
+    endpoint answered, re-routing cannot change the answer.
+
+    Replicas are *full* endpoints serving the same registered workspace
+    (no ``--shard-worker``); use :meth:`register_schema` /
+    :meth:`register_sigma` / :meth:`register_view` /
+    :meth:`delta_sigma`, which fan out, to keep them identical.
+    """
+
+    def __init__(self, endpoints: Sequence[Endpoint], **connect_options) -> None:
+        super().__init__(endpoints, **connect_options)
+        self._rr_guard = threading.Lock()
+        self._rr = 0
+
+    def _next_live(self, tried: set[int]) -> int | None:
+        live = [i for i in self.live_workers() if i not in tried]
+        if not live:
+            return None
+        with self._rr_guard:
+            index = live[self._rr % len(live)]
+            self._rr += 1
+        return index
+
+    def _route(self, call: Callable[[Client], object]):
+        """Run *call* on one live replica, failing over on death."""
+        failures: list[tuple[int, ApiError]] = []
+        tried: set[int] = set()
+        while True:
+            index = self._next_live(tried)
+            if index is None:
+                if failures:
+                    raise self._aggregate(failures)
+                raise ApiError(
+                    "unavailable",
+                    "no live replicas; mark one alive (or check_health a "
+                    "recovered one) first",
+                )
+            tried.add(index)
+            try:
+                return call(self.workers[index])
+            except ApiError as exc:
+                if exc.kind != "unavailable":
+                    raise
+                self.mark_dead(index, exc)
+                failures.append((index, exc))
 
     # ------------------------------------------------------------------
-    # Fleet ops.
+    # The balanced request surface (mirrors Client).
     # ------------------------------------------------------------------
 
-    def ping(self) -> list[dict]:
-        return self._fan_out(lambda worker, _index: worker.ping())
+    def submit(self, request: Request) -> Response:
+        return self._route(lambda worker: worker.submit(request))
 
-    def close(self) -> None:
-        """Shut the thread pool; close the clients this orchestrator opened."""
-        self._pool.shutdown(wait=True)
-        for client in self._owned:
-            client.close()
+    def check(self, request) -> Verdict:
+        return self.submit(request)
 
-    def __enter__(self) -> "ShardOrchestrator":
-        return self
+    def cover(self, request):
+        return self.submit(request)
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def emptiness(self, request):
+        return self.submit(request)
+
+    def batch(self, request):
+        return self.submit(request)
+
+    def stats(self) -> dict:
+        """One live replica's engine counters (round-robin like queries)."""
+        return self._route(lambda worker: worker.stats())

@@ -27,7 +27,7 @@ warm-cache smoke tests assert on (``chases == 0`` on a warm leg).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Sequence, Union
 
 from ..algebra.instance import DatabaseInstance
@@ -158,6 +158,24 @@ class RequestStats:
 
     def to_json(self) -> dict:
         return asdict(self)
+
+    @classmethod
+    def total(
+        cls, parts: Sequence["RequestStats"], *, elapsed_ms: float = 0.0
+    ) -> "RequestStats":
+        """Sum every counter field across *parts* (wall time is not
+        additive across concurrent parts, so ``elapsed_ms`` is supplied
+        by the aggregator).  Derived from :func:`dataclasses.fields` so
+        a counter added later can never be silently dropped.
+        """
+        return cls(
+            elapsed_ms=elapsed_ms,
+            **{
+                f.name: sum(getattr(part, f.name) for part in parts)
+                for f in fields(cls)
+                if f.name != "elapsed_ms"
+            },
+        )
 
 
 @dataclass

@@ -44,6 +44,7 @@ import json
 import queue
 import sys
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Mapping, TextIO
 
@@ -117,6 +118,13 @@ class PropagationServer:
         self._locks: dict[tuple, asyncio.Lock] = {}
         self._locks_guard = asyncio.Lock()
         self._shutdown = asyncio.Event()
+        self._started = time.monotonic()
+        self._served = 0
+        # Open connection writers, so shutdown can close established
+        # connections too — `async with server` only stops the listener,
+        # and a fleet client left on a silent socket would block on its
+        # transport timeout instead of failing fast as `unavailable`.
+        self._conn_writers: set[asyncio.StreamWriter] = set()
 
     # ------------------------------------------------------------------
     # Locking: per engine pool, exclusive for mutations.
@@ -216,11 +224,18 @@ class PropagationServer:
         return response
 
     async def _dispatch(self, doc) -> dict:
+        self._served += 1
         response = await asyncio.get_running_loop().run_in_executor(
             None, handle_request, doc, self.service
         )
         if response.get("ok") and response.get("op") == "ping":
+            # Health/uptime capabilities: what a fleet's check_health
+            # probe records per worker.
             response["result"]["shard_worker"] = self.shard_worker
+            response["result"]["uptime_s"] = round(
+                time.monotonic() - self._started, 3
+            )
+            response["result"]["requests_served"] = self._served
         return response
 
     async def respond_line(self, line: str) -> dict:
@@ -239,6 +254,7 @@ class PropagationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One NDJSON TCP client: requests in, responses out, in order."""
+        self._conn_writers.add(writer)
         try:
             while not self._shutdown.is_set():
                 try:
@@ -264,6 +280,7 @@ class PropagationServer:
         except ConnectionError:  # pragma: no cover - client vanished
             pass
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
 
     async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> None:
@@ -301,6 +318,7 @@ class PropagationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One HTTP/1.1 client: keep-alive request/response loop."""
+        self._conn_writers.add(writer)
         try:
             while not self._shutdown.is_set():
                 keep_alive = await self._respond_http_once(reader, writer)
@@ -309,6 +327,7 @@ class PropagationServer:
         except (asyncio.IncompleteReadError, ConnectionError, ValueError):
             pass  # mid-request EOF / reset / oversized header line
         finally:
+            self._conn_writers.discard(writer)
             writer.close()
 
     async def _respond_http_once(self, reader, writer) -> bool:
@@ -460,6 +479,11 @@ class PropagationServer:
             )
         async with server:
             await self._shutdown.wait()
+        # The `async with` closed only the listener; sever established
+        # connections too so blocked clients see EOF (-> a typed
+        # `unavailable`) instead of hanging until their timeout.
+        for writer in list(self._conn_writers):
+            writer.close()
 
 
 def serve_stdio(service: PropagationService, **server_options) -> None:

@@ -498,15 +498,9 @@ class PropagationService:
     def batch(self, request: BatchRequest) -> BatchResult:
         started = time.perf_counter()
         results = [self.submit(sub) for sub in request.requests]
-        stats = RequestStats(
+        stats = RequestStats.total(
+            [r.stats for r in results],
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
-            queries=sum(r.stats.queries for r in results),
-            chases=sum(r.stats.chases for r in results),
-            memo_hits=sum(r.stats.memo_hits for r in results),
-            persistent_hits=sum(r.stats.persistent_hits for r in results),
-            closure_fast_path=sum(r.stats.closure_fast_path for r in results),
-            parallel_tasks=sum(r.stats.parallel_tasks for r in results),
-            shard_tasks=sum(r.stats.shard_tasks for r in results),
         )
         return BatchResult(results, stats)
 

@@ -23,6 +23,12 @@ Every analysis subcommand routes through the typed client SDK
 - ``http://host:port``: a ``repro serve --transport http`` front end
   (loadbalancer-friendly).
 
+Resilience flags (any service-routed subcommand): ``--retries N`` /
+``--backoff S`` retry transient ``unavailable`` failures of idempotent
+requests with exponential backoff, and ``--replica URL`` (repeated)
+load-balances the request across identical workers with automatic
+failover (see :mod:`repro.api.orchestrator`).
+
 The input files are registered on the endpoint per invocation (names
 ``"default"``, the view also under its own name), then a typed request
 is submitted and capability-routed server-side.  ``repro serve`` is the
@@ -77,6 +83,8 @@ from .api import (
     EXIT_OK,
     EmptinessRequest,
     PropagationService,
+    ReplicaSet,
+    RetryPolicy,
     Workspace,
     connect,
     serve_http,
@@ -119,8 +127,22 @@ def _request_settings(args) -> dict:
     )
 
 
+def _retry_policy(args) -> RetryPolicy | None:
+    """``--retries/--backoff`` as a transport policy (``None`` = fail fast)."""
+    retries = getattr(args, "retries", 0) or 0
+    if retries < 1:
+        return None
+    return RetryPolicy(retries=retries, backoff=getattr(args, "backoff", 0.05))
+
+
 def _client(args) -> tuple[Client, str]:
     """Connect to the invocation's endpoint and register the input files.
+
+    With ``--replica URL`` (repeatable) the "client" is a
+    :class:`~repro.api.ReplicaSet` over those endpoints instead:
+    registrations fan out to every replica and the request load-balances
+    across them with failover — the subcommands drive both shapes
+    through the same methods.
 
     The files are registered under one per-invocation unique name (the
     returned *scope*), so concurrent invocations sharing a warm remote
@@ -128,11 +150,22 @@ def _client(args) -> tuple[Client, str]:
     shared: the engine's cache keys are structural (Sigma/view content),
     not registration names.
     """
-    url = _endpoint(args)
-    if url.startswith("local:"):
-        client = connect(url, **_service_options(args))
+    retry = _retry_policy(args)
+    replicas = list(getattr(args, "replica", None) or [])
+    if replicas:
+        if getattr(args, "endpoint", None):
+            raise ApiError(
+                "bad-request",
+                "--endpoint and --replica are mutually exclusive; list every "
+                "replica with --replica",
+            )
+        client = ReplicaSet(replicas, retry=retry)
     else:
-        client = connect(url)
+        url = _endpoint(args)
+        if url.startswith("local:"):
+            client = connect(url, retry=retry, **_service_options(args))
+        else:
+            client = connect(url, retry=retry)
     scope = f"cli-{uuid.uuid4().hex[:12]}"
     try:
         schema = getattr(args, "schema", None)
@@ -264,6 +297,12 @@ def _reject_remote_endpoint(args, command: str) -> None:
             f"'{command}' runs on local data files and has no wire op; it "
             f"only accepts local:// endpoints, got {url!r}",
         )
+    if getattr(args, "replica", None):
+        raise ApiError(
+            "bad-request",
+            f"'{command}' runs on local data files and has no wire op; "
+            f"--replica does not apply",
+        )
 
 
 def _cmd_validate(args) -> int:
@@ -325,6 +364,29 @@ def build_parser() -> argparse.ArgumentParser:
             "tcp://host:port (a `repro serve --port` server) or "
             "http://host:port (`repro serve --transport http`); "
             "REPRO_ENDPOINT sets the default",
+        )
+        p.add_argument(
+            "--replica",
+            action="append",
+            metavar="URL",
+            help="a replica endpoint (repeat per replica): the request "
+            "load-balances across the listed identical workers and fails "
+            "over when one dies; mutually exclusive with --endpoint",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="retry transient endpoint failures (unavailable, "
+            "idempotent requests only) up to this many times with "
+            "exponential backoff (default 0: fail fast)",
+        )
+        p.add_argument(
+            "--backoff",
+            type=float,
+            default=0.05,
+            help="base backoff delay in seconds before the first retry, "
+            "doubling per attempt with jitter (default 0.05)",
         )
 
     def engine_options(p):

@@ -13,6 +13,13 @@ The PR 5 obligations:
    HTTP methods/paths and unknown URL schemes each surface a typed
    :class:`~repro.api.ApiError` (or error document), never a traceback;
    wire-protocol drift warns at ``connect()`` time.
+
+The PR 6 failure matrix (section 4): :class:`~repro.api.RetryPolicy`
+backoff semantics and the flaky-transport retry loop; the
+``TcpTransport`` broken-socket reset and ``HttpTransport`` gateway-5xx
+classification bugfixes; aggregated fleet failures naming every dead
+endpoint; kill-a-worker shard **failover**; and
+:class:`~repro.api.ReplicaSet` load balancing + dead-replica rerouting.
 """
 
 from __future__ import annotations
@@ -22,6 +29,8 @@ import json
 import socket
 import socketserver
 import threading
+import time
+from dataclasses import fields as dataclass_fields
 
 import pytest
 
@@ -29,12 +38,18 @@ from repro import io as repro_io
 from repro.api import (
     ApiError,
     CheckRequest,
+    IDEMPOTENT_OPS,
     PROTOCOL_VERSION,
     PropagationService,
+    ReplicaSet,
+    RequestStats,
+    RetryPolicy,
     ShardOrchestrator,
+    Transport,
     UpdateSigmaRequest,
     background_server,
     connect,
+    is_idempotent,
 )
 from repro.api.client import ProtocolMismatchWarning
 from repro.core.fd import FD
@@ -507,3 +522,454 @@ def test_local_url_with_an_address_is_rejected():
     with pytest.raises(ApiError) as err:
         connect("local://somewhere")
     assert err.value.kind == "bad-request"
+
+
+# ----------------------------------------------------------------------
+# 4. The failure matrix: retry, reconnection, failover, replicas.
+# ----------------------------------------------------------------------
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_retry_policy_delays_are_exponential_and_capped():
+    policy = RetryPolicy(retries=4, backoff=0.05, jitter=0.0)
+    assert list(policy.delays()) == [0.05, 0.1, 0.2, 0.4]
+    capped = RetryPolicy(retries=4, backoff=0.05, max_backoff=0.1, jitter=0.0)
+    assert list(capped.delays()) == [0.05, 0.1, 0.1, 0.1]
+    jittered = RetryPolicy(retries=50, backoff=0.05, jitter=1.0)
+    for base, actual in zip(RetryPolicy(retries=50, jitter=0.0).delays(),
+                            jittered.delays()):
+        assert base <= actual <= 2.0 * base
+
+
+def test_retry_policy_rejects_bad_parameters_typed():
+    for bad in (
+        dict(retries=-1),
+        dict(backoff=-0.1),
+        dict(jitter=-1.0),
+        dict(multiplier=0.5),
+    ):
+        with pytest.raises(ApiError) as err:
+            RetryPolicy(**bad)
+        assert err.value.kind == "bad-request"
+
+
+def test_idempotency_classification_matrix():
+    for op in IDEMPOTENT_OPS:
+        assert is_idempotent({"op": op})
+    assert not is_idempotent({"op": "shutdown"})
+    assert not is_idempotent("not a document")
+    assert not is_idempotent({"no": "op"})
+    # batch recursion: idempotent iff every sub-request is.
+    assert is_idempotent(
+        {"op": "batch", "requests": [{"op": "check"}, {"op": "update-sigma"}]}
+    )
+    assert not is_idempotent(
+        {"op": "batch", "requests": [{"op": "check"}, {"op": "shutdown"}]}
+    )
+    assert not is_idempotent({"op": "batch", "requests": "garbage"})
+
+
+class _FlakyTransport(Transport):
+    """Fails the first *failures* attempts, then answers ok."""
+
+    def __init__(self, failures: int, kind: str = "unavailable", retry=None):
+        self.retry = retry
+        self.calls = 0
+        self._failures = failures
+        self._kind = kind
+
+    def _request_once(self, doc):
+        self.calls += 1
+        if self.calls <= self._failures:
+            raise ApiError(self._kind, f"flaky failure #{self.calls}")
+        return {"ok": True, "op": doc.get("op"), "result": {}}
+
+
+@pytest.fixture
+def recorded_sleeps(monkeypatch):
+    sleeps: list[float] = []
+    monkeypatch.setattr(
+        "repro.api.transport.time.sleep", lambda delay: sleeps.append(delay)
+    )
+    return sleeps
+
+
+def test_retry_absorbs_transient_unavailable_failures(recorded_sleeps):
+    policy = RetryPolicy(retries=2, backoff=0.05, jitter=0.0)
+    flaky = _FlakyTransport(failures=2, retry=policy)
+    assert flaky.request({"op": "ping"})["ok"] is True
+    assert flaky.calls == 3
+    assert recorded_sleeps == [0.05, 0.1]
+
+
+def test_retry_exhaustion_reraises_the_last_unavailable(recorded_sleeps):
+    policy = RetryPolicy(retries=2, backoff=0.05, jitter=0.0)
+    flaky = _FlakyTransport(failures=10, retry=policy)
+    with pytest.raises(ApiError) as err:
+        flaky.request({"op": "ping"})
+    assert err.value.kind == "unavailable"
+    assert flaky.calls == 3  # the first attempt + the 2 retries, no more
+    assert recorded_sleeps == [0.05, 0.1]
+
+
+def test_retry_never_resends_non_idempotent_ops(recorded_sleeps):
+    policy = RetryPolicy(retries=3, backoff=0.05, jitter=0.0)
+    flaky = _FlakyTransport(failures=1, retry=policy)
+    with pytest.raises(ApiError):
+        flaky.request({"op": "shutdown"})
+    assert flaky.calls == 1
+    assert recorded_sleeps == []
+
+
+def test_retry_never_resends_on_service_level_errors(recorded_sleeps):
+    policy = RetryPolicy(retries=3, backoff=0.05, jitter=0.0)
+    flaky = _FlakyTransport(failures=1, kind="not-found", retry=policy)
+    with pytest.raises(ApiError) as err:
+        flaky.request({"op": "check"})
+    assert err.value.kind == "not-found"
+    assert flaky.calls == 1
+    assert recorded_sleeps == []
+
+
+def test_no_policy_means_fail_fast(recorded_sleeps):
+    flaky = _FlakyTransport(failures=1)
+    with pytest.raises(ApiError):
+        flaky.request({"op": "ping"})
+    assert flaky.calls == 1
+    assert recorded_sleeps == []
+
+
+class _OneReplyPerConnectionServer(socketserver.ThreadingTCPServer):
+    """Each connection serves ONE scripted reply, then closes.
+
+    Models a server that keeps crashing between requests: a client that
+    leaves its broken socket in place after the drop can never reach the
+    recovered endpoint, while one that resets and reconnects can.
+    """
+
+    allow_reuse_address = True
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.replies_guard = threading.Lock()
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(handler):
+                if not handler.rfile.readline():
+                    return
+                with outer.replies_guard:
+                    reply = outer.replies.pop(0) if outer.replies else b""
+                if reply:
+                    handler.wfile.write(reply)
+                    handler.wfile.flush()
+
+        super().__init__(("127.0.0.1", 0), Handler)
+
+
+def _one_shot(replies):
+    server = _OneReplyPerConnectionServer(replies)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"tcp://127.0.0.1:{server.server_address[1]}"
+
+
+_PONG = (
+    json.dumps(
+        {"ok": True, "op": "ping", "result": {"pong": True, "protocol": 1}}
+    )
+    + "\n"
+).encode()
+
+
+def test_tcp_transport_reconnects_after_a_broken_connection():
+    """The satellite bugfix: a socket error must not poison the transport."""
+    server, url = _one_shot([_PONG, _PONG])
+    try:
+        client = connect(url)  # handshake eats reply 1, server drops the conn
+        with pytest.raises(ApiError) as err:
+            client.ping()  # the established socket is dead
+        assert err.value.kind == "unavailable"
+        # Pre-fix this kept failing forever on the same broken file object;
+        # now the transport reset and this reconnects to the recovered server.
+        assert client.ping()["pong"] is True
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_retry_masks_a_connection_drop_between_requests():
+    server, url = _one_shot([_PONG, _PONG, _PONG])
+    try:
+        client = connect(url, retry=RetryPolicy(retries=2, backoff=0.001, jitter=0.0))
+        assert client.ping()["pong"] is True  # dead socket -> retry reconnects
+        assert client.ping()["pong"] is True
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class _CannedHttpServer(socketserver.ThreadingTCPServer):
+    """Each connection answers with the next canned raw HTTP response."""
+
+    allow_reuse_address = True
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.responses_guard = threading.Lock()
+        outer = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(handler):
+                handler.request.settimeout(10)
+                try:
+                    if not handler.request.recv(65536):
+                        return
+                except OSError:  # pragma: no cover - client vanished
+                    return
+                with outer.responses_guard:
+                    payload = outer.responses.pop(0) if outer.responses else b""
+                if payload:
+                    handler.request.sendall(payload)
+
+        super().__init__(("127.0.0.1", 0), Handler)
+
+
+def _canned_http(responses):
+    server = _CannedHttpServer(responses)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+def _http_payload(status_line, body, content_type="application/json"):
+    return (
+        f"HTTP/1.1 {status_line}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode() + body
+
+
+_HTTP_PONG = _http_payload(
+    "200 OK",
+    json.dumps(
+        {"ok": True, "op": "ping", "result": {"pong": True, "protocol": 1}}
+    ).encode(),
+)
+_HTTP_502 = _http_payload(
+    "502 Bad Gateway", b"<html>upstream dead</html>", content_type="text/html"
+)
+
+
+def test_http_gateway_5xx_html_is_unavailable_not_internal():
+    """The satellite bugfix: a 502 error page is a retryable outage."""
+    garbage_200 = _http_payload("200 OK", b"surprise, not json")
+    server, url = _canned_http([_HTTP_PONG, _HTTP_502, garbage_200])
+    try:
+        client = connect(url)
+        with pytest.raises(ApiError) as err:
+            client.ping()
+        assert err.value.kind == "unavailable"
+        assert "502" in err.value.message
+        # ... while a non-JSON body behind a 2xx status stays `internal`:
+        # the endpoint itself answered, with protocol garbage.
+        with pytest.raises(ApiError) as err:
+            client.ping()
+        assert err.value.kind == "internal"
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_http_retry_rides_through_a_gateway_502():
+    server, url = _canned_http([_HTTP_PONG, _HTTP_502, _HTTP_PONG])
+    try:
+        client = connect(url, retry=RetryPolicy(retries=1, backoff=0.001, jitter=0.0))
+        assert client.ping()["pong"] is True  # 502 absorbed by one retry
+        client.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_fan_out_aggregates_every_worker_failure():
+    """The satellite bugfix: sibling failures are named, not discarded."""
+    dead_urls = [f"tcp://127.0.0.1:{_free_port()}" for _ in range(2)]
+    workers = [connect("local://")] + [
+        connect(url, handshake=False) for url in dead_urls
+    ]
+    try:
+        with ShardOrchestrator(workers) as orch:
+            with pytest.raises(ApiError) as err:
+                orch.ping()
+            assert err.value.kind == "unavailable"
+            assert "2/3 workers failed" in err.value.message
+            for url in dead_urls:  # every dead endpoint is named
+                assert url in err.value.message
+            assert [entry["alive"] for entry in orch.health()] == [
+                True,
+                False,
+                False,
+            ]
+            assert orch.live_workers() == [0]
+            assert orch.failovers == 2
+    finally:
+        for worker in workers:
+            worker.close()
+
+
+def test_aggregate_prefers_service_level_error_kinds():
+    with ShardOrchestrator(["local://", "local://"]) as orch:
+        error = orch._aggregate(
+            [
+                (0, ApiError("unavailable", "connection refused")),
+                (1, ApiError("not-found", "no view 'ghost'")),
+            ]
+        )
+    assert error.kind == "not-found"  # the request is wrong, not the fleet
+    assert "2/2 workers failed" in error.message
+    assert "connection refused" in error.message
+
+
+def test_shard_failover_lands_the_and_verdict_after_a_worker_dies():
+    """The tentpole: kill 1 of 2 shard workers, the check still lands."""
+    docs = _union_docs()
+    with connect("local://") as reference:
+        _register_named(reference, docs, "U")
+        expected = reference.check(CheckRequest(view="U", targets=docs["phis"]))
+
+    with PropagationService() as worker1, PropagationService() as worker2:
+        with background_server(worker1, "tcp", shard_worker=True) as url1:
+            with background_server(worker2, "tcp", shard_worker=True) as url2:
+                with ShardOrchestrator([url1, url2]) as orch:
+                    orch.register_schema("default", docs["schema"])
+                    orch.register_sigma("default", docs["sigma"])
+                    orch.register_view("U", docs["view"])
+                    cold = orch.check(CheckRequest(view="U", targets=docs["phis"]))
+                    assert cold.propagated == expected.propagated
+
+                    with connect(url2, handshake=False) as killer:
+                        killer.shutdown()
+                    # Ping-driven liveness: the health probe detects the
+                    # death (polling rides out the shutdown's last gasp).
+                    deadline = time.time() + 30
+                    while orch.check_health()[1]["alive"]:
+                        assert time.time() < deadline, "worker never died"
+                        time.sleep(0.05)
+                    assert orch.live_workers() == [0]
+                    assert orch.failovers >= 1
+
+                    # The dead worker's shard is re-planned onto the
+                    # survivor: same 2-shard plan, full AND verdict.
+                    recovered = orch.check(
+                        CheckRequest(view="U", targets=docs["phis"])
+                    )
+                    assert recovered.propagated == expected.propagated
+
+                    # mark_alive puts it back in rotation; the next
+                    # health probe re-detects the corpse.
+                    orch.mark_alive(1)
+                    assert orch.live_workers() == [0, 1]
+                    health = orch.check_health()
+                    assert [entry["alive"] for entry in health] == [True, False]
+
+
+def test_replica_set_load_balances_round_robin():
+    docs = _union_docs()
+    with PropagationService() as svc1, PropagationService() as svc2:
+        with connect("local://", service=svc1) as c1:
+            with connect("local://", service=svc2) as c2:
+                with ReplicaSet([c1, c2]) as replicas:
+                    replicas.register_schema("default", docs["schema"])
+                    replicas.register_sigma("default", docs["sigma"])
+                    replicas.register_view("U", docs["view"])
+                    request = CheckRequest(view="U", targets=docs["phis"])
+                    first = replicas.check(request)
+                    second = replicas.check(request)
+                    third = replicas.check(request)
+    assert first.propagated == second.propagated == third.propagated
+    # Round-robin: the second identical check hit the OTHER replica, so
+    # it also ran cold; the third wrapped around to the now-warm first.
+    assert first.stats.chases > 0
+    assert second.stats.chases > 0
+    assert third.stats.chases == 0
+
+
+def test_replica_set_reroutes_around_a_dead_replica():
+    docs = _union_docs()
+    dead = connect(f"tcp://127.0.0.1:{_free_port()}", handshake=False)
+    live = connect("local://")
+    try:
+        _register_named(live, docs, "U")
+        expected = live.check(CheckRequest(view="U", targets=docs["phis"]))
+        with ReplicaSet([dead, live]) as replicas:
+            verdict = replicas.check(CheckRequest(view="U", targets=docs["phis"]))
+            assert verdict.propagated == expected.propagated
+            assert replicas.failovers == 1
+            assert replicas.live_workers() == [1]
+            again = replicas.check(CheckRequest(view="U", targets=docs["phis"]))
+            assert again.propagated == expected.propagated
+            assert replicas.failovers == 1  # dead one skipped, not re-probed
+    finally:
+        dead.close()
+        live.close()
+
+
+def test_replica_set_with_every_replica_dead_raises_the_aggregate():
+    workers = [
+        connect(f"tcp://127.0.0.1:{_free_port()}", handshake=False)
+        for _ in range(2)
+    ]
+    try:
+        with ReplicaSet(workers) as replicas:
+            with pytest.raises(ApiError) as err:
+                replicas.check(CheckRequest(view="U", targets=[]))
+            assert err.value.kind == "unavailable"
+            assert "2/2 workers failed" in err.value.message
+            # Once the book says everyone is dead, the error is immediate.
+            with pytest.raises(ApiError) as err:
+                replicas.stats()
+            assert "no live replicas" in err.value.message
+    finally:
+        for worker in workers:
+            worker.close()
+
+
+def test_replica_set_reraises_service_errors_without_failover():
+    with ReplicaSet(["local://", "local://"]) as replicas:
+        with pytest.raises(ApiError) as err:
+            replicas.check(CheckRequest(view="ghost", targets=[]))
+        assert err.value.kind == "not-found"
+        # The replica answered; rerouting cannot change the answer.
+        assert replicas.failovers == 0
+        assert replicas.live_workers() == [0, 1]
+
+
+def test_request_stats_total_sums_every_counter_field():
+    """The satellite drift guard: no RequestStats counter is dropped."""
+    ones = RequestStats(**{f.name: 1 for f in dataclass_fields(RequestStats)})
+    twos = RequestStats(**{f.name: 2 for f in dataclass_fields(RequestStats)})
+    total = RequestStats.total([ones, twos], elapsed_ms=7.0)
+    assert total.elapsed_ms == 7.0
+    for field in dataclass_fields(RequestStats):
+        if field.name != "elapsed_ms":
+            assert getattr(total, field.name) == 3, field.name
+
+
+def test_server_ping_advertises_uptime_and_served_count():
+    with PropagationService() as service:
+        with background_server(service, "tcp") as url:
+            with connect(url) as client:
+                assert client.capabilities["shard_worker"] is False
+                pong = client.ping()
+                assert pong["uptime_s"] >= 0
+                assert pong["requests_served"] >= 2  # the handshake + this
