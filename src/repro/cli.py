@@ -10,6 +10,8 @@ Drives the library from JSON files (formats in :mod:`repro.io`):
                   [--port N] [--shard-worker]
     repro validate --schema s.json --rules deps.json --data db.json
     repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
+    repro fuzz    --cases N --seed S [--matrix baseline,cache,...]
+                  [--corpus DIR] [--replay FILE ...] [--harvest]
 
 Every analysis subcommand routes through the typed client SDK
 (:func:`repro.api.connect`): the ``--endpoint URL`` flag (or the
@@ -266,6 +268,54 @@ def _cmd_empty(args) -> int:
     return EXIT_NEGATIVE if result.empty else EXIT_OK
 
 
+def _cmd_fuzz(args) -> int:
+    # Imported here: the fuzz harness pulls in the orchestrator/server
+    # stack, which the data-file subcommands never need.
+    from .fuzz import run_fuzz
+    from .fuzz.runner import harvest_corpus, replay_corpus
+
+    matrix = (
+        [name.strip() for name in args.matrix.split(",") if name.strip()]
+        if args.matrix
+        else None
+    )
+    if args.replay:
+        problems = replay_corpus(args.replay, matrix=matrix)
+        for problem in problems:
+            print(problem)
+        print(
+            f"# replayed {len(args.replay)} corpus file(s): "
+            f"{len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return EXIT_OK if not problems else EXIT_NEGATIVE
+    if args.harvest:
+        written = harvest_corpus(
+            args.cases, args.seed, args.corpus, matrix=matrix
+        )
+        for path in written:
+            print(path)
+        print(f"# wrote {len(written)} corpus file(s)", file=sys.stderr)
+        return EXIT_OK
+    report = run_fuzz(
+        args.cases,
+        args.seed,
+        matrix=matrix,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    if report.failures:
+        print(
+            f"# {len(report.failures)} oracle disagreement(s); shrunk "
+            f"repros under {args.corpus}",
+            file=sys.stderr,
+        )
+        return EXIT_NEGATIVE
+    return EXIT_OK
+
+
 def _cmd_serve(args) -> int:
     workspace = Workspace.from_files(
         schema=args.schema, sigma=args.sigma, view=args.view
@@ -474,6 +524,52 @@ def build_parser() -> argparse.ArgumentParser:
     endpoint_option(empty)
     engine_options(empty)
     empty.set_defaults(func=_cmd_empty)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="property-based differential fuzzing: seeded random "
+        "Sigma/view cases checked for byte-level agreement across the "
+        "engine/transport configuration matrix",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=200, help="number of cases (default 200)"
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="run seed; the same seed reproduces the same case "
+        "fingerprints (default 0)",
+    )
+    fuzz.add_argument(
+        "--matrix",
+        help="comma-separated configuration subset (default: every entry); "
+        "the baseline reference is always included",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        default="tests/fuzz_corpus",
+        help="directory for shrunk repro files (default tests/fuzz_corpus)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing cases unshrunk (harness triage)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        nargs="+",
+        metavar="FILE",
+        help="replay these corpus files through the matrix instead of "
+        "generating cases",
+    )
+    fuzz.add_argument(
+        "--harvest",
+        action="store_true",
+        help="scan --cases agreeing cases and commit one shrunk "
+        "answer-pinning anchor per profile to --corpus",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     serve = sub.add_parser(
         "serve",

@@ -1,0 +1,497 @@
+"""The differential oracle: one case, every configuration, one answer.
+
+:class:`MatrixHarness` owns one long-lived runner per matrix entry —
+warm local services for the engine-settings axes, background TCP/HTTP
+endpoints, a two-worker :class:`~repro.api.orchestrator.ShardOrchestrator`
+over ``shard_worker`` servers and a :class:`~repro.api.orchestrator.ReplicaSet`
+— and runs each case's check/cover/emptiness requests through all of
+them.  Results are *canonicalized* (verdict lists, covers as sorted
+canonical-JSON dependency documents, emptiness booleans; typed
+:class:`~repro.api.ApiError` failures collapse to their taxonomy kind)
+so agreement is byte-level string equality and never depends on
+transport framing or response field order.
+
+The reference entry is ``baseline``: an uncached local service, i.e. the
+plain single-query procedures of :mod:`repro.propagation` with no memo,
+no parallelism and no shard plan.  Every other entry must match it
+exactly.  On top of the differential matrix,
+:func:`closure_oracle_disagreements` checks the FD-over-projection
+fragment against the *independent* textbook closure baseline
+(:mod:`repro.propagation.closure_baseline`) — semantic cover equivalence
+via :func:`repro.core.fd.equivalent`, since minimal covers are unique
+only up to FD-theory equality.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from .. import io as repro_io
+from ..api import (
+    ApiError,
+    CheckRequest,
+    CoverRequest,
+    EmptinessRequest,
+    PropagationService,
+)
+from ..api.client import connect
+from ..api.orchestrator import ReplicaSet, ShardOrchestrator
+from ..api.server import background_server
+from ..core.fd import FD, equivalent, implies
+from ..core.values import is_wildcard
+from ..propagation.closure_baseline import closure_projection_cover
+from .cases import is_fd_projection_case, parse_case
+
+__all__ = [
+    "BASELINE",
+    "DEFAULT_MATRIX",
+    "Disagreement",
+    "MatrixHarness",
+    "closure_oracle_disagreements",
+]
+
+#: The reference configuration every other entry must agree with.
+BASELINE = "baseline"
+
+#: Every matrix entry, in evaluation order.
+DEFAULT_MATRIX = (
+    BASELINE,
+    "cache",
+    "jobs2",
+    "shards4",
+    "shard-recombine",
+    "tcp",
+    "http",
+    "orchestrator",
+    "replicas",
+)
+
+_ALL_OPS = ("check", "cover", "empty")
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One configuration answering one op differently from the baseline."""
+
+    config: str
+    op: str
+    expected: str
+    actual: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.config}/{self.op}: expected {self.expected}, "
+            f"got {self.actual}"
+        )
+
+
+def _canonical(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _canonical_cover(cover) -> str:
+    docs = sorted(
+        _canonical(repro_io.dependency_to_json(dep)) for dep in cover
+    )
+    return _canonical({"cover": docs})
+
+
+class _Runner:
+    """One matrix entry: typed requests against one execution path."""
+
+    ops: Sequence[str] = _ALL_OPS
+
+    def prepare(self, case: dict) -> None:
+        """Per-case setup (endpoint entries register the case schema)."""
+
+    def check(self, view, sigma, targets) -> str:
+        raise NotImplementedError
+
+    def cover(self, view, sigma) -> str:
+        raise NotImplementedError
+
+    def empty(self, view, sigma) -> str:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class _ServiceRunner(_Runner):
+    """A warm local :class:`PropagationService` with fixed settings."""
+
+    def __init__(self, **service_options) -> None:
+        self.service = PropagationService(**service_options)
+
+    def check(self, view, sigma, targets) -> str:
+        verdict = self.service.check(
+            CheckRequest(view=view, targets=targets, sigma=sigma)
+        )
+        return _canonical({"propagated": list(verdict.propagated)})
+
+    def cover(self, view, sigma) -> str:
+        result = self.service.cover(CoverRequest(view=view, sigma=sigma))
+        return _canonical_cover(result.cover)
+
+    def empty(self, view, sigma) -> str:
+        result = self.service.emptiness(
+            EmptinessRequest(view=view, sigma=sigma)
+        )
+        return _canonical({"empty": bool(result.empty)})
+
+    def close(self) -> None:
+        self.service.close()
+
+
+class _ShardRecombineRunner(_ServiceRunner):
+    """Per-``shard_index`` partial verdicts ANDed back into full answers.
+
+    The distributed-seam contract: a ``shard_index=i`` verdict means "no
+    violation within shard ``i`` of the ``shards``-way plan", so the AND
+    over all indices must equal the single-engine verdict.  Covers are
+    not shard-combinable (a partial engine refuses them), so this entry
+    checks only.
+    """
+
+    ops = ("check",)
+
+    def __init__(self, shards: int = 4) -> None:
+        super().__init__()
+        self.shards = shards
+
+    def check(self, view, sigma, targets) -> str:
+        combined = [True] * len(list(targets))
+        for index in range(self.shards):
+            verdict = self.service.check(
+                CheckRequest(
+                    view=view,
+                    targets=targets,
+                    sigma=sigma,
+                    shards=self.shards,
+                    shard_index=index,
+                )
+            )
+            combined = [
+                acc and bool(part)
+                for acc, part in zip(combined, verdict.propagated)
+            ]
+        return _canonical({"propagated": combined})
+
+
+class _ClientRunner(_Runner):
+    """A typed client over a wire endpoint (``tcp://`` / ``http://``).
+
+    Views and Sigma travel inline in every request; inline views parse
+    against the endpoint's ``"default"`` schema registration, which
+    :meth:`prepare` re-registers per case.
+    """
+
+    def __init__(self, client) -> None:
+        self.client = client
+
+    def prepare(self, case: dict) -> None:
+        self.client.register_schema("default", case["schema"])
+
+    def check(self, view, sigma, targets) -> str:
+        verdict = self.client.check(
+            CheckRequest(view=view, targets=targets, sigma=sigma)
+        )
+        return _canonical({"propagated": list(verdict.propagated)})
+
+    def cover(self, view, sigma) -> str:
+        result = self.client.cover(CoverRequest(view=view, sigma=sigma))
+        return _canonical_cover(result.cover)
+
+    def empty(self, view, sigma) -> str:
+        result = self.client.emptiness(
+            EmptinessRequest(view=view, sigma=sigma)
+        )
+        return _canonical({"empty": bool(result.empty)})
+
+    def close(self) -> None:
+        self.client.close()
+
+
+class _OrchestratorRunner(_Runner):
+    """A shard fleet: partial verdicts recombined *across endpoints*.
+
+    Covers are refused by design (not shard-combinable) and emptiness is
+    not part of the orchestrator surface, so this entry checks only.
+    """
+
+    ops = ("check",)
+
+    def __init__(self, orchestrator: ShardOrchestrator) -> None:
+        self.orchestrator = orchestrator
+
+    def prepare(self, case: dict) -> None:
+        self.orchestrator.register_schema("default", case["schema"])
+
+    def check(self, view, sigma, targets) -> str:
+        verdict = self.orchestrator.check(
+            CheckRequest(view=view, targets=targets, sigma=sigma)
+        )
+        return _canonical({"propagated": list(verdict.propagated)})
+
+    def close(self) -> None:
+        self.orchestrator.close()
+
+
+class _ReplicaRunner(_Runner):
+    """A :class:`ReplicaSet` load-balancing over full-verdict endpoints."""
+
+    def __init__(self, replicas: ReplicaSet) -> None:
+        self.replicas = replicas
+
+    def prepare(self, case: dict) -> None:
+        self.replicas.register_schema("default", case["schema"])
+
+    def check(self, view, sigma, targets) -> str:
+        verdict = self.replicas.check(
+            CheckRequest(view=view, targets=targets, sigma=sigma)
+        )
+        return _canonical({"propagated": list(verdict.propagated)})
+
+    def cover(self, view, sigma) -> str:
+        result = self.replicas.cover(CoverRequest(view=view, sigma=sigma))
+        return _canonical_cover(result.cover)
+
+    def empty(self, view, sigma) -> str:
+        result = self.replicas.emptiness(
+            EmptinessRequest(view=view, sigma=sigma)
+        )
+        return _canonical({"empty": bool(result.empty)})
+
+    def close(self) -> None:
+        self.replicas.close()
+
+
+class MatrixHarness:
+    """Every requested matrix entry, built once and kept warm for a run."""
+
+    def __init__(self, matrix: Sequence[str] | None = None) -> None:
+        names = list(matrix) if matrix else list(DEFAULT_MATRIX)
+        if BASELINE not in names:
+            names.insert(0, BASELINE)
+        unknown = sorted(set(names) - set(DEFAULT_MATRIX))
+        if unknown:
+            raise ValueError(
+                f"unknown matrix entries {unknown}; "
+                f"known entries are {sorted(DEFAULT_MATRIX)}"
+            )
+        # Evaluation order is the canonical DEFAULT_MATRIX order so a
+        # subset matrix still reports deterministically.
+        self.names = [n for n in DEFAULT_MATRIX if n in names]
+        self._runners: dict[str, _Runner] = {}
+        self._contexts: list = []
+        try:
+            self._build()
+        except BaseException:
+            self.close()
+            raise
+
+    def _endpoint(self, transport: str, **server_options) -> str:
+        """Start a background endpoint whose lifetime matches the harness."""
+        service = PropagationService()
+        self._contexts.append(service)
+        context = background_server(service, transport, **server_options)
+        url = context.__enter__()
+        self._contexts.append(context)
+        return url
+
+    def _build(self) -> None:
+        wanted = set(self.names)
+        runners = self._runners
+        if BASELINE in wanted:
+            runners[BASELINE] = _ServiceRunner(use_cache=False)
+        if "cache" in wanted:
+            runners["cache"] = _ServiceRunner(use_cache=True)
+        if "jobs2" in wanted:
+            runners["jobs2"] = _ServiceRunner(jobs=2)
+        if "shards4" in wanted:
+            runners["shards4"] = _ServiceRunner(shards=4)
+        if "shard-recombine" in wanted:
+            runners["shard-recombine"] = _ShardRecombineRunner(shards=4)
+        tcp_url = http_url = None
+        if wanted & {"tcp", "replicas"}:
+            tcp_url = self._endpoint("tcp")
+        if wanted & {"http", "replicas"}:
+            http_url = self._endpoint("http")
+        if "tcp" in wanted:
+            runners["tcp"] = _ClientRunner(connect(tcp_url))
+        if "http" in wanted:
+            runners["http"] = _ClientRunner(connect(http_url))
+        if "orchestrator" in wanted:
+            workers = [
+                self._endpoint("tcp", shard_worker=True) for _ in range(2)
+            ]
+            runners["orchestrator"] = _OrchestratorRunner(
+                ShardOrchestrator(workers)
+            )
+        if "replicas" in wanted:
+            runners["replicas"] = _ReplicaRunner(
+                ReplicaSet([tcp_url, http_url])
+            )
+
+    # ------------------------------------------------------------------
+    # Case evaluation.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _run_op(runner: _Runner, op: str, view, sigma, targets) -> str:
+        try:
+            if op == "check":
+                return runner.check(view, sigma, targets)
+            if op == "cover":
+                return runner.cover(view, sigma)
+            return runner.empty(view, sigma)
+        except ApiError as exc:
+            return _canonical({"error": exc.kind})
+
+    def run_case(self, case: dict) -> tuple[dict, list[Disagreement]]:
+        """Run one case through every entry.
+
+        Returns ``(results, disagreements)`` where ``results`` maps
+        ``config -> op -> canonical string`` (ops an entry does not
+        serve are absent) and ``disagreements`` lists every non-baseline
+        answer that differs from the baseline's for the same op.
+        """
+        schema, sigma, view, targets = parse_case(case)
+        results: dict[str, dict[str, str]] = {}
+        for name in self.names:
+            runner = self._runners[name]
+            runner.prepare(case)
+            results[name] = {
+                op: self._run_op(runner, op, view, sigma, targets)
+                for op in runner.ops
+            }
+        reference = results[BASELINE]
+        disagreements = [
+            Disagreement(name, op, reference[op], answer)
+            for name in self.names
+            if name != BASELINE
+            for op, answer in results[name].items()
+            if op in reference and answer != reference[op]
+        ]
+        return results, disagreements
+
+    def baseline_results(self, case: dict) -> dict[str, str]:
+        """The baseline entry's canonical answers alone (corpus replay)."""
+        schema, sigma, view, targets = parse_case(case)
+        runner = self._runners[BASELINE]
+        runner.prepare(case)
+        return {
+            op: self._run_op(runner, op, view, sigma, targets)
+            for op in runner.ops
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        for runner in self._runners.values():
+            try:
+                runner.close()
+            except Exception:
+                pass
+        self._runners = {}
+        # Unwind endpoints after the clients/fleets that talk to them.
+        for context in reversed(self._contexts):
+            try:
+                if hasattr(context, "__exit__"):
+                    context.__exit__(None, None, None)
+                else:
+                    context.close()
+            except Exception:
+                pass
+        self._contexts = []
+
+    def __enter__(self) -> "MatrixHarness":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The independent closure-baseline oracle (FD-over-projection fragment).
+# ----------------------------------------------------------------------
+
+
+def closure_oracle_disagreements(case: dict) -> list[Disagreement]:
+    """Check an FD-over-projection case against the textbook baseline.
+
+    Applies only to cases :func:`~repro.fuzz.cases.is_fd_projection_case`
+    recognizes; returns ``[]`` for everything else.  The baseline entry's
+    answers are recomputed here (uncached service) rather than threaded
+    through, so this oracle is self-contained for corpus replay.
+    """
+    if not is_fd_projection_case(case):
+        return []
+    schema, sigma, view, targets = parse_case(case)
+    atom = view.atoms[0]
+    mapping = atom.mapping_dict
+    renamed = [
+        FD(
+            view.name,
+            tuple(mapping[a] for a in dep.lhs),
+            tuple(mapping[a] for a in dep.rhs),
+        )
+        for dep in sigma
+    ]
+    attrs = list(view.es_attributes())
+    expected_cover = closure_projection_cover(
+        renamed, view.name, attrs, view.projection
+    )
+
+    out: list[Disagreement] = []
+    with PropagationService(use_cache=False) as service:
+        verdict = service.check(
+            CheckRequest(view=view, targets=targets, sigma=sigma)
+        )
+        for phi, got in zip(targets, verdict.propagated):
+            want = implies(expected_cover, FD(view.name, phi.lhs, phi.rhs))
+            if bool(got) != want:
+                out.append(
+                    Disagreement(
+                        "closure-oracle", "check", str(want), str(bool(got))
+                    )
+                )
+        cover = service.cover(CoverRequest(view=view, sigma=sigma)).cover
+        if all(
+            all(is_wildcard(e) for _, e in phi.lhs + phi.rhs) for phi in cover
+        ):
+            engine_fds = [
+                FD(view.name, phi.lhs_attrs, phi.rhs_attrs) for phi in cover
+            ]
+            if not equivalent(engine_fds, expected_cover):
+                out.append(
+                    Disagreement(
+                        "closure-oracle",
+                        "cover",
+                        _canonical_cover(expected_cover),
+                        _canonical_cover(cover),
+                    )
+                )
+        else:
+            out.append(
+                Disagreement(
+                    "closure-oracle",
+                    "cover",
+                    "all-wildcard (plain-FD) cover",
+                    _canonical_cover(cover),
+                )
+            )
+        empty = service.emptiness(
+            EmptinessRequest(view=view, sigma=sigma)
+        ).empty
+        # A selection-free, constant-free projection view over FD-only
+        # sources always admits a nonempty satisfying instance.
+        if empty:
+            out.append(
+                Disagreement("closure-oracle", "empty", "False", "True")
+            )
+    return out

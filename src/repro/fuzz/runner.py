@@ -1,0 +1,338 @@
+"""Fuzz runs: generate, differentiate, shrink, persist, replay.
+
+:func:`run_fuzz` is the engine behind ``repro fuzz`` and
+``benchmarks/bench_fuzz.py``: it drives :func:`~repro.fuzz.cases.generate_case`
+through one warm :class:`~repro.fuzz.oracle.MatrixHarness`, collects
+every disagreement (matrix entries vs the uncached baseline, plus the
+independent closure oracle on the FD-over-projection fragment), shrinks
+each failing case with :func:`~repro.fuzz.shrink.shrink_case` under the
+predicate "the same config/op still disagrees", and persists the shrunk
+repro as a corpus file.  The report carries the run digest — the SHA-256
+over the case-fingerprint sequence — so two runs of the same seed are
+provably the same workload.
+
+Corpus files (``tests/fuzz_corpus/*.json``) are self-contained::
+
+    {"fingerprint": "...", "profile": "...", "note": "why this exists",
+     "case": {schema, sigma, view, targets},
+     "expected": {"check": "...", "cover": "...", "empty": "..."}}
+
+``expected`` holds the baseline entry's *canonical* answers at commit
+time.  :func:`replay_corpus` re-runs each file through the full matrix
+and fails on (a) any matrix disagreement, (b) any closure-oracle
+disagreement, or (c) baseline drift against ``expected`` — so a corpus
+file keeps guarding both cross-config agreement and the absolute answer
+it was committed with.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import json
+
+from .. import io as repro_io
+from .cases import case_fingerprint, generate_case, run_digest
+from .oracle import (
+    BASELINE,
+    Disagreement,
+    MatrixHarness,
+    closure_oracle_disagreements,
+)
+from .shrink import shrink_case
+
+__all__ = [
+    "CaseFailure",
+    "FuzzReport",
+    "harvest_corpus",
+    "replay_corpus",
+    "run_fuzz",
+]
+
+#: Repository-relative home of the replayable repro files.
+CORPUS_DIR = Path("tests") / "fuzz_corpus"
+
+
+@dataclass
+class CaseFailure:
+    """One failing case: where it diverged and its shrunk repro."""
+
+    index: int
+    profile: str
+    fingerprint: str
+    disagreements: list[Disagreement]
+    shrunk: dict
+    corpus_path: str | None = None
+
+    def describe(self) -> str:
+        lines = [
+            f"case {self.index} [{self.profile}] {self.fingerprint[:12]}:"
+        ]
+        lines += [f"  {d.describe()}" for d in self.disagreements]
+        if self.corpus_path:
+            lines.append(f"  shrunk repro: {self.corpus_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one seeded run."""
+
+    cases: int
+    seed: int
+    matrix: list[str]
+    digest: str
+    elapsed_s: float
+    failures: list[CaseFailure] = field(default_factory=list)
+    corner_hits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cases_per_s(self) -> float:
+        return self.cases / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_json(self) -> dict:
+        return {
+            "cases": self.cases,
+            "seed": self.seed,
+            "matrix": list(self.matrix),
+            "digest": self.digest,
+            "elapsed_s": self.elapsed_s,
+            "cases_per_s": self.cases_per_s,
+            "failures": len(self.failures),
+            "corner_hits": dict(sorted(self.corner_hits.items())),
+        }
+
+
+def _still_failing(
+    harness: MatrixHarness, signature: set[tuple[str, str]]
+) -> Callable[[dict], bool]:
+    """Predicate: the candidate reproduces one of the original
+    ``(config, op)`` disagreements (matrix or closure oracle)."""
+
+    def predicate(candidate: dict) -> bool:
+        _, disagreements = harness.run_case(candidate)
+        disagreements = list(disagreements) + closure_oracle_disagreements(
+            candidate
+        )
+        return any((d.config, d.op) in signature for d in disagreements)
+
+    return predicate
+
+
+def _persist(corpus_dir: Path, failure: CaseFailure, note: str) -> str:
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    shrunk_fingerprint = case_fingerprint(failure.shrunk)
+    path = corpus_dir / f"{failure.profile}-{shrunk_fingerprint[:12]}.json"
+    repro_io.dump_json(
+        {
+            "fingerprint": shrunk_fingerprint,
+            "profile": failure.profile,
+            "note": note,
+            "case": failure.shrunk,
+            "disagreements": [d.describe() for d in failure.disagreements],
+        },
+        path,
+    )
+    return str(path)
+
+
+def run_fuzz(
+    num_cases: int,
+    seed: int,
+    *,
+    matrix: Sequence[str] | None = None,
+    corpus_dir: str | Path | None = None,
+    shrink: bool = True,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run ``num_cases`` seeded cases through the differential matrix.
+
+    ``corpus_dir`` (default: no persistence) receives one shrunk repro
+    file per failing case; ``shrink=False`` persists the unshrunk case
+    (useful when a harness bug, not an engine bug, is suspected).
+    """
+    started = time.perf_counter()
+    fingerprints: list[str] = []
+    corner_hits: dict[str, int] = {}
+    failures: list[CaseFailure] = []
+    with MatrixHarness(matrix) as harness:
+        for index in range(num_cases):
+            case = generate_case(seed, index)
+            fingerprint = case_fingerprint(case)
+            fingerprints.append(fingerprint)
+            corner_hits[case["profile"]] = (
+                corner_hits.get(case["profile"], 0) + 1
+            )
+            _, disagreements = harness.run_case(case)
+            disagreements = list(disagreements)
+            disagreements += closure_oracle_disagreements(case)
+            if not disagreements:
+                continue
+            signature = {(d.config, d.op) for d in disagreements}
+            shrunk = case
+            if shrink:
+                shrunk = shrink_case(
+                    case, _still_failing(harness, signature)
+                )
+            failure = CaseFailure(
+                index, case["profile"], fingerprint, disagreements, shrunk
+            )
+            if corpus_dir is not None:
+                failure.corpus_path = _persist(
+                    Path(corpus_dir),
+                    failure,
+                    f"disagreement found by `repro fuzz --seed {seed}` "
+                    f"at case {index}",
+                )
+            failures.append(failure)
+            if log is not None:
+                log(failure.describe())
+    return FuzzReport(
+        cases=num_cases,
+        seed=seed,
+        matrix=_matrix_names(matrix),
+        digest=run_digest(fingerprints),
+        elapsed_s=time.perf_counter() - started,
+        failures=failures,
+        corner_hits=corner_hits,
+    )
+
+
+def _matrix_names(matrix: Sequence[str] | None) -> list[str]:
+    from .oracle import BASELINE, DEFAULT_MATRIX
+
+    names = list(matrix) if matrix else list(DEFAULT_MATRIX)
+    if BASELINE not in names:
+        names.insert(0, BASELINE)
+    return [n for n in DEFAULT_MATRIX if n in names]
+
+
+def _nontrivial(baseline: dict[str, str]) -> bool:
+    """Whether a case's answers pin anything a trivial case would not:
+    a non-propagated target, a nonempty cover, or an empty view."""
+    check = json.loads(baseline["check"])
+    cover = json.loads(baseline["cover"])
+    empty = json.loads(baseline["empty"])
+    if any(not verdict for verdict in check.get("propagated", [])):
+        return True
+    if cover.get("cover"):
+        return True
+    return bool(empty.get("empty"))
+
+
+def harvest_corpus(
+    num_cases: int,
+    seed: int,
+    corpus_dir: str | Path,
+    *,
+    matrix: Sequence[str] | None = None,
+    per_profile: int = 1,
+) -> list[str]:
+    """Seed the corpus with shrunk, answer-pinning anchor cases.
+
+    When a fuzz run surfaces *no* disagreements there is nothing to
+    persist via :func:`run_fuzz`, yet the corpus should still anchor the
+    behaviors the run covered.  This scans the same seeded case stream,
+    picks the first ``per_profile`` nontrivial agreeing cases of every
+    profile, shrinks each under the predicate "the baseline's canonical
+    answers are unchanged" (so reductions strip noise but never alter
+    what the case pins), and writes corpus files whose ``expected``
+    block freezes those answers for replay.
+    """
+    written: list[str] = []
+    target = Path(corpus_dir)
+    with MatrixHarness(matrix) as harness:
+        chosen: dict[str, int] = {}
+        for index in range(num_cases):
+            case = generate_case(seed, index)
+            profile = case["profile"]
+            if chosen.get(profile, 0) >= per_profile:
+                continue
+            results, disagreements = harness.run_case(case)
+            if disagreements or closure_oracle_disagreements(case):
+                continue  # failing cases belong to run_fuzz's corpus path
+            baseline = results[BASELINE]
+            # The empty-projection corner never looks "nontrivial" (no
+            # targets, empty cover) — the degenerate shape itself is
+            # what the anchor pins.
+            if profile != "empty-projection" and not _nontrivial(baseline):
+                continue
+
+            def unchanged(candidate: dict) -> bool:
+                return harness.baseline_results(candidate) == baseline
+
+            shrunk = shrink_case(case, unchanged)
+            _, still_disagrees = harness.run_case(shrunk)
+            if still_disagrees or closure_oracle_disagreements(shrunk):
+                # Shrinking must not manufacture a disagreement the full
+                # case did not have; keep the unshrunk case if it did.
+                shrunk = case
+            fingerprint = case_fingerprint(shrunk)
+            path = target / f"{profile}-{fingerprint[:12]}.json"
+            target.mkdir(parents=True, exist_ok=True)
+            repro_io.dump_json(
+                {
+                    "fingerprint": fingerprint,
+                    "profile": profile,
+                    "note": (
+                        f"answer-pinning anchor harvested from "
+                        f"`repro fuzz --seed {seed}` case {index}; shrunk "
+                        f"preserving the baseline's canonical answers"
+                    ),
+                    "case": shrunk,
+                    "expected": harness.baseline_results(shrunk),
+                },
+                path,
+            )
+            chosen[profile] = chosen.get(profile, 0) + 1
+            written.append(str(path))
+    return written
+
+
+def replay_corpus(
+    paths: Sequence[str | Path],
+    *,
+    matrix: Sequence[str] | None = None,
+    harness: MatrixHarness | None = None,
+) -> list[str]:
+    """Replay corpus files through the matrix; returns failure messages.
+
+    An empty list means every file replayed green: full cross-config
+    agreement, closure-oracle agreement, and baseline answers matching
+    the file's committed ``expected`` block (when present).
+    """
+    problems: list[str] = []
+    owned = harness is None
+    if harness is None:
+        harness = MatrixHarness(matrix)
+    try:
+        for path in paths:
+            doc = repro_io.load_json(path)
+            case = doc["case"]
+            name = Path(path).name
+            results, disagreements = harness.run_case(case)
+            for d in disagreements:
+                problems.append(f"{name}: {d.describe()}")
+            for d in closure_oracle_disagreements(case):
+                problems.append(f"{name}: {d.describe()}")
+            expected = doc.get("expected")
+            if expected:
+                baseline = results["baseline"]
+                for op, want in expected.items():
+                    got = baseline.get(op)
+                    if got != want:
+                        problems.append(
+                            f"{name}: baseline/{op} drifted: expected "
+                            f"{want}, got {got}"
+                        )
+    finally:
+        if owned:
+            harness.close()
+    return problems

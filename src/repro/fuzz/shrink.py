@@ -1,0 +1,191 @@
+"""Deterministic case minimization for failing fuzz cases.
+
+:func:`shrink_case` greedily reduces a failing case document while a
+caller-supplied predicate (``still_failing``) keeps returning ``True``.
+Reduction passes run in a fixed order — drop a Sigma dependency, drop a
+check target, drop a union branch, drop a selection atom, drop a
+projection column (from *every* branch, preserving union
+compatibility), narrow one dependency's LHS by one attribute, drop an
+unreferenced schema relation — and each candidate is strictly smaller
+under :func:`case_size`, so shrinking is
+
+- **deterministic**: candidates are enumerated in document order with
+  no randomness, so the same input and predicate always shrink to the
+  same output;
+- **monotone**: every accepted step strictly decreases ``case_size``,
+  so the loop terminates and the result is never larger than the input;
+- **failure-preserving**: a candidate is accepted only when it still
+  parses (:func:`~repro.fuzz.cases.parse_case`) *and* the predicate
+  still holds, so the shrunk case exhibits the original disagreement.
+
+Candidates are plain deep-copied JSON documents — the shrinker never
+mutates its input, and the output is directly persistable as a corpus
+file.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from .cases import parse_case
+
+__all__ = ["case_size", "shrink_case"]
+
+
+def case_size(case: dict) -> int:
+    """The size metric shrinking strictly decreases.
+
+    Counts every droppable element: schema relations and attributes,
+    Sigma dependencies and their LHS entries, view branches, selection
+    atoms and projection columns, targets and their LHS entries.
+    """
+    size = 0
+    for relation in case["schema"].get("relations", []):
+        size += 1 + len(relation.get("attributes", []))
+    for dep in list(case["sigma"]) + list(case["targets"]):
+        size += 1 + len(dep.get("lhs", ()))
+    for branch in _branches(case["view"]):
+        size += 1
+        size += len(branch.get("selection", []))
+        size += len(branch.get("projection", []))
+    return size
+
+
+def _branches(view_doc: dict) -> list[dict]:
+    if "branches" in view_doc:
+        return list(view_doc["branches"])
+    return [view_doc]
+
+
+def _replace(case: dict, **parts) -> dict:
+    out = copy.deepcopy(case)
+    out.update(copy.deepcopy(parts))
+    return out
+
+
+def _drop_index(items: list, index: int) -> list:
+    return [item for i, item in enumerate(items) if i != index]
+
+
+def _narrowed(dep: dict, key_index: int) -> dict | None:
+    """*dep* with one LHS entry removed, or ``None`` if not narrowable."""
+    out = copy.deepcopy(dep)
+    lhs = out.get("lhs")
+    if isinstance(lhs, dict):
+        if len(lhs) < 1:
+            return None
+        keys = sorted(lhs)
+        if key_index >= len(keys):
+            return None
+        del lhs[keys[key_index]]
+        return out
+    if isinstance(lhs, list):
+        if key_index >= len(lhs) or len(lhs) <= 1:
+            # An FD needs a nonempty LHS; CFDs admit empty (constant) LHS.
+            return None
+        out["lhs"] = _drop_index(lhs, key_index)
+        return out
+    return None
+
+
+def _candidates(case: dict) -> Iterator[dict]:
+    """Every one-step reduction of *case*, in deterministic order."""
+    # 1. Drop one Sigma dependency.
+    for i in range(len(case["sigma"])):
+        yield _replace(case, sigma=_drop_index(case["sigma"], i))
+    # 2. Drop one check target.
+    for i in range(len(case["targets"])):
+        yield _replace(case, targets=_drop_index(case["targets"], i))
+    view = case["view"]
+    # 3. Drop one union branch (keeping at least one).
+    if "branches" in view and len(view["branches"]) > 1:
+        for i in range(len(view["branches"])):
+            reduced = copy.deepcopy(view)
+            reduced["branches"] = _drop_index(reduced["branches"], i)
+            yield _replace(case, view=reduced)
+    # 4. Drop one selection atom (per branch).
+    for b, branch in enumerate(_branches(view)):
+        for i in range(len(branch.get("selection", []))):
+            reduced = copy.deepcopy(view)
+            target = (
+                reduced["branches"][b] if "branches" in reduced else reduced
+            )
+            target["selection"] = _drop_index(target["selection"], i)
+            yield _replace(case, view=reduced)
+    # 5. Drop one projection column — from every branch at once, so
+    #    union branches stay union-compatible.
+    arity = min(
+        (len(b.get("projection", [])) for b in _branches(view)), default=0
+    )
+    for i in range(arity):
+        reduced = copy.deepcopy(view)
+        for branch in _branches(reduced):
+            branch["projection"] = _drop_index(branch["projection"], i)
+        yield _replace(case, view=reduced)
+    # 6. Narrow one dependency's LHS by one attribute.
+    for field in ("sigma", "targets"):
+        for i, dep in enumerate(case[field]):
+            lhs = dep.get("lhs", ())
+            for k in range(len(lhs)):
+                narrowed = _narrowed(dep, k)
+                if narrowed is None:
+                    continue
+                reduced_deps = copy.deepcopy(case[field])
+                reduced_deps[i] = narrowed
+                yield _replace(case, **{field: reduced_deps})
+    # 7. Drop one schema relation no atom or dependency references.
+    used = {dep.get("relation") for dep in case["sigma"]}
+    for branch in _branches(view):
+        for atom in branch.get("atoms", []):
+            used.add(atom.get("source"))
+    relations = case["schema"].get("relations", [])
+    for i, relation in enumerate(relations):
+        if relation.get("name") in used:
+            continue
+        reduced_schema = copy.deepcopy(case["schema"])
+        reduced_schema["relations"] = _drop_index(
+            reduced_schema["relations"], i
+        )
+        yield _replace(case, schema=reduced_schema)
+
+
+def _valid(case: dict) -> bool:
+    try:
+        parse_case(case)
+    except Exception:
+        return False
+    return True
+
+
+def shrink_case(
+    case: dict,
+    still_failing: Callable[[dict], bool],
+    *,
+    max_steps: int = 10_000,
+) -> dict:
+    """Greedily minimize *case* while ``still_failing`` holds.
+
+    Restarts the pass sequence after every accepted reduction (a smaller
+    case may unlock reductions an earlier pass skipped); stops at the
+    first full sweep with no accepted candidate.  ``max_steps`` bounds
+    predicate invocations for pathological predicates.
+    """
+    case = copy.deepcopy(case)
+    steps = 0
+    improved = True
+    while improved:
+        improved = False
+        for candidate in _candidates(case):
+            steps += 1
+            if steps > max_steps:
+                return case
+            if case_size(candidate) >= case_size(case):
+                continue
+            if not _valid(candidate):
+                continue
+            if still_failing(candidate):
+                case = candidate
+                improved = True
+                break
+    return case

@@ -1,15 +1,25 @@
-"""The Section 5 workload generators (schemas, CFDs, SPC views, instances)."""
+"""The Section 5 workload generators (schemas, CFDs, SPC views, instances).
+
+Every ``random_*`` function takes either an explicit ``rng=`` or a
+``seed=`` keyword (see :mod:`repro.generators.seeding`); the fuzzer in
+:mod:`repro.fuzz` uses ``case_rng`` to derive one private stream per
+generated case.
+"""
 
 from .cfd_gen import CONSTANT_RANGE, random_cfd, random_cfds
 from .instance_gen import random_satisfying_instance
 from .schema_gen import random_schema
-from .view_gen import random_spc_view
+from .seeding import case_rng, resolve_rng
+from .view_gen import random_spc_view, random_spcu_view
 
 __all__ = [
     "CONSTANT_RANGE",
+    "case_rng",
     "random_cfd",
     "random_cfds",
     "random_satisfying_instance",
     "random_schema",
     "random_spc_view",
+    "random_spcu_view",
+    "resolve_rng",
 ]

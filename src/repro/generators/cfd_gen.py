@@ -23,6 +23,7 @@ from ..core.cfd import CFD
 from ..core.domains import Domain
 from ..core.schema import DatabaseSchema, RelationSchema
 from ..core.values import WILDCARD
+from .seeding import resolve_rng
 
 #: The constant pool of the paper's generators.
 CONSTANT_RANGE = (1, 100000)
@@ -35,11 +36,14 @@ def _random_constant(rng: random.Random, domain: Domain) -> Any:
 
 
 def random_cfd(
-    rng: random.Random,
-    relation: RelationSchema,
+    rng: random.Random | None = None,
+    relation: RelationSchema | None = None,
     max_lhs: int = 9,
     min_lhs: int = 3,
     var_pct: float = 0.4,
+    constant_lhs: bool = False,
+    *,
+    seed: int | None = None,
 ) -> CFD:
     """One random normal-form CFD on *relation*.
 
@@ -47,13 +51,33 @@ def random_cfd(
     arity minus one so an RHS attribute remains); every pattern position
     is the wildcard with probability ``var_pct`` and a random domain
     constant otherwise.
+
+    ``constant_lhs=True`` is the degenerate corner the fuzzer needs
+    first-class: every LHS position is a constant (var% applies to the
+    RHS position only), so the CFD fires on exactly one pattern row —
+    the shape that exercises coupling and constant-conflict handling the
+    paper's 40-50% var% setting essentially never generates.
     """
+    rng = resolve_rng(rng, seed)
+    if relation is None:
+        raise TypeError("random_cfd needs a relation")
     names = list(relation.attribute_names)
     upper = min(max_lhs, len(names) - 1)
     lower = min(min_lhs, upper)
     lhs_size = rng.randint(lower, upper)
     chosen = rng.sample(names, lhs_size + 1)
     lhs_attrs, rhs_attr = chosen[:-1], chosen[-1]
+
+    if constant_lhs:
+        lhs = {
+            a: _random_constant(rng, relation.domain_of(a)) for a in lhs_attrs
+        }
+        rhs_value = (
+            WILDCARD
+            if rng.random() < var_pct
+            else _random_constant(rng, relation.domain_of(rhs_attr))
+        )
+        return CFD(relation.name, lhs, {rhs_attr: rhs_value})
 
     # "var% of the attributes are filled with '_'" — a deterministic
     # fraction of the pattern positions, not an independent coin flip per
@@ -84,25 +108,36 @@ def random_cfd(
 
 
 def random_cfds(
-    rng: random.Random,
-    schema: DatabaseSchema,
-    count: int,
+    rng: random.Random | None = None,
+    schema: DatabaseSchema | None = None,
+    count: int = 0,
     max_lhs: int = 9,
     min_lhs: int = 3,
     var_pct: float = 0.4,
+    constant_lhs: bool = False,
+    *,
+    seed: int | None = None,
 ) -> list[CFD]:
     """``count`` random CFDs spread evenly over the schema's relations.
 
     Round-robin assignment makes the average number of CFDs per relation
     ``count / |R|`` — the generator's ``n`` parameter.
     """
+    rng = resolve_rng(rng, seed)
+    if schema is None:
+        raise TypeError("random_cfds needs a schema")
     relations = list(schema)
     out: list[CFD] = []
     for i in range(count):
         relation = relations[i % len(relations)]
         out.append(
             random_cfd(
-                rng, relation, max_lhs=max_lhs, min_lhs=min_lhs, var_pct=var_pct
+                rng,
+                relation,
+                max_lhs=max_lhs,
+                min_lhs=min_lhs,
+                var_pct=var_pct,
+                constant_lhs=constant_lhs,
             )
         )
     return out

@@ -25,6 +25,7 @@ from ..core.domains import Domain
 from ..core.fd import FD
 from ..core.schema import DatabaseSchema
 from ..core.values import is_const, value_matches
+from .seeding import resolve_rng
 
 
 def _random_value(rng: random.Random, domain: Domain, pool: int) -> Any:
@@ -34,12 +35,14 @@ def _random_value(rng: random.Random, domain: Domain, pool: int) -> Any:
 
 
 def random_satisfying_instance(
-    rng: random.Random,
-    schema: DatabaseSchema,
-    sigma: Iterable[CFD | FD],
+    rng: random.Random | None = None,
+    schema: DatabaseSchema | None = None,
+    sigma: Iterable[CFD | FD] = (),
     rows_per_relation: int = 20,
     value_pool: int = 8,
     max_repair_rounds: int = 200,
+    *,
+    seed: int | None = None,
 ) -> DatabaseInstance:
     """A random instance of *schema* satisfying every dependency in *sigma*.
 
@@ -47,6 +50,9 @@ def random_satisfying_instance(
     premises fire often, which is what makes the resulting instances
     interesting test inputs.
     """
+    rng = resolve_rng(rng, seed)
+    if schema is None:
+        raise TypeError("random_satisfying_instance needs a schema")
     normalized: list[CFD] = []
     for dep in sigma:
         if isinstance(dep, FD):

@@ -13,22 +13,28 @@ import random
 
 from ..core.domains import STRING, finite
 from ..core.schema import Attribute, DatabaseSchema, RelationSchema
+from .seeding import resolve_rng
 
 
 def random_schema(
-    rng: random.Random,
+    rng: random.Random | None = None,
     num_relations: int = 10,
     min_attributes: int = 10,
     max_attributes: int = 20,
     finite_domain_fraction: float = 0.0,
     finite_domain_size: int = 2,
+    *,
+    seed: int | None = None,
 ) -> DatabaseSchema:
     """A random database schema.
 
     ``finite_domain_fraction`` of the attributes (rounded down per
     relation) draw from a fresh finite domain of ``finite_domain_size``
     values; the default 0.0 gives the paper's infinite-domain setting.
+    ``seed=`` is the rng-free spelling (see
+    :func:`repro.generators.seeding.resolve_rng`).
     """
+    rng = resolve_rng(rng, seed)
     if num_relations < 1:
         raise ValueError("need at least one relation")
     if not 0 <= finite_domain_fraction <= 1:

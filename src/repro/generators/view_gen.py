@@ -17,19 +17,23 @@ import random
 
 from ..algebra.ops import AttrEq, ConstEq, SelectionAtom
 from ..algebra.spc import RelationAtom, SPCView
+from ..algebra.spcu import SPCUView
 from ..core.schema import DatabaseSchema
 from .cfd_gen import CONSTANT_RANGE
+from .seeding import resolve_rng
 
 
 def random_spc_view(
-    rng: random.Random,
-    schema: DatabaseSchema,
+    rng: random.Random | None = None,
+    schema: DatabaseSchema | None = None,
     num_projected: int = 25,
     num_selections: int = 10,
     num_atoms: int = 4,
     name: str = "V",
     attr_eq_probability: float = 0.5,
     block_projection: bool = True,
+    *,
+    seed: int | None = None,
 ) -> SPCView:
     """One random SPC view in normal form.
 
@@ -46,7 +50,14 @@ def random_spc_view(
     handful, which contradicts the cover cardinalities the paper reports
     (Figures 5(b)-8(b)).  ``block_projection=False`` gives the uniform
     sample for comparison.
+
+    ``num_projected=0`` is a supported degenerate corner: the view
+    projects *no* attributes (its schema has arity zero), which exercises
+    the empty-``Y`` handling the paper's 5..50 range never touches.
     """
+    rng = resolve_rng(rng, seed)
+    if schema is None:
+        raise TypeError("random_spc_view needs a schema")
     relations = list(schema)
     atoms: list[RelationAtom] = []
     view_attrs: list[str] = []
@@ -109,6 +120,89 @@ def random_spc_view(
     else:
         projection = sorted(rng.sample(view_attrs, count))
     return SPCView(name, schema, atoms, selection, projection)
+
+
+def random_spcu_view(
+    rng: random.Random | None = None,
+    schema: DatabaseSchema | None = None,
+    num_branches: int = 2,
+    num_projected: int = 25,
+    num_selections: int = 10,
+    num_atoms: int = 4,
+    name: str = "U",
+    attr_eq_probability: float = 0.5,
+    block_projection: bool = True,
+    identical_branches: bool = False,
+    *,
+    seed: int | None = None,
+) -> SPCUView:
+    """A random SPCU view ``V1 U ... U Vk`` of union-compatible branches.
+
+    Each branch is drawn by :func:`random_spc_view`; the branches are then
+    made union-compatible by renaming every branch's projected attributes
+    to the shared canonical names ``c0, c1, ...`` (truncated to the
+    shortest branch projection, since relation arities vary).  Two
+    degenerate corners are first-class: ``num_branches=1`` (a union that
+    is really an SPC view) and ``identical_branches=True`` (k copies of
+    one branch, so ``V U V U ... U V = V`` must hold through propagation).
+    """
+    rng = resolve_rng(rng, seed)
+    if schema is None:
+        raise TypeError("random_spcu_view needs a schema")
+    if num_branches < 1:
+        raise ValueError("need at least one branch")
+
+    def one_branch(index: int) -> SPCView:
+        return random_spc_view(
+            rng,
+            schema,
+            num_projected=num_projected,
+            num_selections=num_selections,
+            num_atoms=num_atoms,
+            name=name,
+            attr_eq_probability=attr_eq_probability,
+            block_projection=block_projection,
+        )
+
+    if identical_branches:
+        branches = [one_branch(0)] * num_branches
+    else:
+        branches = [one_branch(i) for i in range(num_branches)]
+    arity = min(len(b.projection) for b in branches)
+    branches = [_with_canonical_projection(b, arity) for b in branches]
+    return SPCUView(name, branches)
+
+
+def _with_canonical_projection(view: SPCView, arity: int) -> SPCView:
+    """Rename *view*'s first ``arity`` projected attributes to ``c{i}``.
+
+    Union compatibility is positional: every branch must project the same
+    attribute-name list.  Non-projected attributes keep their qualified
+    ``t{j}.{attr}`` names, which cannot collide with the canonical names.
+    """
+    kept = view.projection[:arity]
+    rename = {old: f"c{i}" for i, old in enumerate(kept)}
+
+    def rn(attr: str) -> str:
+        return rename.get(attr, attr)
+
+    atoms = [
+        RelationAtom(atom.source, {src: rn(v) for src, v in atom.mapping})
+        for atom in view.atoms
+    ]
+    selection = [
+        AttrEq(rn(a.left), rn(a.right))
+        if isinstance(a, AttrEq)
+        else ConstEq(rn(a.attr), a.value)
+        for a in view.selection
+    ]
+    return SPCView(
+        view.name,
+        view.source_schema,
+        atoms,
+        selection,
+        [f"c{i}" for i in range(arity)],
+    )
 
 
 def _block_projection(

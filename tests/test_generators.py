@@ -9,11 +9,13 @@ from repro.core.consistency import is_consistent
 from repro.core.values import is_wildcard
 from repro.generators import (
     CONSTANT_RANGE,
+    case_rng,
     random_cfd,
     random_cfds,
     random_satisfying_instance,
     random_schema,
     random_spc_view,
+    random_spcu_view,
 )
 
 
@@ -154,3 +156,75 @@ class TestInstanceGenerator:
         ]
         with pytest.raises(ValueError):
             random_satisfying_instance(rng, schema, sigma)
+
+
+class TestSeeding:
+    """The ``seed=`` spelling threaded through every ``random_*``."""
+
+    def test_seed_matches_explicit_rng(self):
+        assert repr(random_schema(seed=41)) == repr(
+            random_schema(random.Random(41))
+        )
+        schema = random_schema(seed=41)
+        assert [repr(d) for d in random_cfds(seed=7, schema=schema, count=6)] == [
+            repr(d) for d in random_cfds(random.Random(7), schema, 6)
+        ]
+        assert repr(random_spc_view(seed=7, schema=schema)) == repr(
+            random_spc_view(random.Random(7), schema)
+        )
+        assert repr(random_spcu_view(seed=7, schema=schema)) == repr(
+            random_spcu_view(random.Random(7), schema)
+        )
+
+    def test_rng_and_seed_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            random_schema(random.Random(1), seed=1)
+        with pytest.raises(ValueError, match="reproducibility"):
+            random_schema()
+
+    def test_case_rng_streams_are_private(self):
+        first = case_rng(0, 1).random()
+        assert case_rng(0, 1).random() == first
+        assert case_rng(0, 2).random() != first
+        assert case_rng(1, 1).random() != first
+
+
+class TestDegenerateCorners:
+    """The first-class corners the fuzzer profiles rely on."""
+
+    def test_constant_lhs_cfds(self, rng):
+        schema = random_schema(rng, num_relations=2, min_attributes=4, max_attributes=5)
+        sigma = random_cfds(
+            rng, schema, 8, max_lhs=2, min_lhs=1, var_pct=0.5, constant_lhs=True
+        )
+        assert sigma
+        for dep in sigma:
+            assert all(not is_wildcard(entry) for _, entry in dep.lhs)
+
+    def test_empty_projection_view(self, rng):
+        schema = random_schema(rng, num_relations=2, min_attributes=3, max_attributes=4)
+        view = random_spc_view(rng, schema, num_projected=0, num_atoms=2)
+        assert view.projection == []
+        assert view.view_schema().arity == 0
+        assert len(view.dropped_attributes()) == len(view.es_attributes())
+
+    def test_union_of_one_branch(self, rng):
+        schema = random_schema(rng, num_relations=2, min_attributes=3, max_attributes=4)
+        union = random_spcu_view(rng, schema, num_branches=1, num_projected=2)
+        assert len(union.branches) == 1
+
+    def test_union_of_identical_branches(self, rng):
+        schema = random_schema(rng, num_relations=2, min_attributes=3, max_attributes=4)
+        union = random_spcu_view(
+            rng, schema, num_branches=3, num_projected=2, identical_branches=True
+        )
+        assert len(union.branches) == 3
+        first = repr(union.branches[0])
+        assert all(repr(branch) == first for branch in union.branches)
+
+    def test_union_branches_are_union_compatible(self, rng):
+        schema = random_schema(rng, num_relations=3, min_attributes=3, max_attributes=5)
+        union = random_spcu_view(rng, schema, num_branches=3, num_projected=3)
+        projections = {tuple(branch.projection) for branch in union.branches}
+        assert len(projections) == 1
+        assert all(attr.startswith("c") for attr in union.projection)
