@@ -8,8 +8,8 @@ callers all talk to.  It owns
 - a pool of warm :class:`~repro.propagation.engine.PropagationEngine`
   instances, one per engine-settings combination (``use_cache``,
   ``max_instantiations``, ``assume_infinite``), all sharing the service's
-  cache configuration (``cache_dir`` / ``cache_size`` / ``jobs`` /
-  ``pool``), and
+  cache configuration (``cache_dir`` / ``cache_size`` / ``store_url`` /
+  ``jobs`` / ``pool``), and
 - *capability routing*: each request is classified by the shape of its
   inputs and dispatched to the procedure family that decides it.
 
@@ -62,6 +62,7 @@ from ..propagation.engine import (
     scoped_sigma,
     touched_relations,
 )
+from ..store import validate_store_url
 from .errors import ApiError, api_errors
 from .requests import (
     BatchRequest,
@@ -118,16 +119,26 @@ class PropagationService:
         assume_infinite: bool = False,
         cache_dir: str | None = None,
         cache_size: int | None = None,
+        store_url: str | None = None,
         jobs: int = 1,
         pool: str = "thread",
         shards: int = 1,
     ) -> None:
         self.workspace = workspace if workspace is not None else Workspace()
+        if store_url:
+            # Fail fast at construction — a typo'd --store-url /
+            # REPRO_STORE_URL scheme is a typed `format` error here, not
+            # a traceback on the first cache miss.
+            validate_store_url(store_url)
         self._defaults = _Effective(
             use_cache, max_instantiations, assume_infinite, shards
         )
         self._engine_opts = dict(
-            cache_dir=cache_dir, cache_size=cache_size, jobs=jobs, pool=pool
+            cache_dir=cache_dir,
+            cache_size=cache_size,
+            store_url=store_url or None,
+            jobs=jobs,
+            pool=pool,
         )
         self._engines: dict[tuple, PropagationEngine] = {}
         # Engine-pool creation guard: the server's per-pool locks allow

@@ -59,6 +59,7 @@ BASELINE = "baseline"
 DEFAULT_MATRIX = (
     BASELINE,
     "cache",
+    "store",
     "jobs2",
     "shards4",
     "shard-recombine",
@@ -308,6 +309,17 @@ class MatrixHarness:
             runners[BASELINE] = _ServiceRunner(use_cache=False)
         if "cache" in wanted:
             runners["cache"] = _ServiceRunner(use_cache=True)
+        if "store" in wanted:
+            # A fleet-shared network store behind the cached service: the
+            # persistent tier answers over the store:// wire, so payload
+            # encode/decode and single-flight promotion are in the loop.
+            from ..store.memory import MemoryStore
+            from ..store.server import background_store_server
+
+            context = background_store_server(MemoryStore())
+            store_url = context.__enter__()
+            self._contexts.append(context)
+            runners["store"] = _ServiceRunner(store_url=store_url)
         if "jobs2" in wanted:
             runners["jobs2"] = _ServiceRunner(jobs=2)
         if "shards4" in wanted:

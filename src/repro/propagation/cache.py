@@ -11,11 +11,19 @@ tiers:
    :class:`~repro.propagation.engine.EngineStats`.  ``capacity=None``
    keeps PR 1's unbounded behavior.
 2. :class:`TieredCache` — the in-memory tier backed by an optional
-   persistent :class:`~repro.propagation.store.SqliteStore`.  A memory
-   miss falls through to the store; a persistent hit is decoded,
-   *promoted* into the memory tier and served.  Writes go through both
-   tiers, so warm lines survive restarts and are shared across worker
-   processes pointing at one ``--cache-dir``.
+   persistent :class:`~repro.store.base.BlobStore` (the local sqlite
+   store of ``--cache-dir``, or any ``--store-url`` backend — see
+   :mod:`repro.store`).  A memory miss falls through to the store; a
+   persistent hit is decoded, *promoted* into the memory tier and
+   served.  Writes go through both tiers, so warm lines survive
+   restarts and are shared across worker processes pointing at one
+   ``--cache-dir`` (or worker *fleets* pointing at one network store).
+
+   A network store can die mid-run; the tier degrades rather than
+   fails: a store operation raising the ``unavailable``
+   :class:`~repro.api.ApiError` kind counts a ``store_errors`` and is
+   served as a plain cache miss (reads) or skipped (writes) — the
+   request still answers from the engine.
 
 Keys come in two flavors:
 
@@ -160,13 +168,33 @@ class TieredCache:
         self.persistent_hits = 0
         self.persistent_misses = 0
         self.persistent_writes = 0
+        self.store_errors = 0
+
+    def _degradable(self, exc: Exception) -> bool:
+        """Is *exc* a dead-store condition we absorb as a miss?
+
+        Duck-typed on the ``unavailable`` :class:`~repro.api.ApiError`
+        kind (this module sits below :mod:`repro.api` in the layer map,
+        so it must not import the error type): connectivity failures of
+        a network store degrade; anything else — a programming error,
+        an unknown table, a server-side ``bad-request`` — still raises.
+        """
+        if getattr(exc, "kind", None) != "unavailable":
+            return False
+        self.store_errors += 1
+        return True
 
     def get(self, key: Any, persist_key: str | None = None) -> tuple[Any, str | None]:
         value = self.memory.get(key, _MISSING)
         if value is not _MISSING:
             return value, "memory"
         if self.store is not None and persist_key is not None:
-            payload = self.store.get(self.table, persist_key)
+            try:
+                payload = self.store.get(self.table, persist_key)
+            except Exception as exc:
+                if not self._degradable(exc):
+                    raise
+                payload = None
             if payload is not None:
                 self.persistent_hits += 1
                 value = self._decode(payload)
@@ -178,8 +206,39 @@ class TieredCache:
     def put(self, key: Any, value: Any, persist_key: str | None = None) -> None:
         self.memory.put(key, value)
         if self.store is not None and persist_key is not None:
-            self.store.put(self.table, persist_key, self._encode(value))
+            try:
+                self.store.put(self.table, persist_key, self._encode(value))
+            except Exception as exc:
+                if not self._degradable(exc):
+                    raise
+                return
             self.persistent_writes += 1
+
+    def wait_promote(
+        self, key: Any, persist_key: str | None, timeout_s: float
+    ) -> tuple[Any, bool]:
+        """Block for another flight's persistent write, then promote it.
+
+        The waiter half of cross-process single-flight: polls the store
+        for the lease owner's payload; on arrival decodes it, promotes
+        it into the memory tier and returns ``(value, True)`` (counted
+        as a persistent hit — the store served it).  ``(None, False)``
+        on timeout or a dead store — the caller computes locally.
+        """
+        if self.store is None or persist_key is None:
+            return None, False
+        try:
+            payload = self.store.wait_for(self.table, persist_key, timeout_s)
+        except Exception as exc:
+            if not self._degradable(exc):
+                raise
+            payload = None
+        if payload is None:
+            return None, False
+        self.persistent_hits += 1
+        value = self._decode(payload)
+        self.memory.put(key, value)
+        return value, True
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier; the persistent store is untouched."""

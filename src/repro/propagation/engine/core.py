@@ -93,7 +93,7 @@ from ..check import (
 from ..cover import prop_cfd_spc_report
 from ..rbr import RBRStats
 from ..spcu_cover import prop_cfd_spcu
-from ..store import SqliteStore
+from ...store import DEFAULT_LEASE_TTL, BlobStore, SqliteStore, open_store
 from .keys import (
     cover_key,
     key_view,
@@ -156,6 +156,8 @@ class EngineStats:
     tableau_evictions: int = 0
     parallel_tasks: int = 0
     shard_tasks: int = 0
+    single_flight_waits: int = 0
+    store_errors: int = 0
     rbr: RBRStats = field(default_factory=RBRStats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -173,7 +175,9 @@ class EngineStats:
             f"evictions={self.evictions}, "
             f"tableau_evictions={self.tableau_evictions}, "
             f"parallel_tasks={self.parallel_tasks}, "
-            f"shard_tasks={self.shard_tasks})"
+            f"shard_tasks={self.shard_tasks}, "
+            f"single_flight_waits={self.single_flight_waits}, "
+            f"store_errors={self.store_errors})"
         )
 
 
@@ -261,6 +265,22 @@ class PropagationEngine:
         When set (and ``use_cache`` is on), verdicts and covers are
         additionally written to — and served from — a schema-versioned
         sqlite store under this directory, shared across processes.
+    store_url:
+        The persistent tier as a URL (``sqlite://DIR``,
+        ``store://host:port``, ``redis://host:port`` — see
+        :mod:`repro.store`); takes precedence over ``cache_dir``.  A
+        network store that dies mid-run degrades to cache misses
+        (counted in :attr:`EngineStats.store_errors`), never request
+        failures.
+    lease_ttl:
+        Single-flight lease lifetime in seconds.  On a lease-capable
+        store, each persistent-tier miss first tries to acquire the
+        key's lease: the winner computes (and writes, and releases),
+        the losers wait up to this long for the winner's payload
+        (counted in :attr:`EngineStats.single_flight_waits`) before
+        falling back to computing locally — so N workers missing the
+        same fingerprint run one chase, and a crashed winner can delay
+        but never wedge its waiters.
     cache_size:
         LRU capacity of each in-memory memo tier (verdicts and covers
         separately) *and* of the growing tableau layers (coupled
@@ -309,6 +329,8 @@ class PropagationEngine:
         *,
         cache_dir: str | None = None,
         cache_size: int | None = None,
+        store_url: str | None = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
         jobs: int = 1,
         pool: str = "thread",
         shards: int = 1,
@@ -332,11 +354,15 @@ class PropagationEngine:
         self.shards = shards
         self.shard_index = shard_index
         self.cache_size = cache_size
+        self.lease_ttl = lease_ttl
         self.stats = EngineStats()
         self._executor: concurrent.futures.Executor | None = None
-        self._store: SqliteStore | None = None
-        if use_cache and cache_dir is not None:
-            self._store = SqliteStore.open_dir(cache_dir)
+        self._store: BlobStore | None = None
+        if use_cache:
+            if store_url:
+                self._store = open_store(store_url)
+            elif cache_dir is not None:
+                self._store = SqliteStore.open_dir(cache_dir)
         self._verdict_tier = TieredCache(
             "verdicts",
             capacity=cache_size,
@@ -560,6 +586,78 @@ class PropagationEngine:
         self.stats.persistent_misses = sum(t.persistent_misses for t in tiers)
         self.stats.persistent_writes = sum(t.persistent_writes for t in tiers)
         self.stats.evictions = sum(t.memory.evictions for t in tiers)
+        self.stats.store_errors = sum(t.store_errors for t in tiers)
+
+    # ------------------------------------------------------------------
+    # Cross-process single-flight (lease-capable stores).
+    # ------------------------------------------------------------------
+
+    def _lease_partition(
+        self, tier: TieredCache, pending: dict
+    ) -> tuple[list, list]:
+        """Split deduplicated misses into lease owners and waiters.
+
+        For each persistable miss, try to acquire its single-flight
+        lease on the shared store: winners compute (the *owned* list),
+        losers wait for the winner's payload (the *waiters* list).
+        Misses without a persist key — no store, or a shard-restricted
+        engine — and every miss on a lease-less store are owned: no
+        coordination, today's compute-locally behavior.  A store that
+        fails the lease call degrades the same way (compute locally) —
+        lease state is an optimization, never a correctness gate.
+        """
+        keys = list(pending)
+        store = self._store
+        if store is None or not getattr(store, "supports_leases", False):
+            return keys, []
+        owned, waiters = [], []
+        for memo_key in keys:
+            pkey = pending[memo_key][1]
+            if pkey is None:
+                owned.append(memo_key)
+                continue
+            try:
+                acquired = store.acquire_lease(tier.table, pkey, self.lease_ttl)
+            except Exception as exc:
+                if getattr(exc, "kind", None) != "unavailable":
+                    raise
+                tier.store_errors += 1
+                acquired = True
+            (owned if acquired else waiters).append(memo_key)
+        return owned, waiters
+
+    def _release_lease(self, tier: TieredCache, pkey: str | None) -> None:
+        if pkey is None or self._store is None:
+            return
+        if not getattr(self._store, "supports_leases", False):
+            return
+        try:
+            self._store.release_lease(tier.table, pkey)
+        except Exception as exc:
+            if getattr(exc, "kind", None) != "unavailable":
+                raise
+            tier.store_errors += 1
+
+    def _await_flights(
+        self, tier: TieredCache, waiters: list, pending: dict, resolved: dict
+    ) -> list:
+        """Wait out other workers' flights; return what still needs computing.
+
+        Each waiter polls the store for the lease owner's payload (up to
+        ``lease_ttl``); arrivals are promoted into the memory tier and
+        counted as ``single_flight_waits``.  Keys whose owner died (or
+        whose store did) come back for a local compute.
+        """
+        leftovers = []
+        for memo_key in waiters:
+            pkey = pending[memo_key][1]
+            value, ok = tier.wait_promote(memo_key, pkey, self.lease_ttl)
+            if ok:
+                self.stats.single_flight_waits += 1
+                resolved[memo_key] = value
+            else:
+                leftovers.append(memo_key)
+        return leftovers
 
     def _merge_worker_stats(self, worker_stats: dict) -> None:
         for name in WORKER_STAT_FIELDS:
@@ -684,12 +782,32 @@ class PropagationEngine:
             pending[memo_key] = (phi_cfd, pkey, [idx])
 
         if pending:
-            keys = list(pending)
-            miss_phis = [pending[k][0] for k in keys]
-            resolved = self._resolve_check_misses(scoped, view, cache, miss_phis)
-            for memo_key, verdict in zip(keys, resolved):
-                _, pkey, indices = pending[memo_key]
-                self._verdict_tier.put(memo_key, verdict, pkey)
+            tier = self._verdict_tier
+            owned, waiting = self._lease_partition(tier, pending)
+            resolved_map: dict[tuple, bool] = {}
+
+            def compute(keys: list, *, release: bool) -> None:
+                miss_phis = [pending[k][0] for k in keys]
+                for memo_key, verdict in zip(
+                    keys, self._resolve_check_misses(scoped, view, cache, miss_phis)
+                ):
+                    pkey = pending[memo_key][1]
+                    tier.put(memo_key, verdict, pkey)
+                    if release:
+                        self._release_lease(tier, pkey)
+                    resolved_map[memo_key] = verdict
+
+            if owned:
+                compute(owned, release=True)
+            if waiting:
+                leftovers = self._await_flights(tier, waiting, pending, resolved_map)
+                if leftovers:
+                    # The lease owner (or the store) died mid-flight;
+                    # compute locally.  These leases were never ours, so
+                    # there is nothing to release.
+                    compute(leftovers, release=False)
+            for memo_key, (_, _, indices) in pending.items():
+                verdict = resolved_map[memo_key]
                 for idx in indices:
                     verdicts[idx] = verdict
 
@@ -879,22 +997,40 @@ class PropagationEngine:
             pending[memo_key] = (view, pkey, [idx])
 
         if pending:
-            keys = list(pending)
-            miss_views = [pending[k][0] for k in keys]
-            if self.jobs > 1 and len(miss_views) > 1:
-                chunks = _chunks(miss_views, self.jobs)
-                payloads = [(sigma, chunk, *settings) for chunk in chunks]
-                resolved = [
-                    c for cs in self._fan_out(_cover_chunk_worker, payloads) for c in cs
-                ]
-            else:
-                resolved = [
-                    self._compute_cover(sigma, sigma_cfds, full_sigma_key, v)
-                    for v in miss_views
-                ]
-            for memo_key, cover in zip(keys, resolved):
-                _, pkey, indices = pending[memo_key]
-                self._cover_tier.put(memo_key, cover, pkey)
+            tier = self._cover_tier
+            owned, waiting = self._lease_partition(tier, pending)
+            resolved_map: dict[tuple, list[CFD]] = {}
+
+            def compute(keys: list, *, release: bool) -> None:
+                miss_views = [pending[k][0] for k in keys]
+                if self.jobs > 1 and len(miss_views) > 1:
+                    chunks = _chunks(miss_views, self.jobs)
+                    payloads = [(sigma, chunk, *settings) for chunk in chunks]
+                    resolved = [
+                        c
+                        for cs in self._fan_out(_cover_chunk_worker, payloads)
+                        for c in cs
+                    ]
+                else:
+                    resolved = [
+                        self._compute_cover(sigma, sigma_cfds, full_sigma_key, v)
+                        for v in miss_views
+                    ]
+                for memo_key, cover in zip(keys, resolved):
+                    pkey = pending[memo_key][1]
+                    self._cover_tier.put(memo_key, cover, pkey)
+                    if release:
+                        self._release_lease(tier, pkey)
+                    resolved_map[memo_key] = cover
+
+            if owned:
+                compute(owned, release=True)
+            if waiting:
+                leftovers = self._await_flights(tier, waiting, pending, resolved_map)
+                if leftovers:
+                    compute(leftovers, release=False)
+            for memo_key, (_, _, indices) in pending.items():
+                cover = resolved_map[memo_key]
                 for idx in indices:
                     covers[idx] = list(cover)
 

@@ -1,180 +1,20 @@
-"""The persistent tier: a schema-versioned sqlite store for engine memos.
+"""Compatibility alias: the sqlite store moved to :mod:`repro.store.sqlite`.
 
-:class:`SqliteStore` is the on-disk backing of the engine's verdict and
-cover caches (see :mod:`repro.propagation.cache` for the tiering and
-:doc:`docs/caching.md` for the operational story).  It is deliberately a
-dumb string-keyed blob store:
+PR 8 extracted the persistent tier into the :mod:`repro.store`
+subsystem (an abstract :class:`~repro.store.base.BlobStore` with
+sqlite/network/redis backings behind a URL scheme registry).  This
+module keeps the PR 2 import path alive as a *true alias*: it replaces
+itself in ``sys.modules`` with :mod:`repro.store.sqlite`, so
 
-- Keys are the *stable fingerprints* of
-  :func:`repro.propagation.cache.stable_digest` — hex digests over the
-  canonical JSON of ``(Sigma fingerprint, view fingerprint, phi,
-  engine settings)``.  Structural keys never contain Python ``hash()``
-  output (which is salted per process), so one store is shared safely by
-  many worker processes.
-- Values are short serialized payloads: ``"1"``/``"0"`` for verdicts and
-  canonical JSON dependency lists (the :mod:`repro.io` wire format) for
-  covers.
-- Every row carries no semantics beyond its table; the two tables are
-  fixed (``verdicts`` and ``covers``) and whitelisted before they reach
-  a SQL string.
-
-Schema versioning, twice over: the ``meta`` table records
-``schema_version``, and a store whose recorded version differs from the
-opener's is dropped and recreated empty — a cold start.  Additionally
-*every row* is stamped with its writer's version and reads filter on the
-reader's version, so a still-running old-version process whose open
-connection outlived a new-version reset can keep writing without its
-rows ever being served to (or clobbering the correctness of) new-version
-readers — never a misinterpretation of stale bytes, even mid rolling
-upgrade.  Bump :data:`SCHEMA_VERSION` whenever the key derivation or the
-payload encoding changes.
-
-Concurrency: the store opens in WAL mode with a busy timeout, and every
-write is its own transaction, so concurrent readers and a writer (or
-several writer processes racing on ``INSERT OR REPLACE`` of identical
-rows) are safe.  The cache is idempotent — both writers compute the same
-verdict for the same key — so last-writer-wins is correct.
+- ``from repro.propagation.store import SqliteStore, SCHEMA_VERSION``
+  keeps working, and
+- monkeypatching ``repro.propagation.store.SCHEMA_VERSION`` (as the
+  version-mismatch tests do) patches the one real module, not a stale
+  re-export.
 """
 
-from __future__ import annotations
+import sys
 
-import sqlite3
-from pathlib import Path
+from ..store import sqlite as _sqlite
 
-__all__ = ["SCHEMA_VERSION", "SqliteStore"]
-
-#: Bump on any change to key derivation or payload encoding.  A store
-#: written under a different version is dropped on open (cold start).
-#:
-#: v1: whole-Sigma fingerprints (PR 2/3).
-#: v2: provenance-scoped composite keys — per-relation Sigma
-#:     fingerprints over the view's touched relations
-#:     (:mod:`repro.propagation.engine.keys`).  v1 stores migrate to
-#:     cold on open: their whole-Sigma keys are unreachable under the
-#:     composite derivation and must never be misread as warm lines.
-SCHEMA_VERSION = 2
-
-#: The only tables the store manages; names are interpolated into SQL and
-#: must never come from user input.
-_TABLES = ("verdicts", "covers")
-
-#: Default file name inside a ``--cache-dir``.
-STORE_FILENAME = "propagation.sqlite"
-
-
-class SqliteStore:
-    """A string-keyed persistent memo store shared across processes.
-
-    Parameters
-    ----------
-    path:
-        The sqlite database file; parent directories are created.
-    schema_version:
-        Overridable for tests exercising the version-mismatch fallback;
-        production callers leave the default (the module-level
-        :data:`SCHEMA_VERSION`, read at call time).
-    """
-
-    def __init__(self, path: str | Path, schema_version: int | None = None) -> None:
-        self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.schema_version = int(
-            SCHEMA_VERSION if schema_version is None else schema_version
-        )
-        #: True when opening found (and discarded) an incompatible store.
-        self.reset_on_open = False
-        self._conn = sqlite3.connect(
-            str(self.path), timeout=30.0, check_same_thread=False
-        )
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._ensure_schema()
-
-    @classmethod
-    def open_dir(
-        cls, cache_dir: str | Path, schema_version: int | None = None
-    ) -> "SqliteStore":
-        """Open (creating if needed) the store inside *cache_dir*."""
-        return cls(Path(cache_dir) / STORE_FILENAME, schema_version=schema_version)
-
-    # ------------------------------------------------------------------
-    # Schema management.
-    # ------------------------------------------------------------------
-
-    def _ensure_schema(self) -> None:
-        with self._conn:
-            self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta "
-                "(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-            )
-            row = self._conn.execute(
-                "SELECT value FROM meta WHERE key = 'schema_version'"
-            ).fetchone()
-            if row is not None and row[0] != str(self.schema_version):
-                # Incompatible bytes: fall back to a cold, empty store.
-                for table in _TABLES:
-                    self._conn.execute(f"DROP TABLE IF EXISTS {table}")
-                self._conn.execute("DELETE FROM meta")
-                self.reset_on_open = True
-            for table in _TABLES:
-                self._conn.execute(
-                    f"CREATE TABLE IF NOT EXISTS {table} "
-                    "(key TEXT PRIMARY KEY, payload TEXT NOT NULL, "
-                    "version INTEGER NOT NULL)"
-                )
-            self._conn.execute(
-                "INSERT OR REPLACE INTO meta (key, value) "
-                "VALUES ('schema_version', ?)",
-                (str(self.schema_version),),
-            )
-
-    @staticmethod
-    def _table(table: str) -> str:
-        if table not in _TABLES:
-            raise ValueError(f"unknown store table {table!r}; have {_TABLES}")
-        return table
-
-    # ------------------------------------------------------------------
-    # The blob-store surface.
-    # ------------------------------------------------------------------
-
-    def get(self, table: str, key: str) -> str | None:
-        """The payload stored under *key* by this schema version, or ``None``.
-
-        A row stamped by a different-version writer (a racing process
-        mid rolling upgrade) is invisible — a miss, never stale bytes.
-        """
-        row = self._conn.execute(
-            f"SELECT payload FROM {self._table(table)} "
-            "WHERE key = ? AND version = ?",
-            (key, self.schema_version),
-        ).fetchone()
-        return None if row is None else row[0]
-
-    def put(self, table: str, key: str, payload: str) -> None:
-        """Store *payload* under *key* (last writer wins; idempotent use)."""
-        with self._conn:
-            self._conn.execute(
-                f"INSERT OR REPLACE INTO {self._table(table)} "
-                "(key, payload, version) VALUES (?, ?, ?)",
-                (key, payload, self.schema_version),
-            )
-
-    def count(self, table: str) -> int:
-        """Number of rows in *table* (telemetry / tests)."""
-        row = self._conn.execute(
-            f"SELECT COUNT(*) FROM {self._table(table)}"
-        ).fetchone()
-        return int(row[0])
-
-    def close(self) -> None:
-        self._conn.close()
-
-    def __enter__(self) -> "SqliteStore":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SqliteStore({str(self.path)!r}, v{self.schema_version})"
+sys.modules[__name__] = _sqlite

@@ -1,0 +1,221 @@
+"""A stdlib-only ``redis://`` blob-store backend (RESP2 over a socket).
+
+:class:`RedisStore` maps the blob surface onto five Redis commands —
+``GET``, ``SET``, ``DEL``, ``SCAN`` and the atomic single-flight grant
+``SET key 1 NX PX <ttl-ms>`` — speaking just enough RESP2 to cover them,
+so a fleet can share warmth through an existing Redis (or any
+RESP-compatible server; the unit tests drive a 60-line in-process fake)
+without this repo growing a dependency.
+
+Keyspace layout: ``{namespace}:v{SCHEMA_VERSION}:{table}:{fingerprint}``
+(leases under ``...:lease:{table}:{fingerprint}``).  The schema version
+is baked into every key, which buys the sqlite store's rolling-upgrade
+guarantee for free — an old-version writer and a new-version reader
+address disjoint keys, so stale bytes are never misread.
+
+Failure classification matches :class:`~repro.store.remote.RemoteStore`:
+connectivity problems raise ``unavailable`` (what the cache degrades
+on), server ``-ERR`` replies raise ``bad-request`` (the server answered;
+not retryable), and the optional
+:class:`~repro.api.transport.RetryPolicy` retries only the former.
+TTL quotas come from Redis itself (``ttl_s`` maps to ``SET ... PX``);
+size quotas are the Redis deployment's ``maxmemory`` policy — the store
+deliberately does not reimplement them client-side.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from ..api.errors import ApiError
+from ..api.transport import RetryPolicy
+from .base import BlobStore
+from .sqlite import SCHEMA_VERSION
+
+__all__ = ["RedisStore"]
+
+_TABLES = ("verdicts", "covers")
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class RedisStore(BlobStore):
+    """The engine's persistent tier on a Redis-compatible server."""
+
+    supports_leases = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int = 6379,
+        *,
+        db: int = 0,
+        namespace: str = "repro",
+        ttl_s: float | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self._endpoint = f"redis://{host}:{port}/{db}"
+        self._address = (host, port)
+        self._db = int(db)
+        self._prefix = f"{namespace}:v{SCHEMA_VERSION}"
+        self.ttl_s = ttl_s
+        self._timeout = timeout
+        self.retry = retry
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    @staticmethod
+    def _table(table: str) -> str:
+        if table not in _TABLES:
+            raise ValueError(f"unknown store table {table!r}; have {_TABLES}")
+        return table
+
+    def _key(self, table: str, key: str) -> str:
+        return f"{self._prefix}:{self._table(table)}:{key}"
+
+    def _lease_key(self, table: str, key: str) -> str:
+        return f"{self._prefix}:lease:{self._table(table)}:{key}"
+
+    # ------------------------------------------------------------------
+    # RESP2 plumbing.
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            raise ApiError(
+                "unavailable", f"cannot connect to {self._endpoint}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+        if self._db:
+            self._command_once("SELECT", str(self._db))
+
+    def _reset(self) -> None:
+        file, sock, self._file, self._sock = self._file, self._sock, None, None
+        for closeable in (file, sock):
+            if closeable is None:
+                continue
+            try:
+                closeable.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def _read_reply(self) -> Any:
+        line = self._file.readline()
+        if not line.endswith(b"\r\n"):
+            self._reset()
+            raise ApiError(
+                "unavailable", f"{self._endpoint}: connection closed mid-reply"
+            )
+        marker, body = line[:1], line[1:-2]
+        if marker == b"+":
+            return body.decode()
+        if marker == b"-":
+            raise ApiError(
+                "bad-request", f"{self._endpoint} answered an error: {body.decode()}"
+            )
+        if marker == b":":
+            return int(body)
+        if marker == b"$":
+            length = int(body)
+            if length == -1:
+                return None
+            data = self._file.read(length + 2)
+            if len(data) != length + 2:
+                self._reset()
+                raise ApiError(
+                    "unavailable", f"{self._endpoint}: truncated bulk reply"
+                )
+            return data[:-2].decode()
+        if marker == b"*":
+            count = int(body)
+            if count == -1:
+                return None
+            return [self._read_reply() for _ in range(count)]
+        self._reset()
+        raise ApiError(
+            "internal",
+            f"{self._endpoint} sent an unknown RESP marker {marker!r}",
+        )
+
+    def _command_once(self, *args: str) -> Any:
+        if self._sock is None:
+            self._connect()
+        out = [f"*{len(args)}\r\n".encode()]
+        for arg in args:
+            data = arg.encode()
+            out.append(f"${len(data)}\r\n".encode() + data + b"\r\n")
+        try:
+            self._file.write(b"".join(out))
+            self._file.flush()
+            return self._read_reply()
+        except OSError as exc:
+            self._reset()
+            raise ApiError(
+                "unavailable", f"{self._endpoint} request failed: {exc}"
+            ) from exc
+
+    def _command(self, *args: str) -> Any:
+        policy = self.retry
+        if policy is None or policy.retries < 1:
+            return self._command_once(*args)
+        delays = policy.delays()
+        while True:
+            try:
+                return self._command_once(*args)
+            except ApiError as exc:
+                if exc.kind != "unavailable":
+                    raise
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    # The blob-store surface.
+    # ------------------------------------------------------------------
+
+    def get(self, table: str, key: str) -> str | None:
+        return self._command("GET", self._key(table, key))
+
+    def put(self, table: str, key: str, payload: str) -> None:
+        if self.ttl_s is not None:
+            self._command(
+                "SET", self._key(table, key), payload,
+                "PX", str(int(self.ttl_s * 1000)),
+            )
+        else:
+            self._command("SET", self._key(table, key), payload)
+
+    def count(self, table: str) -> int:
+        pattern = f"{self._prefix}:{self._table(table)}:*"
+        cursor, total = "0", 0
+        while True:
+            reply = self._command("SCAN", cursor, "MATCH", pattern, "COUNT", "512")
+            cursor, keys = reply[0], reply[1]
+            total += len(keys)
+            if cursor == "0":
+                return total
+
+    def acquire_lease(self, table: str, key: str, ttl_s: float) -> bool:
+        reply = self._command(
+            "SET", self._lease_key(table, key), "1",
+            "NX", "PX", str(max(1, int(ttl_s * 1000))),
+        )
+        return reply == "OK"
+
+    def release_lease(self, table: str, key: str) -> None:
+        self._command("DEL", self._lease_key(table, key))
+
+    def close(self) -> None:
+        self._reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RedisStore({self._endpoint!r}, prefix={self._prefix!r})"

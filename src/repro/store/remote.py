@@ -1,0 +1,192 @@
+"""The ``store://host:port`` client of the blob-store server.
+
+:class:`RemoteStore` speaks the NDJSON protocol of
+:mod:`repro.store.server` over one lazily-opened socket, following the
+transport discipline of :class:`repro.api.transport.TcpTransport`:
+
+- the connection opens on the first operation and is dropped and
+  re-opened after any failure — a broken socket never poisons later
+  requests;
+- transport failures (refused connections, EOF or truncated lines
+  mid-response) surface as :class:`~repro.api.ApiError` of the
+  ``unavailable`` kind, which is exactly what
+  :class:`~repro.propagation.cache.TieredCache` and the engine's
+  single-flight path degrade on — a dead store is a cache miss, never a
+  request failure;
+- an optional :class:`~repro.api.transport.RetryPolicy` (the PR 6
+  resilience policy, verbatim) retries ``unavailable`` failures with
+  bounded exponential backoff.  Every store op is safe to resend: reads
+  are pure, ``put`` is idempotent (same key, same computed payload),
+  ``unlease`` is a delete, and a replayed ``lease`` whose first attempt
+  won but lost its response simply reads as denied — the owner then
+  waits for its own write to reappear and times out into a local
+  compute, which costs duplicated work, never a wrong answer.
+
+Error *documents* from the server (``bad-request`` for an unknown table,
+…) re-raise under their own kind — the server answered; that is not a
+transport failure and is never retried.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Mapping
+
+from ..api.errors import ApiError
+from ..api.transport import RetryPolicy
+from .base import BlobStore
+
+__all__ = ["RemoteStore"]
+
+#: Default socket timeout (seconds).  Store ops are dict-fast server
+#: side; anything slower than this is a dead or wedged server.
+DEFAULT_TIMEOUT = 30.0
+
+
+class RemoteStore(BlobStore):
+    """A blob store served by ``repro store-serve`` on another host."""
+
+    supports_leases = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self._endpoint = f"store://{host}:{port}"
+        self._address = (host, port)
+        self._timeout = timeout
+        self.retry = retry
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+    # Wire plumbing.
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                self._address, timeout=self._timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            raise ApiError(
+                "unavailable", f"cannot connect to {self._endpoint}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def _reset(self) -> None:
+        """Drop a broken connection so the next request reconnects."""
+        file, sock, self._file, self._sock = self._file, self._sock, None, None
+        for closeable in (file, sock):
+            if closeable is None:
+                continue
+            try:
+                closeable.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def _request_once(self, doc: Mapping[str, Any]) -> dict:
+        if self._sock is None:
+            self._connect()
+        payload = (json.dumps(doc) + "\n").encode()
+        try:
+            self._file.write(payload)
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            self._reset()
+            raise ApiError(
+                "unavailable", f"{self._endpoint} request failed: {exc}"
+            ) from exc
+        if not line.endswith(b"\n"):
+            self._reset()
+            detail = "connection closed" if not line else "truncated NDJSON response"
+            raise ApiError(
+                "unavailable",
+                f"{self._endpoint}: {detail} before a complete response",
+            )
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ApiError(
+                "internal", f"{self._endpoint} sent a malformed response: {exc}"
+            ) from exc
+
+    def _call(self, doc: Mapping[str, Any]) -> dict:
+        """One store op through the retry loop, unwrapping the envelope."""
+        policy = self.retry
+        if policy is None or policy.retries < 1:
+            envelope = self._request_once(doc)
+        else:
+            delays = policy.delays()
+            while True:
+                try:
+                    envelope = self._request_once(doc)
+                    break
+                except ApiError as exc:
+                    if exc.kind != "unavailable":
+                        raise
+                    delay = next(delays, None)
+                    if delay is None:
+                        raise
+                    time.sleep(delay)
+        if not envelope.get("ok"):
+            error = envelope.get("error") or {}
+            raise ApiError(
+                error.get("kind", "internal"),
+                f"{self._endpoint}: {error.get('message', 'unknown store error')}",
+            )
+        result = envelope.get("result")
+        if not isinstance(result, dict):
+            raise ApiError(
+                "internal", f"{self._endpoint} sent an envelope without a result"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # The blob-store surface.
+    # ------------------------------------------------------------------
+
+    def get(self, table: str, key: str) -> str | None:
+        return self._call({"op": "get", "table": table, "key": key})["payload"]
+
+    def put(self, table: str, key: str, payload: str) -> None:
+        self._call({"op": "put", "table": table, "key": key, "payload": payload})
+
+    def count(self, table: str) -> int:
+        return int(self._call({"op": "count", "table": table})["count"])
+
+    def acquire_lease(self, table: str, key: str, ttl_s: float) -> bool:
+        return bool(
+            self._call(
+                {"op": "lease", "table": table, "key": key, "ttl_s": ttl_s}
+            )["acquired"]
+        )
+
+    def release_lease(self, table: str, key: str) -> None:
+        self._call({"op": "unlease", "table": table, "key": key})
+
+    def ping(self) -> dict:
+        """The server's liveness/protocol document."""
+        return self._call({"op": "ping"})
+
+    def stats(self) -> dict:
+        """The server's counters/tables document (fleet observability)."""
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (never retried — not idempotent)."""
+        return self._call({"op": "shutdown"})
+
+    def close(self) -> None:
+        self._reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteStore({self._endpoint!r})"

@@ -1,0 +1,279 @@
+"""The fleet-shared blob-store server: ``store://`` over NDJSON.
+
+``repro store-serve`` keeps one :class:`~repro.store.base.BlobStore`
+(an in-memory quota-enforcing :class:`~repro.store.memory.MemoryStore`
+by default, or the sqlite store with ``--cache-dir`` for durability)
+behind a line-delimited JSON TCP front end, so an orchestrated worker
+fleet shares cache warmth without a common filesystem.  Clients connect
+through the ``store://host:port`` scheme
+(:class:`~repro.store.remote.RemoteStore`).
+
+Wire protocol — one JSON document per line, one response line per
+request, connections persist across requests (the shape of
+:mod:`repro.api.server`'s NDJSON front end, minus the engine)::
+
+    {"id": 1, "op": "ping"}
+    {"id": 2, "op": "get",     "table": "verdicts", "key": "<fp>"}
+    {"id": 3, "op": "put",     "table": "verdicts", "key": "<fp>", "payload": "1"}
+    {"id": 4, "op": "count",   "table": "verdicts"}
+    {"id": 5, "op": "lease",   "table": "verdicts", "key": "<fp>", "ttl_s": 30}
+    {"id": 6, "op": "unlease", "table": "verdicts", "key": "<fp>"}
+    {"id": 7, "op": "stats"}
+    {"op": "shutdown"}
+
+Responses mirror the api envelope: ``{"id": 1, "ok": true, "result":
+{...}}`` on success, ``{"ok": false, "error": {"kind": ..., "message":
+...}}`` on failure (kinds from the :mod:`repro.api.errors` taxonomy —
+an unknown table or op is ``bad-request``, oversized or non-JSON lines
+are ``format``), and the connection survives errors.
+
+``lease``/``unlease`` expose the backing store's single-flight surface,
+so the *server* arbitrates which worker computes a missing fingerprint;
+``stats`` reports the backing counters (hits/misses/writes, quota
+evictions and TTL expirations, lease grants/denials) plus per-table row
+counts and the ops served — the fleet-warmth observability endpoint.
+
+Store operations are dict/sqlite-fast, so they run inline on the event
+loop (no executor hand-off per request — latency is the product here;
+an engine chase never runs in this process).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from ..api.errors import ApiError, to_api_error
+from .base import BlobStore
+
+__all__ = [
+    "STORE_PROTOCOL_VERSION",
+    "BlobStoreServer",
+    "background_store_server",
+    "serve_store",
+]
+
+#: Bump when the store wire protocol changes incompatibly; ``ping``
+#: carries it so clients can refuse to speak to an incompatible server.
+STORE_PROTOCOL_VERSION = 1
+
+_MAX_REQUEST_BYTES = 1 << 20
+
+
+class BlobStoreServer:
+    """Serves one :class:`BlobStore` over NDJSON TCP until shutdown."""
+
+    def __init__(
+        self, store: BlobStore, *, max_request_bytes: int = _MAX_REQUEST_BYTES
+    ) -> None:
+        self.store = store
+        self.max_request_bytes = max_request_bytes
+        self.requests_served = 0
+        self._shutdown: asyncio.Event | None = None
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Request handling (synchronous — store ops are fast).
+    # ------------------------------------------------------------------
+
+    def _result(self, doc: Mapping[str, Any]) -> dict:
+        op = doc.get("op")
+        if op == "ping":
+            return {
+                "pong": True,
+                "protocol": STORE_PROTOCOL_VERSION,
+                "backend": type(self.store).__name__,
+                "requests_served": self.requests_served,
+            }
+        if op == "stats":
+            counters = (
+                self.store.counters()
+                if hasattr(self.store, "counters")
+                else {}
+            )
+            tables = {
+                table: self.store.count(table) for table in ("verdicts", "covers")
+            }
+            return {
+                "backend": type(self.store).__name__,
+                "counters": counters,
+                "tables": tables,
+                "requests_served": self.requests_served,
+                "supports_leases": bool(self.store.supports_leases),
+            }
+        if op == "shutdown":
+            assert self._shutdown is not None
+            self._shutdown.set()
+            return {"stopping": True}
+
+        table = doc.get("table")
+        if not isinstance(table, str):
+            raise ApiError("bad-request", f"op {op!r} needs a string 'table'")
+        if op == "count":
+            return {"count": self.store.count(table)}
+
+        key = doc.get("key")
+        if not isinstance(key, str):
+            raise ApiError("bad-request", f"op {op!r} needs a string 'key'")
+        if op == "get":
+            return {"payload": self.store.get(table, key)}
+        if op == "put":
+            payload = doc.get("payload")
+            if not isinstance(payload, str):
+                raise ApiError("bad-request", "op 'put' needs a string 'payload'")
+            self.store.put(table, key, payload)
+            return {"stored": True}
+        if op == "lease":
+            ttl_s = doc.get("ttl_s", 30.0)
+            if not isinstance(ttl_s, (int, float)) or ttl_s <= 0:
+                raise ApiError(
+                    "bad-request", f"op 'lease' needs a positive 'ttl_s', got {ttl_s!r}"
+                )
+            return {"acquired": self.store.acquire_lease(table, key, float(ttl_s))}
+        if op == "unlease":
+            self.store.release_lease(table, key)
+            return {"released": True}
+        raise ApiError(
+            "bad-request",
+            f"unknown store op {op!r}; ops are ping, get, put, count, "
+            "lease, unlease, stats, shutdown",
+        )
+
+    def handle_doc(self, doc: Any) -> dict:
+        """Answer one wire document; never raises (errors become documents)."""
+        envelope: dict[str, Any] = {}
+        if isinstance(doc, Mapping) and "id" in doc:
+            envelope["id"] = doc["id"]
+        try:
+            if not isinstance(doc, Mapping):
+                raise ApiError("bad-request", "request must be a JSON object")
+            self.requests_served += 1
+            envelope["ok"] = True
+            envelope["result"] = self._result(doc)
+        except Exception as exc:  # noqa: BLE001 - the wire boundary
+            # An unknown table surfaces from the backing store as
+            # ValueError; classify it as the caller's fault, not ours.
+            if isinstance(exc, ValueError) and not isinstance(exc, ApiError):
+                exc = ApiError("bad-request", str(exc))
+            error = to_api_error(exc)
+            envelope["ok"] = False
+            envelope["error"] = {"kind": error.kind, "message": error.message}
+        return envelope
+
+    # ------------------------------------------------------------------
+    # The NDJSON front end.
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_writers.add(writer)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    response = self.handle_doc(None)
+                    response["error"] = {
+                        "kind": "format",
+                        "message": f"request line over {self.max_request_bytes} bytes",
+                    }
+                    writer.write((json.dumps(response) + "\n").encode())
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {
+                        "ok": False,
+                        "error": {"kind": "format", "message": f"bad JSON: {exc}"},
+                    }
+                else:
+                    response = self.handle_doc(doc)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+        except ConnectionError:  # pragma: no cover - client vanished
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0, *, announce=None
+    ) -> None:
+        """Listen until a ``shutdown`` op (or cancellation)."""
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=self.max_request_bytes
+        )
+        bound = server.sockets[0].getsockname()
+        if announce is not None:
+            announce(bound)
+        else:
+            print(
+                f"listening on {bound[0]}:{bound[1]}", file=sys.stderr, flush=True
+            )
+        async with server:
+            await self._shutdown.wait()
+        # Sever established connections so blocked clients see EOF (a
+        # typed `unavailable`) instead of hanging until their timeout.
+        for writer in list(self._conn_writers):
+            writer.close()
+
+
+def serve_store(
+    store: BlobStore, host: str = "127.0.0.1", port: int = 0
+) -> None:
+    """Run the blob-store server to completion (``repro store-serve``)."""
+    try:
+        asyncio.run(BlobStoreServer(store).serve(host, port))
+    finally:
+        store.close()
+
+
+@contextmanager
+def background_store_server(store: BlobStore, *, host: str = "127.0.0.1") -> Iterator[str]:
+    """Run a blob-store server on a daemon thread; yields its store URL.
+
+    The test/docs twin of :func:`repro.api.server.background_server`:
+    tears the server down via its own ``shutdown`` op on exit.
+    """
+    bound: list = []
+    ready = threading.Event()
+    server = BlobStoreServer(store)
+
+    def run() -> None:
+        def announce(address) -> None:
+            bound.append(address)
+            ready.set()
+
+        try:
+            asyncio.run(server.serve(host, 0, announce=announce))
+        finally:
+            ready.set()  # never leave the opener hanging on a crash
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    ready.wait(10.0)
+    if not bound:
+        raise RuntimeError("blob-store server failed to start")
+    url = f"store://{bound[0][0]}:{bound[0][1]}"
+    try:
+        yield url
+    finally:
+        from .remote import RemoteStore
+
+        try:
+            with RemoteStore(bound[0][0], bound[0][1], timeout=5.0) as remote:
+                remote.shutdown()
+        except Exception:  # pragma: no cover - already down
+            pass
+        thread.join(10.0)

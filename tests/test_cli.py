@@ -444,6 +444,86 @@ class TestEndpoints:
         assert "error[bad-request]" in capsys.readouterr().err
 
 
+class TestStoreUrl:
+    """--store-url / REPRO_STORE_URL: the fleet-shared persistent tier."""
+
+    def _phi(self, workspace):
+        return _write(
+            workspace["dir"],
+            "phi.json",
+            {
+                "kind": "cfd",
+                "relation": "R",
+                "lhs": {"CC": "44", "zip": "_"},
+                "rhs": {"street": "_"},
+            },
+        )
+
+    def _base(self, workspace):
+        return [
+            "--schema", workspace["schema"], "--sigma", workspace["sigma"],
+            "--view", workspace["view"], "--phi", self._phi(workspace),
+        ]
+
+    def test_unknown_scheme_exits_two_with_format_kind(self, workspace, capsys):
+        code = main(
+            ["propagate-batch", *self._base(workspace),
+             "--store-url", "bogus://somewhere"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error[format]" in err
+        assert "bogus" in err
+        assert "Traceback" not in err
+
+    def test_malformed_url_exits_two_with_format_kind(self, workspace, capsys):
+        code = main(
+            ["propagate-batch", *self._base(workspace),
+             "--store-url", "not-a-url"]
+        )
+        assert code == 2
+        assert "error[format]" in capsys.readouterr().err
+
+    def test_env_var_is_honored_and_equally_typed(
+        self, workspace, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE_URL", "bogus://somewhere")
+        code = main(["propagate-batch", *self._base(workspace)])
+        assert code == 2
+        assert "error[format]" in capsys.readouterr().err
+
+    def test_two_invocations_share_warmth_through_store(
+        self, workspace, capsys
+    ):
+        from repro.store import MemoryStore
+        from repro.store.server import background_store_server
+
+        with background_store_server(MemoryStore()) as url:
+            base = self._base(workspace)
+            assert main(
+                ["propagate-batch", *base, "--stats", "--store-url", url]
+            ) == 0
+            cold = capsys.readouterr().err
+            assert main(
+                ["propagate-batch", *base, "--stats", "--store-url", url]
+            ) == 0
+            warm = capsys.readouterr().err
+        assert "chase_invocations=0" not in cold
+        assert "chase_invocations=0" in warm  # answered from the fleet store
+
+    def test_store_serve_parser_and_backing_conflict(self, capsys):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["store-serve"])
+        assert args.command == "store-serve"
+        assert args.port == 0 and args.cache_dir is None
+        code = main(
+            ["store-serve", "--cache-dir", "/tmp/x", "--quota-entries", "5"]
+        )
+        assert code == 2
+        assert "error[bad-request]" in capsys.readouterr().err
+
+
 class TestServeParser:
     def test_serve_subcommand_exists_with_optional_files(self):
         from repro.cli import build_parser
