@@ -5,9 +5,22 @@ PropCFD_SPC cannot beat an exponential lower bound on the *output*; the
 point of this series is that the cover size (and hence the runtime)
 doubles per step — exactly the 2^n of Example 4.1 — while on the random
 workloads of Figures 5-8 the same algorithm stays polynomial.
+
+Two entry points, following ``bench_fuzz.py``:
+
+- **pytest**: the ``record_point`` series above;
+- **``--smoke``** (pytest-free, for CI): one cover per size, asserting
+  the 2^n lower bound and writing per-size cover cardinalities and
+  runtimes to ``BENCH_exponential_family.json``.  (The pytest leg
+  predates the BENCH emitters and never wrote an artifact — this closes
+  that gap.)
 """
 
+import json
 import os
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -18,6 +31,11 @@ from repro.propagation.closure_baseline import exponential_family
 from conftest import record_point
 
 SIZES = [1, 2, 3] if os.environ.get("REPRO_FAST") else [1, 2, 3, 4, 5]
+
+#: Where ``--smoke`` accumulates its records.
+BENCH_FILE = (
+    Path(__file__).resolve().parent.parent / "BENCH_exponential_family.json"
+)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -42,3 +60,74 @@ def test_exponential_family_cover(benchmark, n):
         benchmark.stats.stats.mean,
         {"cover": len(cover), "2^n": 2**n},
     )
+
+
+# ----------------------------------------------------------------------
+# --smoke: the CI run (no pytest machinery).
+# ----------------------------------------------------------------------
+
+
+def _record_bench(key: str, entry: dict) -> None:
+    """Merge one record into ``BENCH_exponential_family.json``."""
+    doc: dict = {}
+    if BENCH_FILE.exists():
+        try:
+            doc = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            doc = {}
+    doc[key] = entry
+    BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"bench_exponential_family --smoke: wrote {key} to {BENCH_FILE}")
+
+
+def _smoke() -> int:
+    started = time.perf_counter()
+    sizes: dict[str, dict] = {}
+    for n in SIZES:
+        schema, fds, projection = exponential_family(n)
+        db = DatabaseSchema([schema])
+        atoms = [RelationAtom("R", {a: a for a in schema.attribute_names})]
+        view = SPCView("V", db, atoms, projection=projection)
+        t0 = time.perf_counter()
+        cover = prop_cfd_spc(fds, view, final_min_cover=False)
+        elapsed = time.perf_counter() - t0
+        deriving_d = [phi for phi in cover if phi.rhs_attr == "D"]
+        if len(deriving_d) < 2**n:
+            print(
+                f"bench_exponential_family --smoke: n={n} cover derives D "
+                f"{len(deriving_d)} ways, expected >= {2 ** n}",
+                file=sys.stderr,
+            )
+            return 1
+        sizes[f"n={n}"] = {
+            "cover": len(cover),
+            "deriving_d": len(deriving_d),
+            "2^n": 2**n,
+            "elapsed_s": round(elapsed, 6),
+        }
+        print(
+            f"bench_exponential_family --smoke: n={n} cover={len(cover)} "
+            f"({elapsed * 1e3:.2f}ms)"
+        )
+    _record_bench("ablation-a3", {"sizes": dict(sorted(sizes.items()))})
+    print(
+        f"bench_exponential_family --smoke OK "
+        f"(total {time.perf_counter() - started:.1f}s)"
+    )
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--smoke" not in argv:
+        print(
+            "usage: python benchmarks/bench_exponential_family.py --smoke\n"
+            "  (REPRO_FAST=1 limits the sizes; the pytest entry point is "
+            "`python -m pytest benchmarks/bench_exponential_family.py`)",
+            file=sys.stderr,
+        )
+        return 2
+    return _smoke()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -68,6 +68,12 @@ class _Settings:
     AND the verdicts of all ``shards`` workers for the full answer, and
     such partial verdicts are memoized under shard-scoped keys and never
     persisted.
+
+    ``kernel`` selects the chase implementation (``"bitset"`` — the
+    packed fast path — or ``"baseline"``); kernels are answer-identical,
+    so unlike the semantics-bearing settings it never enters a cache
+    key, but it *is* part of the engine-pool key so a request can pin
+    an engine to one implementation.
     """
 
     use_cache: bool | None = None
@@ -75,6 +81,7 @@ class _Settings:
     assume_infinite: bool | None = None
     shards: int | None = None
     shard_index: int | None = None
+    kernel: str | None = None
 
 
 @dataclass

@@ -49,6 +49,7 @@ from typing import Iterable
 from ..algebra.spcu import SPCUView
 from ..core.cfd import CFD
 from ..core.fd import FD
+from ..kernel.config import KERNELS, resolve_kernel
 from ..propagation.cache import LRUCache
 from ..propagation.check import DependencyLike, ViewLike, _as_cfds, _branches
 from ..propagation.emptiness import nonempty_witness
@@ -93,6 +94,7 @@ class _Effective:
     assume_infinite: bool
     shards: int = 1
     shard_index: int | None = None
+    kernel: str | None = None
 
 
 def _snapshot(stats: EngineStats) -> tuple:
@@ -123,6 +125,7 @@ class PropagationService:
         jobs: int = 1,
         pool: str = "thread",
         shards: int = 1,
+        kernel: str | None = None,
     ) -> None:
         self.workspace = workspace if workspace is not None else Workspace()
         if store_url:
@@ -130,8 +133,19 @@ class PropagationService:
             # REPRO_STORE_URL scheme is a typed `format` error here, not
             # a traceback on the first cache miss.
             validate_store_url(store_url)
+        if kernel is not None and kernel not in KERNELS:
+            # Same fail-fast contract as the store URL: a typo'd kernel
+            # name is a typed error at construction, not on first miss.
+            raise ApiError(
+                "bad-request",
+                f"unknown kernel {kernel!r}; expected one of {', '.join(KERNELS)}",
+            )
         self._defaults = _Effective(
-            use_cache, max_instantiations, assume_infinite, shards
+            use_cache,
+            max_instantiations,
+            assume_infinite,
+            shards,
+            kernel=resolve_kernel(kernel),
         )
         self._engine_opts = dict(
             cache_dir=cache_dir,
@@ -178,6 +192,14 @@ class PropagationService:
                 f"shard_index must be an integer in [0, shards), got "
                 f"{shard_index!r} with shards={shards}",
             )
+        kernel = getattr(request, "kernel", None)
+        if kernel is None:
+            kernel = d.kernel
+        elif kernel not in KERNELS:
+            raise ApiError(
+                "bad-request",
+                f"unknown kernel {kernel!r}; expected one of {', '.join(KERNELS)}",
+            )
         return _Effective(
             d.use_cache if request.use_cache is None else request.use_cache,
             d.max_instantiations
@@ -188,6 +210,7 @@ class PropagationService:
             else request.assume_infinite,
             shards,
             shard_index,
+            kernel,
         )
 
     def _engine(self, settings: _Effective) -> PropagationEngine:
@@ -203,12 +226,17 @@ class PropagationService:
         # differ).  `shard_index` *is* part of the key: a shard-
         # restricted engine computes partial verdicts under shard-scoped
         # memo keys and never persists, so it must not share an engine
-        # object with full requests.
+        # object with full requests.  `kernel` is part of the key too —
+        # not because answers differ (they are byte-identical; it is
+        # absent from every cache key), but because the engine object is
+        # pinned to one implementation, and a request asking for the
+        # baseline oracle must not silently get the packed kernel.
         key = (
             settings.use_cache,
             settings.max_instantiations,
             settings.assume_infinite,
             settings.shard_index,
+            settings.kernel,
         )
         with self._pool_guard:
             engine = self._engines.get(key)
@@ -219,6 +247,7 @@ class PropagationService:
                     assume_infinite=settings.assume_infinite,
                     shards=settings.shards,
                     shard_index=settings.shard_index,
+                    kernel=settings.kernel,
                     **self._engine_opts,
                 )
                 self._engines[key] = engine
@@ -244,6 +273,7 @@ class PropagationService:
         use_cache = get("use_cache")
         max_instantiations = get("max_instantiations")
         assume_infinite = get("assume_infinite")
+        kernel = get("kernel")
         key = (
             d.use_cache if use_cache is None else use_cache,
             d.max_instantiations
@@ -251,6 +281,7 @@ class PropagationService:
             else max_instantiations,
             d.assume_infinite if assume_infinite is None else assume_infinite,
             get("shard_index"),
+            d.kernel if kernel is None else kernel,
         )
         hash(key)  # raises on unhashable garbage values
         return key

@@ -109,6 +109,7 @@ _SETTING_FIELDS = (
     "assume_infinite",
     "shards",
     "shard_index",
+    "kernel",
 )
 
 

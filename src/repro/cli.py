@@ -57,10 +57,16 @@ Engine knobs (shared by check / propagate-batch / cover / empty / serve):
   (``--pool thread|process`` picks the executor);
 - ``--shards N`` deals the k² branch-pair chase of union views into N
   deterministic shards executed through the same pool (verdicts are
-  shard-count invariant).
+  shard-count invariant);
+- ``--kernel bitset|baseline`` picks the chase/closure implementation
+  (default bitset — the packed fast path; ``REPRO_KERNEL`` overrides
+  the default; answers are byte-identical either way).
 
-``--no-cache`` and ``--shards`` are per-request settings and apply on
-any endpoint; the infrastructure knobs (``--cache-dir`` / ``--cache-size``
+``repro --profile <subcommand> ...`` runs any subcommand under cProfile
+and prints the top 20 functions by cumulative time to stderr.
+
+``--no-cache``, ``--shards`` and ``--kernel`` are per-request settings
+and apply on any endpoint; the infrastructure knobs (``--cache-dir`` / ``--cache-size``
 / ``--store-url`` / ``--jobs`` / ``--pool``) configure the *service* and
 therefore apply to
 ``local://`` endpoints and ``serve`` — a remote server keeps its own.
@@ -135,6 +141,7 @@ def _service_options(args) -> dict:
         jobs=getattr(args, "jobs", 1),
         pool=getattr(args, "pool", "thread"),
         shards=getattr(args, "shards", 1),
+        kernel=getattr(args, "kernel", None),
     )
 
 
@@ -143,6 +150,7 @@ def _request_settings(args) -> dict:
     return dict(
         use_cache=False if getattr(args, "no_cache", False) else None,
         shards=args.shards if getattr(args, "shards", 1) != 1 else None,
+        kernel=getattr(args, "kernel", None),
     )
 
 
@@ -440,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CFD propagation analysis (Fan et al., VLDB 2008)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the subcommand under cProfile and print the top 20 "
+        "functions by cumulative time to stderr (exit code unchanged)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, required=True):
@@ -535,6 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="deal the k^2 branch-pair chase of union views into this "
             "many deterministic shards (verdicts are shard-count "
             "invariant; honored by any endpoint)",
+        )
+        p.add_argument(
+            "--kernel",
+            choices=("bitset", "baseline"),
+            help="chase/closure implementation: bitset (packed fast path, "
+            "the default) or baseline (the differential oracle); "
+            "REPRO_KERNEL sets the default; answers are identical either "
+            "way (honored by any endpoint)",
         )
 
     check = sub.add_parser("check", help="decide Sigma |=_V phi")
@@ -705,6 +727,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profiled(args) -> int:
+    """Run the subcommand under cProfile; stats go to stderr.
+
+    The report never contaminates stdout (where verdicts, covers and
+    JSON documents land), so ``--profile`` composes with shell pipelines
+    and ``--out`` files.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return args.func(args)
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(buffer.getvalue(), file=sys.stderr, end="")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -715,6 +760,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.profile:
+            return _profiled(args)
         return args.func(args)
     except Exception as exc:  # noqa: BLE001 - the process boundary
         error = to_api_error(exc)

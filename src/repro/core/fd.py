@@ -12,10 +12,12 @@ cover, full closure) are needed independently:
 
 from __future__ import annotations
 
+from collections import namedtuple
 from dataclasses import dataclass
-from functools import lru_cache
 from itertools import combinations
 from typing import AbstractSet, Iterable, Sequence
+
+from .lru import LRUCache
 
 
 @dataclass(frozen=True)
@@ -68,30 +70,58 @@ def attribute_closure(
 
     Results are memoized keyed on the frozen LHS plus a fingerprint of the
     FD set (the set itself, order-insensitive), so changing Sigma in any
-    way reaches a different cache line.  ``use_cache=False`` bypasses the
-    memo (the ablation escape hatch); generators of FDs are consumed
-    either way.
+    way reaches a different cache line.  The memo is LRU-bounded
+    (:class:`~repro.core.lru.LRUCache`) so batch workloads with unbounded
+    Sigma/LHS diversity cannot grow it without limit; misses route
+    through the configured kernel (``REPRO_KERNEL``) — the bit-packed
+    fixpoint of :mod:`repro.kernel.closure` by default.
+    ``use_cache=False`` bypasses both the memo and the kernel (the
+    ablation escape hatch and differential oracle); generators of FDs
+    are consumed either way.
     """
     if use_cache:
-        attrs = frozenset(attrs)
-        fingerprint = frozenset(fds)
-        return _closure_memo(attrs, fingerprint)
+        key = (frozenset(attrs), frozenset(fds))
+        cached = _closure_memo.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        result = _closure_kernel(key[0], key[1])
+        _closure_memo.put(key, result)
+        return result
     return _closure_fixpoint(attrs, fds)
 
 
-@lru_cache(maxsize=65536)
-def _closure_memo(attrs: frozenset[str], fds: frozenset[FD]) -> frozenset[str]:
+_MISSING = object()
+
+#: The bounded attribute-closure memo.  65536 lines matches the bound the
+#: old ``functools.lru_cache`` carried; the LRUCache exposes the hit/miss
+#: telemetry the engine folds into ``EngineStats``.
+_closure_memo: LRUCache = LRUCache(65536)
+
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
+
+
+def _closure_kernel(attrs: frozenset[str], fds: frozenset[FD]) -> frozenset[str]:
+    from ..kernel.closure import bitset_closure
+    from ..kernel.config import resolve_kernel
+
+    if resolve_kernel() == "bitset":
+        return bitset_closure(attrs, fds)
     return _closure_fixpoint(attrs, fds)
 
 
-def closure_cache_info():
+def closure_cache_info() -> CacheInfo:
     """Hit/miss statistics of the attribute-closure memo (for tests/stats)."""
-    return _closure_memo.cache_info()
+    return CacheInfo(
+        hits=_closure_memo.hits,
+        misses=_closure_memo.misses,
+        maxsize=_closure_memo.capacity,
+        currsize=len(_closure_memo),
+    )
 
 
 def clear_closure_cache() -> None:
-    """Drop every memoized attribute closure."""
-    _closure_memo.cache_clear()
+    """Drop every memoized attribute closure (counters keep running)."""
+    _closure_memo.clear()
 
 
 def _closure_fixpoint(attrs: Iterable[str], fds: Iterable[FD]) -> frozenset[str]:

@@ -59,6 +59,7 @@ BASELINE = "baseline"
 DEFAULT_MATRIX = (
     BASELINE,
     "cache",
+    "kernel",
     "store",
     "jobs2",
     "shards4",
@@ -309,6 +310,13 @@ class MatrixHarness:
             runners[BASELINE] = _ServiceRunner(use_cache=False)
         if "cache" in wanted:
             runners["cache"] = _ServiceRunner(use_cache=True)
+        if "kernel" in wanted:
+            # The packed chase kernel, pinned explicitly so the entry
+            # exercises it even when REPRO_KERNEL=baseline (the CI
+            # matrix sets exactly that to flip the roles: the *other*
+            # entries then run the baseline kernel and this one stays
+            # the packed side of the differential).
+            runners["kernel"] = _ServiceRunner(use_cache=True, kernel="bitset")
         if "store" in wanted:
             # A fleet-shared network store behind the cached service: the
             # persistent tier answers over the store:// wire, so payload

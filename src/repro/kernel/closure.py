@@ -1,0 +1,112 @@
+"""Attribute closure on int bitmasks instead of frozenset algebra.
+
+``_closure_fixpoint`` in :mod:`repro.core.fd` grows a Python set by
+repeated subset tests (``set(fd.lhs) <= closure``).  Here the FD set is
+compiled once into an attribute interner plus ``(lhs_mask, rhs_mask)``
+int pairs, and the fixpoint runs on word operations: a premise is
+contained iff ``lhs_mask & ~closed == 0`` and applying an FD is a single
+``closed |= rhs_mask``.
+
+Compiled programs are memoized per FD set (the hot pattern is many
+closures under one Sigma — the engine's closure fast path computes one
+closure per unique LHS against a fixed FD list), bounded by the shared
+:class:`~repro.core.lru.LRUCache` policy.
+
+The contract is exact: ``bitset_closure(attrs, fds)`` returns the same
+frozenset as ``_closure_fixpoint(attrs, fds)`` for every input —
+``tests/test_kernel.py`` differentials the two on seeded generator
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.lru import LRUCache
+
+__all__ = ["bitset_closure", "compile_fds", "clear_program_cache"]
+
+#: Compiled closure programs per FD set.  4096 distinct Sigmas in flight
+#: is far beyond any real batch; the bound only guards long-lived servers.
+_PROGRAMS: LRUCache = LRUCache(4096)
+
+
+def compile_fds(fds: frozenset) -> tuple[dict, list[str], list[tuple[int, int]]]:
+    """Compile an FD set into ``(attr_index, attr_names, mask_pairs)``.
+
+    ``attr_index`` interns every attribute occurring in the FDs to a bit
+    position; attributes outside the FDs never influence a closure, so
+    the caller keeps them aside.  ``mask_pairs`` holds one
+    ``(lhs_mask, rhs_mask)`` per FD, in sorted-FD order for determinism.
+    """
+    program = _PROGRAMS.get(fds)
+    if program is not None:
+        return program
+    index: dict[str, int] = {}
+    names: list[str] = []
+
+    def intern(attr: str) -> int:
+        bit = index.get(attr)
+        if bit is None:
+            bit = len(names)
+            index[attr] = bit
+            names.append(attr)
+        return bit
+
+    pairs: list[tuple[int, int]] = []
+    for fd in sorted(fds, key=repr):
+        lhs_mask = 0
+        for attr in fd.lhs:
+            lhs_mask |= 1 << intern(attr)
+        rhs_mask = 0
+        for attr in fd.rhs:
+            rhs_mask |= 1 << intern(attr)
+        pairs.append((lhs_mask, rhs_mask))
+    program = (index, names, pairs)
+    _PROGRAMS.put(fds, program)
+    return program
+
+
+def bitset_closure(attrs: Iterable[str], fds: frozenset) -> frozenset[str]:
+    """The closure ``X+`` of *attrs* under *fds*, computed on bitmasks.
+
+    *fds* must be a frozenset (the memo key the caller already built);
+    attributes of *attrs* that no FD mentions pass through untouched.
+    """
+    if not fds:
+        return frozenset(attrs)
+    index, names, pairs = compile_fds(fds)
+    closed = 0
+    outside: list[str] = []
+    for attr in attrs:
+        bit = index.get(attr)
+        if bit is None:
+            outside.append(attr)
+        else:
+            closed |= 1 << bit
+    pending = pairs
+    changed = True
+    while changed and pending:
+        changed = False
+        remaining: list[tuple[int, int]] = []
+        for lhs_mask, rhs_mask in pending:
+            if lhs_mask & ~closed == 0:
+                if rhs_mask & ~closed:
+                    closed |= rhs_mask
+                    changed = True
+            else:
+                remaining.append((lhs_mask, rhs_mask))
+        pending = remaining
+    result = set(outside)
+    bit = 0
+    while closed:
+        if closed & 1:
+            result.add(names[bit])
+        closed >>= 1
+        bit += 1
+    return frozenset(result)
+
+
+def clear_program_cache() -> None:
+    """Drop every compiled closure program (test isolation hook)."""
+    _PROGRAMS.clear()

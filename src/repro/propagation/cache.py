@@ -47,11 +47,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
 from ..algebra.spcu import SPCUView
 from ..core.cfd import CFD
+from ..core.lru import LRUCache
 from ..io import domain_to_json, dependency_to_json, spc_view_to_json
 from .store import SqliteStore
 
@@ -70,75 +70,9 @@ __all__ = [
 _MISSING = object()
 
 
-class LRUCache:
-    """A least-recently-used map with telemetry counters.
-
-    ``capacity=None`` means unbounded (no eviction ever).  ``get`` bumps
-    recency and counts a hit or miss; ``put`` inserts or refreshes and
-    evicts the least recently used entry once the capacity is exceeded,
-    counting each eviction.  ``__contains__`` and ``clear`` touch neither
-    recency nor counters — counters describe *lookup traffic*, and they
-    survive ``clear`` the same way engine stats survive
-    :meth:`~repro.propagation.engine.PropagationEngine.clear`.
-    """
-
-    def __init__(self, capacity: int | None = None) -> None:
-        if capacity is not None and capacity < 1:
-            raise ValueError(f"LRU capacity must be positive, got {capacity}")
-        self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._data: OrderedDict[Any, Any] = OrderedDict()
-
-    def get(self, key: Any, default: Any = None) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key: Any, value: Any) -> None:
-        if key in self._data:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            return
-        self._data[key] = value
-        if self.capacity is not None and len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
-
-    def keys(self):
-        """Keys from least to most recently used (eviction order)."""
-        return list(self._data.keys())
-
-    def discard(self, key: Any) -> bool:
-        """Drop *key* if present (invalidation — not counted as eviction).
-
-        Evictions count capacity pressure; discards are deliberate
-        invalidation (``engine.invalidate_relations``) and are reported
-        by their caller instead.
-        """
-        return self._data.pop(key, _MISSING) is not _MISSING
-
-    def clear(self) -> None:
-        self._data.clear()
-
-    def __contains__(self, key: Any) -> bool:
-        return key in self._data
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        cap = "inf" if self.capacity is None else self.capacity
-        return (
-            f"LRUCache(len={len(self._data)}/{cap}, "
-            f"{self.hits}h/{self.misses}m, evictions={self.evictions})"
-        )
+# LRUCache now lives in repro.core.lru (dependency-free) so the closure
+# memo in repro.core.fd and the kernel's compiled-program caches can use
+# it without importing the propagation layer; re-exported here unchanged.
 
 
 class TieredCache:

@@ -71,13 +71,45 @@ class UnsupportedViewError(ValueError):
     """Raised for view languages with no decision procedure (full RA)."""
 
 
-def _as_cfds(dependencies: Iterable[DependencyLike]) -> list[CFD]:
+#: Normalized-Sigma memo: deps tuple -> (normal-form CFDs, frozenset).
+#: Batch callers re-send the same dependency list for every query of a
+#: view, and FD→CFD conversion, normalization and the per-query
+#: ``frozenset(sigma)`` hashing dominated the overhead of cold sweeps.
+#: Keyed by the input tuple itself (FDs/CFDs are frozen dataclasses);
+#: callers treat the returned list as immutable — reusing the *same*
+#: frozenset object also means its hash is computed once per Sigma, not
+#: once per query.
+_SIGMA_MEMO: LRUCache = LRUCache(512)
+
+
+def _sigma_state(
+    dependencies: Iterable[DependencyLike],
+) -> tuple[list[CFD], frozenset | None]:
+    deps = tuple(dependencies)
+    try:
+        cached = _SIGMA_MEMO.get(deps, _MISSING)
+    except TypeError:  # unhashable dependency object — skip the memo
+        key = None
+    else:
+        if cached is not _MISSING:
+            return cached
+        key = deps
     out: list[CFD] = []
-    for dep in dependencies:
+    for dep in deps:
         if isinstance(dep, FD):
             dep = CFD.from_fd(dep)
         out.extend(dep.normalize())
-    return out
+    try:
+        state = (out, frozenset(out))
+    except TypeError:
+        state = (out, None)
+    if key is not None and state[1] is not None:
+        _SIGMA_MEMO.put(key, state)
+    return state
+
+
+def _as_cfds(dependencies: Iterable[DependencyLike]) -> list[CFD]:
+    return _sigma_state(dependencies)[0]
 
 
 def _branches(view: ViewLike) -> list[SPCView]:
@@ -165,15 +197,36 @@ class BranchPairCache:
         self.coupled_misses = 0
         self.chased_hits = 0
         self.chased_misses = 0
+        self._capacity = capacity
         self._base: LRUCache = LRUCache(None)  # <= k^2 entries, swept whole
         self._single: LRUCache = LRUCache(None)  # <= k entries
         self._coupled: LRUCache = LRUCache(capacity)
         self._chased: LRUCache = LRUCache(capacity)
+        self._runners: LRUCache = LRUCache(capacity)  # sigma_key -> runner
 
     @property
     def evictions(self) -> int:
         """LRU evictions across the bounded tableau layers."""
-        return self._coupled.evictions + self._chased.evictions
+        total = self._coupled.evictions + self._chased.evictions
+        for runner in self._runners.values():
+            total += runner.evictions
+        return total
+
+    def kernel_runner(self, sigma: list, sigma_key: frozenset):
+        """The packed pair runner for *sigma* (built once per Sigma).
+
+        The runner replaces layers 2-3 for the single-chase fast path: it
+        owns the packed templates plus the per-premise-signature outcome
+        cache, and ticks the same coupled/chased counters.  Its outcome
+        caches share the ``capacity`` bound of the layers it replaces.
+        """
+        runner = self._runners.get(sigma_key, _MISSING)
+        if runner is _MISSING:
+            from ..kernel.chase import PackedPairRunner
+
+            runner = PackedPairRunner(sigma, self, capacity=self._capacity)
+            self._runners.put(sigma_key, runner)
+        return runner
 
     # ------------------------------------------------------------------
     # Layer 1: materialized branch pairs.
@@ -288,6 +341,7 @@ def propagates(
     assume_infinite: bool = False,
     cache: BranchPairCache | None = None,
     pairs: Iterable[tuple[int, int]] | None = None,
+    kernel: str | None = None,
 ) -> bool:
     """Decide ``Sigma |=_V phi``.
 
@@ -304,6 +358,7 @@ def propagates(
             assume_infinite=assume_infinite,
             cache=cache,
             pairs=pairs,
+            kernel=kernel,
         )
         is None
     )
@@ -317,6 +372,7 @@ def find_counterexample(
     assume_infinite: bool = False,
     cache: BranchPairCache | None = None,
     pairs: Iterable[tuple[int, int]] | None = None,
+    kernel: str | None = None,
 ) -> Counterexample | None:
     """Search for a source instance witnessing ``Sigma |/=_V phi``.
 
@@ -334,8 +390,14 @@ def find_counterexample(
     run on the branches of the diagonal pairs present.  ``None`` keeps
     the full ``k²`` iteration.  A pair-restricted ``None`` result means
     only "no violation *within these pairs*".
+
+    *kernel* — ``"bitset"`` routes eligible pair sweeps through the
+    packed runner of :mod:`repro.kernel.chase` (cached single-chase
+    setting only; identical answers, differential-tested).  The default
+    ``None`` keeps the baseline everywhere, so library callers and the
+    fuzz oracle are untouched by the engine's kernel selection.
     """
-    sigma_cfds = _as_cfds(sigma)
+    sigma_cfds, sigma_key = _sigma_state(sigma)
     if isinstance(phi, FD):
         phi = CFD.from_fd(phi)
     if cache is not None and cache.view is not view:
@@ -362,6 +424,7 @@ def find_counterexample(
                 assume_infinite,
                 cache,
                 pair_list,
+                sigma_key,
             )
         else:
             witness = _pair_counterexample(
@@ -372,6 +435,8 @@ def find_counterexample(
                 assume_infinite,
                 cache,
                 pair_list,
+                kernel,
+                sigma_key,
             )
         if witness is not None:
             return witness
@@ -412,17 +477,34 @@ def _pair_counterexample(
     assume_infinite: bool,
     cache: BranchPairCache | None,
     pairs: list[tuple[int, int]] | None = None,
+    kernel: str | None = None,
+    sigma_key: frozenset | None = None,
 ) -> Counterexample | None:
     rhs_attr = phi.rhs_attr
     rhs_entry = phi.rhs_entry
     share_chase = cache is not None and cache.can_share_chase(
         assume_infinite, max_instantiations
     )
-    sigma_key = frozenset(sigma) if share_chase else None
+    if share_chase and sigma_key is None:
+        sigma_key = frozenset(sigma)
     if pairs is None:
         pairs = [
             (i, j) for i in range(len(branches)) for j in range(len(branches))
         ]
+
+    if kernel == "bitset" and share_chase and cache.enabled:
+        runner = cache.kernel_runner(sigma, sigma_key)
+        if runner.usable:
+            hit = runner.find_violation(phi, pairs)
+            if runner.usable:
+                if hit is None:
+                    return None
+                witness = _pair_witness(sigma, branches, phi, cache, sigma_key, hit)
+                if witness is not None:
+                    return witness
+                # A disagreement between the packed verdict and the
+                # baseline witness would land here; fall through to the
+                # full baseline sweep so the answer is always baseline.
 
     for i, j in pairs:
         left, right = branches[i], branches[j]
@@ -464,6 +546,39 @@ def _pair_counterexample(
     return None
 
 
+def _pair_witness(
+    sigma: list[CFD],
+    branches: list[SPCView],
+    phi: CFD,
+    cache: BranchPairCache,
+    sigma_key: frozenset,
+    pair: tuple[int, int],
+) -> Counterexample | None:
+    """Rebuild the baseline witness for the kernel's violating pair.
+
+    The packed runner only decides *which* pair violates; the concrete
+    counterexample database is produced by the exact baseline machinery
+    (coupled skeleton + shared chase + instantiation) for that pair, so
+    kernel and baseline answers are byte-identical down to the witness.
+    """
+    i, j = pair
+    prepared = cache.coupled(i, j, phi)
+    if prepared is None:
+        return None
+    instance, cells1, cells2 = prepared
+    result = cache.chased(sigma, sigma_key, i, j, phi, instance)
+    if result.status is ChaseStatus.UNDEFINED:
+        return None
+    r1 = result.instance.resolve(cells1[phi.rhs_attr])
+    r2 = result.instance.resolve(cells2[phi.rhs_attr])
+    violated = r1 != r2
+    if not violated and is_const(phi.rhs_entry):
+        violated = isinstance(r1, SymVar) or r1 != phi.rhs_entry.value
+    if not violated:
+        return None
+    return Counterexample(_to_database(result.instance, branches[0]), (i, j))
+
+
 def _couple_premise(
     instance: SymbolicInstance,
     cells1: dict[str, Value],
@@ -495,13 +610,15 @@ def _equality_counterexample(
     assume_infinite: bool,
     cache: BranchPairCache | None,
     pairs: list[tuple[int, int]] | None = None,
+    sigma_key: frozenset | None = None,
 ) -> Counterexample | None:
     a = phi.lhs[0][0]
     b = phi.rhs[0][0]
     share_chase = cache is not None and cache.can_share_chase(
         assume_infinite, max_instantiations
     )
-    sigma_key = frozenset(sigma) if share_chase else None
+    if share_chase and sigma_key is None:
+        sigma_key = frozenset(sigma)
     if pairs is None:
         indexes = list(range(len(branches)))
     else:

@@ -107,12 +107,15 @@ def prop_cfd_spc_report(
     final_min_cover: bool = True,
     minimize_input: bool = True,
     rbr_stats: RBRStats | None = None,
+    kernel: str | None = None,
 ) -> CoverReport:
     """As :func:`prop_cfd_spc`, returning intermediate-size diagnostics.
 
     ``minimize_input=False`` also serves callers (the batch engine) that
     pre-minimize Sigma once and share it across many views; *rbr_stats*
-    accumulates RBR work counters across calls.
+    accumulates RBR work counters across calls.  *kernel* selects the
+    ``ComputeEQ`` union-find representation (``"bitset"`` → the packed
+    int-array variant; answers are identical either way).
     """
     timer = time.perf_counter
 
@@ -130,7 +133,7 @@ def prop_cfd_spc_report(
     sigma_v = view.rename_source_cfds(sigma_cfds)  # lines 5-6
 
     start = timer()
-    eq = compute_eq(view, sigma_v)  # line 2
+    eq = compute_eq(view, sigma_v, kernel=kernel)  # line 2
     if isinstance(eq, BottomEQ):  # lines 3-4
         return CoverReport(
             cover=_inconsistent_pair(view),

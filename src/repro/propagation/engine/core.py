@@ -77,8 +77,9 @@ from typing import Iterable, Sequence
 from ...algebra.spc import SPCView
 from ...algebra.spcu import SPCUView
 from ...core.cfd import CFD
-from ...core.fd import FD, attribute_closure
+from ...core.fd import FD, attribute_closure, closure_cache_info
 from ...core.mincover import min_cover
+from ...kernel.config import resolve_kernel
 from ...core.values import is_wildcard
 from ...io import dependencies_to_json, dependency_from_json
 from ..cache import TieredCache, view_fingerprint
@@ -134,6 +135,10 @@ class EngineStats:
     ``persistent_*`` counters and ``evictions`` mirror the tiered memo
     caches and ``tableau_evictions`` the LRU-bounded
     :class:`~repro.propagation.check.BranchPairCache` layers;
+    ``closure_hits``/``closure_misses`` are this engine's window onto
+    the process-wide attribute-closure memo
+    (:func:`repro.core.fd.closure_cache_info`) — deltas since engine
+    construction, so engines sharing the process also share traffic;
     ``parallel_tasks`` counts pool tasks dispatched (miss chunks and
     shard payloads alike) and ``shard_tasks`` the shard payloads of the
     branch-pair scheduler specifically.
@@ -142,6 +147,8 @@ class EngineStats:
     check_queries: int = 0
     verdict_hits: int = 0
     closure_fast_path: int = 0
+    closure_hits: int = 0
+    closure_misses: int = 0
     chase_invocations: int = 0
     coupled_hits: int = 0
     coupled_misses: int = 0
@@ -166,6 +173,7 @@ class EngineStats:
             f"check_queries={self.check_queries}, "
             f"verdict_hits={self.verdict_hits}, "
             f"closure_fast_path={self.closure_fast_path}, "
+            f"closure={self.closure_hits}h/{self.closure_misses}m, "
             f"chase_invocations={self.chase_invocations}, "
             f"coupled={self.coupled_hits}h/{self.coupled_misses}m, "
             f"chased={self.chased_hits}h/{self.chased_misses}m, "
@@ -224,11 +232,12 @@ def _check_chunk_worker(payload) -> tuple[list[bool], dict]:
     shares tableaux *within* the chunk and its counters are merged back
     into the dispatching engine's stats.
     """
-    sigma, view, phis, max_instantiations, assume_infinite = payload
+    sigma, view, phis, max_instantiations, assume_infinite, kernel = payload
     engine = PropagationEngine(
         use_cache=True,
         max_instantiations=max_instantiations,
         assume_infinite=assume_infinite,
+        kernel=kernel,
     )
     verdicts = engine.check_many(sigma, view, phis)
     return verdicts, _worker_stats(engine.stats)
@@ -236,11 +245,12 @@ def _check_chunk_worker(payload) -> tuple[list[bool], dict]:
 
 def _cover_chunk_worker(payload) -> tuple[list[list[CFD]], dict]:
     """Compute one chunk of cache-miss covers in a fresh engine."""
-    sigma, views, max_instantiations, assume_infinite = payload
+    sigma, views, max_instantiations, assume_infinite, kernel = payload
     engine = PropagationEngine(
         use_cache=True,
         max_instantiations=max_instantiations,
         assume_infinite=assume_infinite,
+        kernel=kernel,
     )
     covers = engine.cover_many(sigma, views)
     return covers, _worker_stats(engine.stats)
@@ -319,6 +329,17 @@ class PropagationEngine:
         shard-combinable, so :meth:`cover`/:meth:`cover_many` raise on
         a ``shard_index``-restricted engine rather than return a
         silently partial cover.
+    kernel:
+        The chase/closure representation: ``"bitset"`` (the packed
+        int-array fast path of :mod:`repro.kernel`) or ``"baseline"``
+        (the frozenset/``SymVar`` reference implementation).  ``None``
+        resolves the ``REPRO_KERNEL`` environment variable, defaulting
+        to ``"bitset"``.  Answers are identical either way (the fuzz
+        matrix and ``tests/test_kernel.py`` enforce it byte-for-byte);
+        the kernel joins no cache key, so persisted lines are shared
+        across kernels.  Constructs outside the packed fast path
+        (finite domains, instantiation caps, unhashable constants,
+        disabled caches) fall back to the baseline automatically.
     """
 
     def __init__(
@@ -335,6 +356,7 @@ class PropagationEngine:
         pool: str = "thread",
         shards: int = 1,
         shard_index: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         if pool not in ("thread", "process"):
             raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
@@ -349,6 +371,12 @@ class PropagationEngine:
         self.use_cache = use_cache
         self.max_instantiations = max_instantiations
         self.assume_infinite = assume_infinite
+        #: The chase/closure representation (``"bitset"`` | ``"baseline"``).
+        #: ``None`` resolves through ``REPRO_KERNEL`` (default bitset).
+        #: Deliberately NOT part of any memo or persist key: kernels are
+        #: answer-identical (differential-tested), so cache lines warmed
+        #: under one kernel stay valid under the other.
+        self.kernel = resolve_kernel(kernel)
         self.jobs = jobs
         self.pool = pool
         self.shards = shards
@@ -396,6 +424,10 @@ class PropagationEngine:
             "chased_misses": 0,
             "tableau_evictions": 0,
         }
+        #: Process-wide closure-memo counters at construction; the stats
+        #: report deltas from here (this engine's window of traffic).
+        info = closure_cache_info()
+        self._closure_base = (info.hits, info.misses)
 
     # ------------------------------------------------------------------
     # Cache plumbing.
@@ -579,6 +611,9 @@ class PropagationEngine:
                 name,
                 self._retired[name] + sum(getattr(c, attr) for c in live),
             )
+        info = closure_cache_info()
+        self.stats.closure_hits = info.hits - self._closure_base[0]
+        self.stats.closure_misses = info.misses - self._closure_base[1]
 
     def _sync_tier_stats(self) -> None:
         tiers = (self._verdict_tier, self._cover_tier)
@@ -849,7 +884,7 @@ class PropagationEngine:
                 # is not thread-safe); the lost cross-shard sharing is the
                 # price of pair-space parallelism.
                 payloads = shard_check_payloads(
-                    scoped, view, miss_phis, *settings, live_plans
+                    scoped, view, miss_phis, *settings, live_plans, self.kernel
                 )
                 shard_violations = self._fan_out(_shard_check_worker, payloads)
                 return combine_verdicts(shard_violations)
@@ -869,6 +904,7 @@ class PropagationEngine:
                         assume_infinite=self.assume_infinite,
                         cache=cache,
                         pairs=plan,
+                        kernel=self.kernel,
                     )
                     is None
                     for plan in live_plans
@@ -883,7 +919,9 @@ class PropagationEngine:
             order = sorted(range(len(miss_phis)), key=lambda i: repr(miss_phis[i].lhs))
             ordered = [miss_phis[i] for i in order]
             chunks = _chunks(ordered, self.jobs)
-            payloads = [(scoped, view, chunk, *settings) for chunk in chunks]
+            payloads = [
+                (scoped, view, chunk, *settings, self.kernel) for chunk in chunks
+            ]
             flat = [
                 v for vs in self._fan_out(_check_chunk_worker, payloads) for v in vs
             ]
@@ -900,6 +938,7 @@ class PropagationEngine:
                 max_instantiations=self.max_instantiations,
                 assume_infinite=self.assume_infinite,
                 cache=cache,
+                kernel=self.kernel,
             )
             is None
             for phi_cfd in miss_phis
@@ -923,6 +962,7 @@ class PropagationEngine:
             max_instantiations=self.max_instantiations,
             assume_infinite=self.assume_infinite,
             cache=cache,
+            kernel=self.kernel if cache is not None else None,
         )
         if cache is not None:
             self._sync_pair_stats()
@@ -1005,7 +1045,9 @@ class PropagationEngine:
                 miss_views = [pending[k][0] for k in keys]
                 if self.jobs > 1 and len(miss_views) > 1:
                     chunks = _chunks(miss_views, self.jobs)
-                    payloads = [(sigma, chunk, *settings) for chunk in chunks]
+                    payloads = [
+                        (sigma, chunk, *settings, self.kernel) for chunk in chunks
+                    ]
                     resolved = [
                         c
                         for cs in self._fan_out(_cover_chunk_worker, payloads)
@@ -1077,6 +1119,7 @@ class PropagationEngine:
             view,
             minimize_input=False,
             rbr_stats=self.stats.rbr,
+            kernel=self.kernel,
         )
         return report.cover
 

@@ -116,6 +116,7 @@ def shard_check_payloads(
     max_instantiations: int | None,
     assume_infinite: bool,
     plans: Sequence[tuple[Pair, ...]],
+    kernel: str | None = None,
 ) -> list[tuple]:
     """One worker payload per shard plan (plain data: picklable).
 
@@ -124,7 +125,15 @@ def shard_check_payloads(
     :func:`combine_verdicts` and the shard-task counters rely on.
     """
     return [
-        (list(sigma), view, list(phis), plan, max_instantiations, assume_infinite)
+        (
+            list(sigma),
+            view,
+            list(phis),
+            plan,
+            max_instantiations,
+            assume_infinite,
+            kernel,
+        )
         for plan in plans
     ]
 
@@ -137,7 +146,7 @@ def _shard_check_worker(payload: tuple) -> tuple[list[bool], dict]:
     flags — ``True`` means this shard refutes ``Sigma |=_V phi`` — plus
     the shard's tableau counters for stats merge-back.
     """
-    sigma, view, phis, pairs, max_instantiations, assume_infinite = payload
+    sigma, view, phis, pairs, max_instantiations, assume_infinite, kernel = payload
     cache = BranchPairCache(view, enabled=True)
     violations = [
         find_counterexample(
@@ -148,6 +157,7 @@ def _shard_check_worker(payload: tuple) -> tuple[list[bool], dict]:
             assume_infinite=assume_infinite,
             cache=cache,
             pairs=pairs,
+            kernel=kernel,
         )
         is not None
         for phi in phis

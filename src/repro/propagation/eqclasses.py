@@ -123,14 +123,23 @@ class EquivalenceClasses:
 
 
 def compute_eq(
-    view: SPCView, sigma_v: Iterable[CFD]
+    view: SPCView, sigma_v: Iterable[CFD], kernel: str | None = None
 ) -> EquivalenceClasses | BottomEQ:
     """``ComputeEQ``: classes and keys for the view, or ``⊥``.
 
     *sigma_v* must already live in view attribute space (the output of
-    ``view.rename_source_cfds``).
+    ``view.rename_source_cfds``).  *kernel* selects the union-find
+    representation: ``"bitset"`` runs on the int-array
+    :class:`~repro.kernel.eqpack.PackedEquivalenceClasses` (identical
+    observable behavior, differential-tested), anything else on the
+    dict-based baseline.
     """
-    eq = EquivalenceClasses(view.extended_attributes())
+    if kernel == "bitset":
+        from ..kernel.eqpack import PackedEquivalenceClasses
+
+        eq = PackedEquivalenceClasses(view.extended_attributes())
+    else:
+        eq = EquivalenceClasses(view.extended_attributes())
 
     if view.unsatisfiable:
         some_attr = next(iter(view.extended_attributes()), "A")
