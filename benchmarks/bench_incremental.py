@@ -24,13 +24,29 @@ carries its own ``2^n``-query eta batch):
                             the ``REPRO_SHARDS`` (default 4) plan:
                             identical verdicts, shard tasks dispatched.
 
+PR 10 adds the streaming-Sigma legs, recorded to ``BENCH_incremental.json``:
+
+- ``steady-state-latency`` — per-op latency of a :class:`StreamingSession`
+                             at edit rates ``ops_per_edit`` 1/2/4 (the
+                             second-half mean, past warm-up).
+- ``retained-warmth``      — warmth fraction per edit over a
+                             ``REPRO_STREAM_EDITS`` (default 1000) edit
+                             trace.
+- ``seeded-vs-cold``       — the warm delta service (pair memo, branch
+                             covers, cover seeds) against a fresh cold
+                             service per edit on a ``k``-branch union;
+                             asserts the warm path is >= 2x faster
+                             (best-of-reps on both sides).
+
 Run ``python benchmarks/bench_incremental.py --smoke`` for the CI smoke
-mode: the delta and sharding assertions on a tiny grid, no pytest
-required (exit 0 = pass).
+mode: the delta, sharding and streaming assertions on a tiny grid, no
+pytest required (exit 0 = pass); the streaming legs are written to
+``BENCH_incremental.json``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -58,6 +74,23 @@ RELATIONS = ("R1", "R2")
 
 _SRC = str(Path(__file__).resolve().parent.parent / "src")
 SHARDS = int(os.environ.get("REPRO_SHARDS", "4") or "4")
+STREAM_EDITS = int(os.environ.get("REPRO_STREAM_EDITS", "1000") or "1000")
+
+#: Where the streaming legs accumulate their records.
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def _record_bench(key: str, entry: dict) -> None:
+    """Merge one record into ``BENCH_incremental.json`` (keyed per leg)."""
+    doc: dict = {}
+    if BENCH_FILE.exists():
+        try:
+            doc = json.loads(BENCH_FILE.read_text())
+        except json.JSONDecodeError:
+            doc = {}
+    doc[key] = entry
+    BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"bench_incremental: wrote {key} to {BENCH_FILE}")
 
 
 def _workload(n: int):
@@ -367,6 +400,218 @@ def test_sharded_union_checks_are_invariant():
 
 
 # ----------------------------------------------------------------------
+# Leg 4: streaming sessions (steady-state latency, retained warmth).
+# ----------------------------------------------------------------------
+
+
+def _streaming_latency(edits: int, rates=(1, 2, 4), record=None) -> dict:
+    """Per-op steady-state latency of a session at several edit rates."""
+    from repro.streaming import StreamingSession, generate_trace
+
+    entry: dict = {"edits": edits, "rates": {}}
+    for rate in rates:
+        trace = generate_trace(seed=17, edits=edits, ops_per_edit=rate)
+        with PropagationService(use_cache=True) as service:
+            report = StreamingSession(service, trace).run()
+        entry["rates"][f"ops_per_edit={rate}"] = {
+            "steady_state_ms": round(report.steady_state_ms, 4),
+            "mean_warmth": round(report.mean_warmth, 4),
+            "queries": report.queries,
+        }
+        if record is not None:
+            record(
+                "Streaming steady-state latency",
+                rate,
+                "per-op (warm)",
+                report.steady_state_ms / 1000.0,
+                {"edits": edits, "warmth": round(report.mean_warmth, 3)},
+            )
+    return entry
+
+
+def _retained_warmth(edits: int, record=None) -> dict:
+    """Warmth fraction per edit over a long generated trace."""
+    from repro.streaming import StreamingSession, generate_trace
+
+    trace = generate_trace(seed=0, edits=edits, ops_per_edit=2)
+    started = time.perf_counter()
+    with PropagationService(use_cache=True) as service:
+        report = StreamingSession(service, trace).run()
+    elapsed = time.perf_counter() - started
+    warmths = [record_.warmth for record_ in report.records]
+    tail = warmths[len(warmths) // 2 :]
+    entry = {
+        "edits": edits,
+        "mean_warmth": round(report.mean_warmth, 4),
+        "tail_mean_warmth": round(sum(tail) / len(tail), 4),
+        "min_warmth": round(min(warmths), 4),
+        "steady_state_ms": round(report.steady_state_ms, 4),
+        "total_s": round(elapsed, 3),
+        "pair_chases": sum(r.pair_chases for r in report.records),
+        "cover_seed_hits": sum(r.cover_seed_hits for r in report.records),
+        "cover_seed_misses": sum(
+            r.cover_seed_misses for r in report.records
+        ),
+    }
+    if record is not None:
+        record(
+            "Streaming retained warmth",
+            edits,
+            "session",
+            elapsed,
+            {
+                "mean_warmth": entry["mean_warmth"],
+                "seed_hits": entry["cover_seed_hits"],
+            },
+        )
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Leg 5: seeded delta vs cold-per-edit on a k-branch union.
+# ----------------------------------------------------------------------
+
+
+def _stream_union_workload(k: int):
+    """A ``k``-branch union whose targets propagate (no early exits).
+
+    Every branch tags ``CC`` with the same constant and Sigma carries an
+    FD chain plus a constant CFD per relation, so the check visits all
+    ``k^2`` branch pairs and the union cover is non-empty — the warm
+    path exercises the pair memo, the branch-cover memo *and* the
+    verify-first cover seeds on every edit.
+    """
+    attrs = ["A", "B", "C", "D", "E", "F"]
+    rels = [f"S{i}" for i in range(1, k + 1)]
+    schema = DatabaseSchema([RelationSchema(r, attrs) for r in rels])
+    sigma: list = []
+    for r in rels:
+        sigma.extend(FD(r, (a,), (b,)) for a, b in zip(attrs, attrs[1:]))
+        sigma.append(CFD(r, {"A": "1"}, {"F": "9"}))
+    branches = [
+        SPCView(
+            "U",
+            schema,
+            [RelationAtom(r, {a: a for a in attrs})],
+            projection=["A", "B", "C", "CC"],
+            constants={"CC": "9"},
+        )
+        for r in rels
+    ]
+    view = SPCUView("U", branches)
+    targets = [
+        FD("U", ("A",), ("B",)),
+        FD("U", ("A",), ("C",)),
+        FD("U", ("B",), ("C",)),
+        FD("U", ("A",), ("CC",)),
+        CFD("U", {"A": "1"}, {"CC": "9"}),
+    ]
+    return schema, sigma, view, targets
+
+
+def _stream_service(schema, sigma, view) -> PropagationService:
+    workspace = Workspace()
+    workspace.add_schema("default", schema)
+    workspace.add_sigma("default", list(sigma))
+    workspace.add_view("U", view)
+    return PropagationService(workspace, use_cache=True)
+
+
+def _seeded_vs_cold_once(k: int, edits: int) -> tuple[float, float]:
+    """One rep: (warm seconds, cold seconds) over an edit loop.
+
+    The warm side is a single service taking ``delta_sigma`` edits; the
+    cold side builds a fresh service on the accumulated Sigma for every
+    edit.  Verdicts and cover sizes are asserted identical.
+    """
+    from repro.api import CoverRequest
+
+    schema, sigma, view, targets = _stream_union_workload(k)
+    warm = _stream_service(schema, sigma, view)
+    warm.check(CheckRequest(view="U", targets=targets))
+    warm.cover(CoverRequest(view="U"))
+    live = list(sigma)
+    warm_s = cold_s = 0.0
+    with warm:
+        for e in range(edits):
+            edit = CFD("S1", {"B": str(7000 + e)}, {"D": str(8000 + e)})
+            live = live + [edit]
+            started = time.perf_counter()
+            warm.delta_sigma(UpdateSigmaRequest(add=[edit]))
+            warm_check = warm.check(CheckRequest(view="U", targets=targets))
+            warm_cover = warm.cover(CoverRequest(view="U"))
+            warm_s += time.perf_counter() - started
+            started = time.perf_counter()
+            with _stream_service(schema, live, view) as cold:
+                cold_check = cold.check(
+                    CheckRequest(view="U", targets=targets)
+                )
+                cold_cover = cold.cover(CoverRequest(view="U"))
+            cold_s += time.perf_counter() - started
+            assert warm_check.propagated == cold_check.propagated
+            assert len(warm_cover.cover) == len(cold_cover.cover)
+    return warm_s, cold_s
+
+
+def _seeded_vs_cold(k: int, edits: int, reps: int = 3, record=None) -> dict:
+    """Best-of-reps warm vs cold-per-edit; asserts the >= 2x bar."""
+    warm_best = cold_best = float("inf")
+    for _ in range(reps):
+        warm_s, cold_s = _seeded_vs_cold_once(k, edits)
+        warm_best = min(warm_best, warm_s)
+        cold_best = min(cold_best, cold_s)
+    speedup = cold_best / warm_best if warm_best else 0.0
+    entry = {
+        "k": k,
+        "edits": edits,
+        "reps": reps,
+        "warm_s": round(warm_best, 4),
+        "cold_s": round(cold_best, 4),
+        "speedup": round(speedup, 2),
+    }
+    assert speedup >= 2.0, (
+        f"seeded delta must beat cold-per-edit 2x, got {speedup:.2f}x "
+        f"(warm {warm_best:.3f}s vs cold {cold_best:.3f}s at k={k})"
+    )
+    if record is not None:
+        record(
+            "Seeded delta vs cold per edit",
+            k,
+            "warm (delta)",
+            warm_best,
+            {"edits": edits},
+        )
+        record(
+            "Seeded delta vs cold per edit",
+            k,
+            "cold per edit",
+            cold_best,
+            {"edits": edits, "speedup": entry["speedup"]},
+        )
+    return entry
+
+
+def test_streaming_latency_records_per_rate():
+    from conftest import record_point
+
+    _streaming_latency(edits=10, rates=(1, 2), record=record_point)
+
+
+def test_retained_warmth_over_short_trace():
+    from conftest import record_point
+
+    entry = _retained_warmth(40, record=record_point)
+    assert 0.0 <= entry["mean_warmth"] <= 1.0
+
+
+def test_seeded_delta_beats_cold_per_edit():
+    from conftest import record_point
+
+    entry = _seeded_vs_cold(k=8, edits=4, reps=3, record=record_point)
+    assert entry["speedup"] >= 2.0
+
+
+# ----------------------------------------------------------------------
 # --smoke: the CI entry point (no pytest machinery).
 # ----------------------------------------------------------------------
 
@@ -382,10 +627,19 @@ def main(argv: list[str]) -> int:
 
         with tempfile.TemporaryDirectory() as tmp:
             _two_process_delta(Path(tmp), n)
+    _record_bench(
+        "steady-state-latency",
+        _streaming_latency(edits=10 if smoke else 30),
+    )
+    stream_edits = min(STREAM_EDITS, 120) if smoke else STREAM_EDITS
+    _record_bench("retained-warmth", _retained_warmth(stream_edits))
+    seeded = _seeded_vs_cold(k=8, edits=4 if smoke else 8, reps=3)
+    _record_bench("seeded-vs-cold", seeded)
     print(
         f"bench_incremental {'smoke ' if smoke else ''}OK: "
         f"delta kept unaffected relations warm (n={n}), "
-        f"sharded verdicts invariant (k={k})"
+        f"sharded verdicts invariant (k={k}), "
+        f"streaming warm path {seeded['speedup']}x over cold per edit"
     )
     return 0
 

@@ -106,6 +106,9 @@ def _snapshot(stats: EngineStats) -> tuple:
         stats.closure_fast_path,
         stats.parallel_tasks,
         stats.shard_tasks,
+        stats.pair_chases,
+        stats.cover_seed_hits,
+        stats.cover_seed_misses,
     )
 
 
@@ -551,9 +554,18 @@ class PropagationService:
         engine: PropagationEngine, before: tuple, started: float
     ) -> RequestStats:
         after = _snapshot(engine.stats)
-        queries, chases, memo, persistent, closure, tasks, shard_tasks = (
-            now - then for now, then in zip(after, before)
-        )
+        (
+            queries,
+            chases,
+            memo,
+            persistent,
+            closure,
+            tasks,
+            shard_tasks,
+            pair_chases,
+            seed_hits,
+            seed_misses,
+        ) = (now - then for now, then in zip(after, before))
         return RequestStats(
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
             queries=queries,
@@ -563,6 +575,9 @@ class PropagationService:
             closure_fast_path=closure,
             parallel_tasks=tasks,
             shard_tasks=shard_tasks,
+            pair_chases=pair_chases,
+            cover_seed_hits=seed_hits,
+            cover_seed_misses=seed_misses,
         )
 
 

@@ -13,6 +13,8 @@ Drives the library from JSON files (formats in :mod:`repro.io`):
     repro repair  --schema s.json --rules deps.json --data db.json [--out fixed.json]
     repro fuzz    --cases N --seed S [--matrix baseline,cache,...]
                   [--corpus DIR] [--replay FILE ...] [--harvest]
+    repro stream  [--trace t.json | --seed S --edits N] [--ops-per-edit M]
+                  [--verify] [--out report.json]
 
 Every analysis subcommand routes through the typed client SDK
 (:func:`repro.api.connect`): the ``--endpoint URL`` flag (or the
@@ -341,6 +343,53 @@ def _cmd_fuzz(args) -> int:
     return EXIT_OK
 
 
+def _cmd_stream(args) -> int:
+    # Imported here: the streaming driver rides on the client SDK and is
+    # only needed by this subcommand.
+    from .streaming import (
+        ColdReference,
+        StreamingSession,
+        generate_trace,
+        load_trace,
+        save_trace,
+    )
+
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        if args.edits is None:
+            raise ApiError(
+                "bad-request",
+                "either --trace FILE or --seed N --edits N is required",
+            )
+        trace = generate_trace(
+            args.seed, args.edits, ops_per_edit=args.ops_per_edit
+        )
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"# trace written to {args.save_trace}", file=sys.stderr)
+    verify = ColdReference(trace) if args.verify else None
+    client, _scope = _client(args)
+    with client:
+        report = StreamingSession(client, trace, verify=verify).run()
+        _print_stats(client, args)
+    doc = report.to_json()
+    doc["trace"] = {
+        "seed": trace.get("seed"),
+        "edits": trace.get("edits"),
+        "ops_per_edit": trace.get("ops_per_edit"),
+        "verified": bool(verify),
+    }
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"# report written to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return EXIT_OK
+
+
 def _cmd_serve(args) -> int:
     workspace = Workspace.from_files(
         schema=args.schema, sigma=args.sigma, view=args.view
@@ -644,6 +693,54 @@ def build_parser() -> argparse.ArgumentParser:
         "answer-pinning anchor per profile to --corpus",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a continuous-edit trace (Sigma edits interleaved "
+        "with check/cover traffic) against an endpoint, measuring "
+        "per-edit latency and retained warmth",
+    )
+    stream.add_argument(
+        "--trace",
+        help="replay this repro-trace/1 JSON file (instead of generating "
+        "one from --seed/--edits)",
+    )
+    stream.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generation seed; the same seed reproduces the same trace "
+        "byte for byte (default 0)",
+    )
+    stream.add_argument(
+        "--edits",
+        type=int,
+        help="number of Sigma edits to generate (required without --trace)",
+    )
+    stream.add_argument(
+        "--ops-per-edit",
+        type=int,
+        default=2,
+        help="check/cover ops interleaved after each edit (default 2)",
+    )
+    stream.add_argument(
+        "--save-trace",
+        metavar="FILE",
+        help="also write the (generated or loaded) trace to FILE",
+    )
+    stream.add_argument(
+        "--out", help="write the session report JSON to this file"
+    )
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially verify every answer against a fresh cold "
+        "recompute as the session runs (slow; the byte-identity contract "
+        "of the delta path)",
+    )
+    endpoint_option(stream)
+    engine_options(stream)
+    stream.set_defaults(func=_cmd_stream)
 
     serve = sub.add_parser(
         "serve",

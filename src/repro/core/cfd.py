@@ -123,6 +123,15 @@ class CFD:
         else:
             object.__setattr__(self, "_rhs_attr", None)
             object.__setattr__(self, "_rhs_entry", None)
+        object.__setattr__(
+            self, "_hash", hash((self.relation, self.lhs, self.rhs))
+        )
+
+    def __hash__(self) -> int:
+        # Matches the frozen-dataclass derivation over the compared
+        # fields, but precomputed: CFDs live inside frozenset cache keys
+        # that the engine hashes millions of times.
+        return self._hash
 
     # ------------------------------------------------------------------
     # Constructors for the common shapes.

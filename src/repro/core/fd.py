@@ -40,6 +40,15 @@ class FD:
         object.__setattr__(self, "rhs", tuple(sorted(set(rhs))))
         if not self.rhs:
             raise ValueError("an FD needs a nonempty right-hand side")
+        object.__setattr__(
+            self, "_hash", hash((self.relation, self.lhs, self.rhs))
+        )
+
+    def __hash__(self) -> int:
+        # Matches the frozen-dataclass derivation over the compared
+        # fields, but precomputed: FDs live inside frozenset cache keys
+        # that the engine hashes millions of times.
+        return self._hash
 
     @property
     def attributes(self) -> frozenset[str]:

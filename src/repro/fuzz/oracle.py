@@ -35,6 +35,7 @@ from ..api import (
     CoverRequest,
     EmptinessRequest,
     PropagationService,
+    UpdateSigmaRequest,
 )
 from ..api.client import connect
 from ..api.orchestrator import ReplicaSet, ShardOrchestrator
@@ -61,6 +62,7 @@ DEFAULT_MATRIX = (
     "cache",
     "kernel",
     "store",
+    "delta",
     "jobs2",
     "shards4",
     "shard-recombine",
@@ -180,6 +182,103 @@ class _ShardRecombineRunner(_ServiceRunner):
                 for acc, part in zip(combined, verdict.propagated)
             ]
         return _canonical({"propagated": combined})
+
+
+class _DeltaRunner(_Runner):
+    """The delta-aware recompute paths under a mid-stream Sigma edit.
+
+    Per op this entry perturbs the case: it *adds* a fresh CFD on a
+    relation the view reads via ``delta_sigma`` (driving the selective
+    invalidation, the pair memo, the branch-cover memo and the cover
+    seeds of one long-lived warm service), answers under the edited
+    Sigma, and differentially compares that answer to a fresh **cold**
+    service built on the same edited set — the byte-identity contract
+    of the delta path.  A divergence poisons the returned string so it
+    surfaces as an ordinary matrix disagreement.  The edit is then
+    reverted (again via ``delta_sigma``) and the op re-answered under
+    the restored Sigma; that answer is what the baseline comparison
+    sees, so this entry also proves edit+revert round-trips to the
+    original answers.
+    """
+
+    def __init__(self) -> None:
+        self.service = PropagationService(use_cache=True)
+
+    def prepare(self, case: dict) -> None:
+        schema, sigma, view, _ = parse_case(case)
+        self._schema = schema
+        self.service.workspace.add_schema("default", schema)
+        self.service.workspace.add_sigma("default", list(sigma))
+        self._edit = self._novel_edit(schema, sigma, view)
+
+    @staticmethod
+    def _novel_edit(schema, sigma, view):
+        """A CFD guaranteed absent from Sigma, on a relation the view
+        reads (so the edit actually invalidates the case's warm lines)
+        and with constants outside the case's value space (so the revert
+        removes the edit and nothing else)."""
+        from ..core.cfd import CFD
+        from ..propagation.check import _as_cfds
+        from ..propagation.engine import touched_relations
+
+        relation = sorted(touched_relations(view))[0]
+        attrs = list(schema.relation(relation).attribute_names)
+        present = {frozenset(_as_cfds([dep])) for dep in sigma}
+        constant = 999983
+        while True:
+            edit = CFD(
+                relation,
+                {attrs[0]: str(constant)},
+                {attrs[-1]: str(constant + 4)},
+            )
+            if frozenset(_as_cfds([edit])) not in present:
+                return edit
+            constant += 1
+
+    def _differential(self, run) -> str:
+        """Edit, answer warm, compare to cold, revert; the restored
+        answer (or the poisoned mismatch report) comes back."""
+        self.service.delta_sigma(UpdateSigmaRequest(add=[self._edit]))
+        warm = run(self.service)
+        edited = list(self.service.workspace.sigma("default"))
+        with PropagationService(use_cache=False) as cold:
+            cold.workspace.add_schema("default", self._schema)
+            cold.workspace.add_sigma("default", edited)
+            expected = run(cold)
+        self.service.delta_sigma(UpdateSigmaRequest(remove=[self._edit]))
+        if warm != expected:
+            return _canonical(
+                {"delta-mismatch": {"warm": warm, "cold": expected}}
+            )
+        return run(self.service)
+
+    def check(self, view, sigma, targets) -> str:
+        def run(service):
+            verdict = service.check(
+                CheckRequest(view=view, targets=targets, sigma="default")
+            )
+            return _canonical({"propagated": list(verdict.propagated)})
+
+        return self._differential(run)
+
+    def cover(self, view, sigma) -> str:
+        def run(service):
+            result = service.cover(CoverRequest(view=view, sigma="default"))
+            return _canonical_cover(result.cover)
+
+        return self._differential(run)
+
+    def empty(self, view, sigma) -> str:
+        def run(service):
+            result = service.emptiness(
+                EmptinessRequest(view=view, sigma="default")
+            )
+            return _canonical({"empty": bool(result.empty)})
+
+        return self._differential(run)
+
+    def close(self) -> None:
+        self.service.close()
 
 
 class _ClientRunner(_Runner):
@@ -328,6 +427,8 @@ class MatrixHarness:
             store_url = context.__enter__()
             self._contexts.append(context)
             runners["store"] = _ServiceRunner(store_url=store_url)
+        if "delta" in wanted:
+            runners["delta"] = _DeltaRunner()
         if "jobs2" in wanted:
             runners["jobs2"] = _ServiceRunner(jobs=2)
         if "shards4" in wanted:

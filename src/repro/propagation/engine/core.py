@@ -78,6 +78,7 @@ from ...algebra.spc import SPCView
 from ...algebra.spcu import SPCUView
 from ...core.cfd import CFD
 from ...core.fd import FD, attribute_closure, closure_cache_info
+from ...core.lru import LRUCache
 from ...core.mincover import min_cover
 from ...kernel.config import resolve_kernel
 from ...core.values import is_wildcard
@@ -91,11 +92,12 @@ from ..check import (
     _as_cfds,
     find_counterexample,
 )
-from ..cover import prop_cfd_spc_report
+from ..cover import prop_cfd_spc, prop_cfd_spc_report
 from ..rbr import RBRStats
 from ..spcu_cover import prop_cfd_spcu
 from ...store import DEFAULT_LEASE_TTL, BlobStore, SqliteStore, open_store
 from .keys import (
+    branch_touched_relations,
     cover_key,
     key_view,
     make_stale_predicate,
@@ -142,6 +144,13 @@ class EngineStats:
     ``parallel_tasks`` counts pool tasks dispatched (miss chunks and
     shard payloads alike) and ``shard_tasks`` the shard payloads of the
     branch-pair scheduler specifically.
+    ``pair_chases`` counts pair-restricted chase launches — the misses
+    of the per-pair verdict memo on multi-branch unions, so the
+    delta-restricted share of ``chase_invocations`` is distinguishable;
+    ``cover_seed_hits``/``cover_seed_misses`` count SPCU cover
+    recomputations whose previous cover (captured when ``delta_sigma``
+    invalidated the line) survived verify-first re-checking intact,
+    versus seeds with a retired or no-longer-propagating member.
     """
 
     check_queries: int = 0
@@ -165,6 +174,9 @@ class EngineStats:
     shard_tasks: int = 0
     single_flight_waits: int = 0
     store_errors: int = 0
+    pair_chases: int = 0
+    cover_seed_hits: int = 0
+    cover_seed_misses: int = 0
     rbr: RBRStats = field(default_factory=RBRStats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -185,7 +197,9 @@ class EngineStats:
             f"parallel_tasks={self.parallel_tasks}, "
             f"shard_tasks={self.shard_tasks}, "
             f"single_flight_waits={self.single_flight_waits}, "
-            f"store_errors={self.store_errors})"
+            f"store_errors={self.store_errors}, "
+            f"pair_chases={self.pair_chases}, "
+            f"cover_seed={self.cover_seed_hits}h/{self.cover_seed_misses}m)"
         )
 
 
@@ -408,9 +422,33 @@ class PropagationEngine:
         self._pair_caches: dict[tuple, BranchPairCache] = {}
         self._min_sigma: dict[frozenset, list[CFD]] = {}
         self._fast_contexts: dict[tuple, "_FastPathContext | None"] = {}
+        # The delta-path memo layers (streaming Sigma).  Every key leads
+        # with ``(scoped sigma frozenset, touched relations)`` so the
+        # shared stale predicate sweeps them like every other tier:
+        # - ``_pair_verdicts``: per branch-*pair* "no violation" bits of
+        #   the k^2 SPCU check loop, Sigma-scoped to the pair's
+        #   provenance — after an edit only pairs meeting the edited
+        #   relation re-chase.
+        # - ``_branch_covers``: per-branch ``PropCFD_SPC`` covers (the
+        #   SPCU candidate pool), Sigma-scoped to the branch's atoms.
+        # - ``_cover_seeds``: the previous cover of a view whose cover
+        #   line ``invalidate_relations`` just dropped, keyed by view —
+        #   the verify-first seed of the next recomputation.
+        self._pair_verdicts = LRUCache(capacity=cache_size)
+        self._branch_covers = LRUCache(capacity=cache_size)
+        self._cover_seeds = LRUCache(capacity=cache_size)
+        # Interned pair-scoped Sigma frozensets (see _pair_scoped_sigma):
+        # derived values, swept alongside the layers they feed.
+        self._pair_sigma_intern: dict[tuple, frozenset] = {}
         # Pure functions of their keys, memoized: the touched-relation
-        # set per view and the stable fingerprints of the persistent tier.
+        # set per view (whole and per branch) and the stable fingerprints
+        # of the persistent tier.
         self._touched: dict[tuple, frozenset[str]] = {}
+        self._branch_touched: dict[tuple, tuple[frozenset[str], ...]] = {}
+        # Structural view keys interned to small ints for the pair memo:
+        # a k^2-unit check performs k^2 lookups per target, and hashing
+        # the full nested view tuple on each one dwarfs the lookup.
+        self._view_tokens: dict[tuple, int] = {}
         self._prov_fps: dict[tuple[frozenset, frozenset], str] = {}
         self._view_fps: dict[tuple, str] = {}
         #: Counter totals of caches no longer tracked (retired by clear()
@@ -446,6 +484,10 @@ class PropagationEngine:
         self._cover_tier.clear_memory()
         self._min_sigma.clear()
         self._fast_contexts.clear()
+        self._pair_verdicts.clear()
+        self._branch_covers.clear()
+        self._cover_seeds.clear()
+        self._pair_sigma_intern.clear()
 
     def close(self) -> None:
         """Close the persistent store and worker pool (idempotent)."""
@@ -497,10 +539,36 @@ class PropagationEngine:
         for tier in (self._verdict_tier, self._cover_tier):
             for key in tier.memory.keys():
                 if stale(key[0], self._touched.get(key_view(key))):
+                    if tier is self._cover_tier:
+                        # The line is about to die, but its value is the
+                        # verify-first seed of the recomputation the edit
+                        # just scheduled: stash it per view.
+                        previous = tier.memory.get(key)
+                        if previous:
+                            self._cover_seeds.put(key_view(key), list(previous))
                     tier.memory.discard(key)
                     invalidated += 1
                 else:
                     retained += 1
+        # The delta-path layers carry their own provenance in the key
+        # (``(scoped sigma, touched, ...)``), so the shared predicate
+        # applies directly.  They are internal work-sharing state, not
+        # servable lines, so they join neither count above — the
+        # invalidated/retained report keeps meaning "memo-tier lines".
+        for memo in (self._pair_verdicts, self._branch_covers):
+            for key in memo.keys():
+                if stale(key[0], key[1]):
+                    memo.discard(key)
+        # The interned pair-scoped sigma sets are pure functions of
+        # their keys — never wrong, only unreachable once the view-
+        # scoped Sigma they were derived under moves.  Drop entries
+        # whose pair or whose sigma component mentions an affected
+        # relation; the rest stay reachable byte-for-byte.
+        for key in list(self._pair_sigma_intern):
+            if key[1] & affected or any(
+                phi.relation in affected for phi in key[0]
+            ):
+                del self._pair_sigma_intern[key]
         for key in list(self._fast_contexts):
             if stale(key[0], self._touched.get(key_view(key))):
                 del self._fast_contexts[key]
@@ -824,7 +892,10 @@ class PropagationEngine:
             def compute(keys: list, *, release: bool) -> None:
                 miss_phis = [pending[k][0] for k in keys]
                 for memo_key, verdict in zip(
-                    keys, self._resolve_check_misses(scoped, view, cache, miss_phis)
+                    keys,
+                    self._resolve_check_misses(
+                        scoped, view, view_key, cache, miss_phis
+                    ),
                 ):
                     pkey = pending[memo_key][1]
                     tier.put(memo_key, verdict, pkey)
@@ -854,6 +925,7 @@ class PropagationEngine:
         self,
         scoped: list[CFD],
         view: ViewLike,
+        view_key: tuple,
         cache: BranchPairCache,
         miss_phis: list[CFD],
     ) -> list[bool]:
@@ -863,7 +935,10 @@ class PropagationEngine:
         space (multi-branch unions with ``shards > 1`` or a pinned
         ``shard_index``), chunk the queries across the pool
         (``jobs > 1``), or resolve sequentially through the shared
-        tableau caches.
+        tableau caches — where multi-branch unions additionally go
+        through the per-pair verdict memo (:meth:`_check_by_pairs`), so
+        after a Sigma edit only pairs whose provenance meets the edited
+        relation re-chase.
         """
         settings = (self.max_instantiations, self.assume_infinite)
         sharded = (
@@ -930,6 +1005,12 @@ class PropagationEngine:
                 resolved[position] = verdict
             return resolved
 
+        if isinstance(view, SPCUView) and len(view.branches) > 1:
+            return [
+                self._check_by_pairs(scoped, view, view_key, cache, phi_cfd)
+                for phi_cfd in miss_phis
+            ]
+
         return [
             find_counterexample(
                 scoped,
@@ -943,6 +1024,136 @@ class PropagationEngine:
             is None
             for phi_cfd in miss_phis
         ]
+
+    def _branch_provenance(
+        self, view: SPCUView, view_key: tuple
+    ) -> tuple[tuple[frozenset[str], ...], dict]:
+        """Per-branch provenance plus the interned pair-union table.
+
+        The ``(i, j) -> union`` frozensets are built once per view and
+        reused for every unit, so their (cached) hashes make the pair
+        memo lookups cheap — rebuilding the union per unit would re-hash
+        every member on every lookup.
+        """
+        entry = self._branch_touched.get(view_key)
+        if entry is None:
+            per_branch = branch_touched_relations(view)
+            k = len(per_branch)
+            pair_unions = {
+                (i, j): per_branch[i] | per_branch[j]
+                for i in range(k)
+                for j in range(k)
+            }
+            entry = (per_branch, pair_unions)
+            self._branch_touched[view_key] = entry
+        return entry
+
+    def _view_token(self, view_key: tuple) -> int:
+        token = self._view_tokens.get(view_key)
+        if token is None:
+            token = len(self._view_tokens)
+            self._view_tokens[view_key] = token
+        return token
+
+    def _pair_scoped_sigma(
+        self, sigma_key: frozenset, scoped: list[CFD], pair_touched: frozenset
+    ) -> frozenset:
+        """The pair-provenance restriction of *scoped*, interned.
+
+        Keyed by ``(sigma_key, pair_touched)`` so repeated units (every
+        target of a batch, every verification pass of a cover) reuse one
+        frozenset object whose hash is computed exactly once; the
+        interned entries are swept by :meth:`invalidate_relations` under
+        the same staleness predicate as the memo layers they feed.
+        """
+        key = (sigma_key, pair_touched)
+        pair_sigma = self._pair_sigma_intern.get(key)
+        if pair_sigma is None:
+            pair_sigma = frozenset(
+                phi for phi in scoped if phi.relation in pair_touched
+            )
+            self._pair_sigma_intern[key] = pair_sigma
+        return pair_sigma
+
+    def _check_by_pairs(
+        self,
+        scoped: list[CFD],
+        view: SPCUView,
+        view_key: tuple,
+        cache: BranchPairCache,
+        phi_cfd: CFD,
+    ) -> bool:
+        """One multi-branch SPCU miss, unit by unit through the pair memo.
+
+        Mirrors :func:`~repro.propagation.check.find_counterexample`'s
+        loop exactly — normalized conjuncts in order (trivial ones
+        skipped, unprojected attributes a ``KeyError``), the ``k^2``
+        pairs row-major for pattern conjuncts and the diagonal branches
+        for equality conjuncts, early exit on the first violating unit —
+        but consults a per-unit verdict memo before launching the
+        pair-restricted chase.  Each unit's memo key scopes Sigma to the
+        *pair's* provenance (the relations branches ``i`` and ``j``
+        read; CFDs elsewhere are vacuous for that pair), so a
+        ``delta_sigma`` edit leaves every unit missing the edited
+        relation warm — that is the delta-aware recomputation.  The
+        chase itself still receives the full view-scoped Sigma and the
+        shared tableau cache, so verdicts, chased-layer keys and chase
+        order are byte-identical to the unrestricted sweep.
+        """
+        branches = list(view.branches)
+        k = len(branches)
+        projection = set(branches[0].projection)
+        per_branch, pair_unions = self._branch_provenance(view, view_key)
+        sigma_key = frozenset(scoped)
+        view_token = self._view_token(view_key)
+        settings = self._memo_settings()
+        for normal in phi_cfd.normalize():
+            if normal.is_trivial():
+                continue
+            missing = normal.attributes - projection
+            if missing:
+                raise KeyError(
+                    f"view dependency references attributes {sorted(missing)} "
+                    "that the view does not project"
+                )
+            if normal.is_equality:
+                units = [(i, i) for i in range(k)]
+            else:
+                units = [(i, j) for i in range(k) for j in range(k)]
+            for i, j in units:
+                pair_touched = pair_unions[i, j]
+                pair_sigma = self._pair_scoped_sigma(
+                    sigma_key, scoped, pair_touched
+                )
+                memo_key = (
+                    pair_sigma,
+                    pair_touched,
+                    view_token,
+                    i,
+                    j,
+                    normal,
+                    *settings,
+                )
+                clean = self._pair_verdicts.get(memo_key)
+                if clean is None:
+                    self.stats.pair_chases += 1
+                    clean = (
+                        find_counterexample(
+                            scoped,
+                            view,
+                            normal,
+                            max_instantiations=self.max_instantiations,
+                            assume_infinite=self.assume_infinite,
+                            cache=cache,
+                            pairs=[(i, j)],
+                            kernel=self.kernel,
+                        )
+                        is None
+                    )
+                    self._pair_verdicts.put(memo_key, clean)
+                if not clean:
+                    return False
+        return True
 
     def find_counterexample(
         self, sigma: Iterable[DependencyLike], view: ViewLike, phi: DependencyLike
@@ -1107,11 +1318,62 @@ class PropagationEngine:
                 # pair tableaux across all candidates, and fans cache
                 # misses out across the pool (sharding the pair space
                 # when shards > 1).
+                if not self.use_cache:
+                    return prop_cfd_spcu(
+                        sigma,
+                        view,
+                        max_instantiations=self.max_instantiations,
+                        check_many=self.check_many,
+                    )
+                # The cached path additionally threads the delta-aware
+                # seams: a provenance-keyed memo under the per-branch
+                # candidate pools (after an edit only branches reading
+                # the edited relation recompute), and the view's
+                # previous cover — captured by invalidate_relations —
+                # as the verify-first seed.  Neither changes the
+                # answer: the pool generator is the verbatim
+                # prop_cfd_spc call (scoping is an invariant, see
+                # prop_cfd_spc_report), and the emitted cover is still
+                # MinCover of the full pool's survivors.
+                view_key = _view_fingerprint(view)
+
+                def branch_cover(sigma_arg, branch, partition_size):
+                    b_touched = touched_relations(branch)
+                    memo_key = (
+                        frozenset(scoped_sigma(sigma_cfds, b_touched)),
+                        b_touched,
+                        _view_fingerprint(branch),
+                        partition_size,
+                    )
+                    cover = self._branch_covers.get(memo_key)
+                    if cover is None:
+                        cover = prop_cfd_spc(
+                            sigma_arg,
+                            branch,
+                            partition_size=partition_size,
+                            sigma_scope=b_touched,
+                        )
+                        self._branch_covers.put(memo_key, cover)
+                    return list(cover)
+
+                seed = self._cover_seeds.get(view_key)
+                if seed is not None:
+                    self._cover_seeds.discard(view_key)
+
+                def seed_report(hit: bool) -> None:
+                    if hit:
+                        self.stats.cover_seed_hits += 1
+                    else:
+                        self.stats.cover_seed_misses += 1
+
                 return prop_cfd_spcu(
                     sigma,
                     view,
                     max_instantiations=self.max_instantiations,
                     check_many=self.check_many,
+                    branch_cover=branch_cover,
+                    seed=seed,
+                    seed_report=seed_report if seed else None,
                 )
         minimized = self._minimized_sigma(sigma_cfds, sigma_key)
         report = prop_cfd_spc_report(

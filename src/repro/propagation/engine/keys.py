@@ -50,6 +50,7 @@ from ..cache import _canonical, query_persist_key, stable_digest
 from ..check import ViewLike, _branches
 
 __all__ = [
+    "branch_touched_relations",
     "cover_key",
     "key_view",
     "make_stale_predicate",
@@ -92,6 +93,23 @@ def scoped_sigma(
 ) -> list[CFD]:
     """*sigma_cfds* restricted to the touched relations (order kept)."""
     return [phi for phi in sigma_cfds if phi.relation in touched]
+
+
+def branch_touched_relations(view: ViewLike) -> tuple[frozenset[str], ...]:
+    """Per-branch touched-relation sets, in branch order.
+
+    The provenance of one branch *pair* ``(i, j)`` of the SPCU check
+    loop is the union of entries ``i`` and ``j``: the coupled instance
+    materializes exactly those two branches' atoms, so CFDs on any other
+    relation are vacuous for that pair's chase.  The engine's delta path
+    keys its per-pair verdict memo on Sigma scoped to this union — after
+    a ``delta_sigma`` edit only the pairs whose provenance meets the
+    edited relation re-chase.
+    """
+    return tuple(
+        frozenset(atom.source for atom in branch.atoms)
+        for branch in _branches(view)
+    )
 
 
 # ----------------------------------------------------------------------

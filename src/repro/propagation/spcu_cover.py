@@ -84,6 +84,9 @@ def prop_cfd_spcu(
     max_instantiations: int | None = None,
     check=None,
     check_many=None,
+    branch_cover=None,
+    seed: list[CFD] | None = None,
+    seed_report=None,
 ) -> list[CFD]:
     """A propagation cover of *sigma* via the SPCU view *view*.
 
@@ -99,16 +102,31 @@ def prop_cfd_spcu(
     all candidates of one union view are verified as a single batch —
     sharing the k^2 pair tableaux, Sigma normalization and fingerprints,
     and fanning cache misses out across the engine's worker pool.
+
+    *branch_cover* substitutes the per-branch pool generator (signature
+    ``(sigma, branch, partition_size) -> list[CFD]``; default is the
+    verbatim :func:`~repro.propagation.cover.prop_cfd_spc` call) — the
+    engine's delta path injects a provenance-keyed memo here, so after a
+    Sigma edit only the branches reading the edited relation recompute
+    their covers.  The substitute must return exactly what the default
+    would; the candidate pool is part of the answer.
+
+    *seed* is the view's previous cover (captured when an edit
+    invalidated its memo line), verified **first**: if every member is
+    still in the candidate pool and still propagates, the recomputation
+    is a *seed hit* — and the verification has already warmed the
+    verdict memo the full pool sweep is about to consult.  The emitted
+    cover is ``MinCover`` of the full pool's survivors either way
+    (byte-identical to a cold run by construction); *seed_report* (a
+    ``bool -> None`` callback) receives the hit/miss outcome.
     """
     if check is None:
         check = propagates
     branches = list(view.branches)
     per_branch_covers = [
-        prop_cfd_spc(
-            sigma,
-            branch,
-            partition_size=partition_size,
-        )
+        branch_cover(sigma, branch, partition_size)
+        if branch_cover is not None
+        else prop_cfd_spc(sigma, branch, partition_size=partition_size)
         for branch in branches
     ]
     guards = [branch_guards(branch) for branch in branches]
@@ -135,12 +153,26 @@ def prop_cfd_spcu(
                     add(_guarded(phi, guard, view.name))
                 add(_guarded(phi, guards[i], view.name))
 
-    if check_many is not None:
-        verdicts = check_many(sigma, view, candidates)
-    else:
-        verdicts = [
+    def verify(phis: list[CFD]) -> list[bool]:
+        if check_many is not None:
+            return check_many(sigma, view, phis)
+        return [
             check(sigma, view, phi, max_instantiations=max_instantiations)
-            for phi in candidates
+            for phi in phis
         ]
-    survivors = [phi for phi, verdict in zip(candidates, verdicts) if verdict]
+
+    if seed:
+        # Verify-first: re-check the previous cover before anything
+        # else.  A hit means the edit left the cover's members intact;
+        # either way the checks land in the caller's verdict memo, so
+        # the full sweep below re-serves them instead of re-chasing.
+        pool = set(candidates)
+        live = [phi for phi in seed if phi in pool]
+        hit = len(live) == len(seed) and all(verify(live))
+        if seed_report is not None:
+            seed_report(hit)
+
+    survivors = [
+        phi for phi, verdict in zip(candidates, verify(candidates)) if verdict
+    ]
     return min_cover(survivors)

@@ -1,0 +1,36 @@
+"""Streaming Sigma: delta-aware recomputation under continuous edits.
+
+The package around the continuous-edit workload (``docs/incremental.md``,
+"Streaming Sigma"): a seeded, replayable edit-trace format
+(:mod:`~repro.streaming.trace`), a session driver applying a trace to a
+live service or endpoint while measuring per-edit latency and retained
+warmth (:mod:`~repro.streaming.session`), and the cold-recompute oracle
+the delta path is differentially held byte-identical to
+(:mod:`~repro.streaming.delta`).  Exposed on the command line as
+``repro stream``.
+"""
+
+from .delta import (
+    ColdReference,
+    canonical_cover,
+    canonical_verdicts,
+    warmth_fraction,
+)
+from .session import DeltaMismatch, EditRecord, StreamingReport, StreamingSession
+from .trace import TRACE_FORMAT, generate_trace, load_trace, parse_trace, save_trace
+
+__all__ = [
+    "TRACE_FORMAT",
+    "ColdReference",
+    "DeltaMismatch",
+    "EditRecord",
+    "StreamingReport",
+    "StreamingSession",
+    "canonical_cover",
+    "canonical_verdicts",
+    "generate_trace",
+    "load_trace",
+    "parse_trace",
+    "save_trace",
+    "warmth_fraction",
+]
